@@ -1,0 +1,114 @@
+//! Breadth-first search over a [`GraphSnapshot`].
+//!
+//! Used by the LDBC SNB complex read 13 reproduction (pairwise shortest
+//! path) and as a building block for multi-hop neighbourhood queries.
+
+use std::collections::VecDeque;
+
+use crate::snapshot::GraphSnapshot;
+
+/// Level of each vertex from `root` (-1 if unreachable).
+pub fn bfs<S: GraphSnapshot + ?Sized>(snapshot: &S, root: u64) -> Vec<i64> {
+    let n = snapshot.num_vertices() as usize;
+    let mut levels = vec![-1i64; n];
+    if (root as usize) >= n {
+        return levels;
+    }
+    let mut queue = VecDeque::new();
+    levels[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        let next_level = levels[v as usize] + 1;
+        snapshot.for_each_neighbor(v, &mut |d| {
+            if levels[d as usize] < 0 {
+                levels[d as usize] = next_level;
+                queue.push_back(d);
+            }
+        });
+    }
+    levels
+}
+
+/// Length of the shortest directed path from `src` to `dst`, if any.
+/// Early-exits as soon as `dst` is settled.
+pub fn shortest_path_length<S: GraphSnapshot + ?Sized>(
+    snapshot: &S,
+    src: u64,
+    dst: u64,
+) -> Option<u64> {
+    let n = snapshot.num_vertices() as usize;
+    if src as usize >= n || dst as usize >= n {
+        return None;
+    }
+    if src == dst {
+        return Some(0);
+    }
+    let mut levels = vec![-1i64; n];
+    let mut queue = VecDeque::new();
+    levels[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let next_level = levels[v as usize] + 1;
+        let mut found = false;
+        snapshot.for_each_neighbor(v, &mut |d| {
+            if levels[d as usize] < 0 {
+                levels[d as usize] = next_level;
+                if d == dst {
+                    found = true;
+                }
+                queue.push_back(d);
+            }
+        });
+        if found {
+            return Some(next_level as u64);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_baselines::CsrGraph;
+
+    fn chain(n: u64) -> CsrGraph {
+        let edges: Vec<(u64, u64)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn levels_on_a_chain() {
+        let g = chain(5);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, 3), vec![-1, -1, -1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_minus_one() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let levels = bfs(&g, 0);
+        assert_eq!(levels, vec![0, 1, -1, -1]);
+    }
+
+    #[test]
+    fn out_of_range_root_returns_all_unreachable() {
+        let g = chain(3);
+        assert_eq!(bfs(&g, 10), vec![-1, -1, -1]);
+    }
+
+    #[test]
+    fn shortest_path_basic_cases() {
+        let g = chain(6);
+        assert_eq!(shortest_path_length(&g, 0, 5), Some(5));
+        assert_eq!(shortest_path_length(&g, 2, 2), Some(0));
+        assert_eq!(shortest_path_length(&g, 5, 0), None, "edges are directed");
+        assert_eq!(shortest_path_length(&g, 0, 99), None);
+    }
+
+    #[test]
+    fn shortest_path_prefers_shortcut() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (0, 3)];
+        let g = CsrGraph::from_edges(4, &edges);
+        assert_eq!(shortest_path_length(&g, 0, 3), Some(1));
+    }
+}

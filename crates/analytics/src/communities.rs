@@ -1,0 +1,157 @@
+//! Community detection via synchronous label propagation.
+//!
+//! A lightweight community detector used by the recommendation and fraud
+//! examples: every vertex starts in its own community and repeatedly adopts
+//! the most frequent community among its (undirected) neighbours, breaking
+//! ties towards the smallest id. Synchronous updates with a bounded number
+//! of rounds keep the result deterministic.
+
+use std::collections::HashMap;
+
+use crate::snapshot::GraphSnapshot;
+
+/// Options for [`label_propagation`].
+#[derive(Debug, Clone, Copy)]
+pub struct LabelPropagationOptions {
+    /// Maximum number of synchronous rounds (the algorithm usually converges
+    /// in far fewer).
+    pub max_rounds: usize,
+}
+
+impl Default for LabelPropagationOptions {
+    fn default() -> Self {
+        Self { max_rounds: 20 }
+    }
+}
+
+/// Runs label propagation and returns one community id per vertex.
+/// Community ids are vertex ids (the seed that won locally).
+pub fn label_propagation<S: GraphSnapshot + ?Sized>(
+    snapshot: &S,
+    options: LabelPropagationOptions,
+) -> Vec<u64> {
+    let n = snapshot.num_vertices() as usize;
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    if n == 0 {
+        return labels;
+    }
+    // Undirected adjacency, deduplicated once up front.
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for v in 0..n as u64 {
+        snapshot.for_each_neighbor(v, &mut |u| {
+            if (u as usize) < n && u != v {
+                adj[v as usize].push(u);
+                adj[u as usize].push(v);
+            }
+        });
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    let mut next = labels.clone();
+    for _ in 0..options.max_rounds {
+        let mut changed = false;
+        for v in 0..n {
+            if adj[v].is_empty() {
+                continue;
+            }
+            let mut counts: HashMap<u64, usize> = HashMap::with_capacity(adj[v].len());
+            for &u in &adj[v] {
+                *counts.entry(labels[u as usize]).or_insert(0) += 1;
+            }
+            // Most frequent label; ties go to the smallest label id.
+            let mut best = labels[v];
+            let mut best_count = 0usize;
+            let mut candidates: Vec<(u64, usize)> = counts.into_iter().collect();
+            candidates.sort_unstable();
+            for (label, count) in candidates {
+                if count > best_count {
+                    best = label;
+                    best_count = count;
+                }
+            }
+            if best != labels[v] {
+                changed = true;
+            }
+            next[v] = best;
+        }
+        std::mem::swap(&mut labels, &mut next);
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+/// Groups vertices by community id, largest community first.
+pub fn communities_by_size(labels: &[u64]) -> Vec<Vec<u64>> {
+    let mut groups: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (v, &label) in labels.iter().enumerate() {
+        groups.entry(label).or_default().push(v as u64);
+    }
+    let mut out: Vec<Vec<u64>> = groups.into_values().collect();
+    out.sort_by_key(|group| std::cmp::Reverse((group.len(), std::cmp::Reverse(group[0]))));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_baselines::CsrGraph;
+
+    fn clique(offset: u64, size: u64, edges: &mut Vec<(u64, u64)>) {
+        for a in 0..size {
+            for b in (a + 1)..size {
+                edges.push((offset + a, offset + b));
+            }
+        }
+    }
+
+    #[test]
+    fn two_cliques_with_a_bridge_form_two_communities() {
+        let mut edges = Vec::new();
+        clique(0, 5, &mut edges);
+        clique(5, 5, &mut edges);
+        edges.push((4, 5)); // weak bridge
+        let g = CsrGraph::from_edges(10, &edges);
+        let labels = label_propagation(&g, LabelPropagationOptions::default());
+        for v in 1..5 {
+            assert_eq!(labels[v], labels[0], "first clique must agree");
+        }
+        for v in 6..10 {
+            assert_eq!(labels[v], labels[5], "second clique must agree");
+        }
+        assert_ne!(labels[0], labels[9], "bridge must not merge the cliques");
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_community() {
+        let g = CsrGraph::from_edges(3, &[]);
+        let labels = label_propagation(&g, LabelPropagationOptions::default());
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(label_propagation(&g, LabelPropagationOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn communities_by_size_orders_largest_first() {
+        let labels = vec![0, 0, 0, 3, 3, 5];
+        let groups = communities_by_size(&labels);
+        assert_eq!(groups[0], vec![0, 1, 2]);
+        assert_eq!(groups[1], vec![3, 4]);
+        assert_eq!(groups[2], vec![5]);
+    }
+
+    #[test]
+    fn max_rounds_zero_leaves_singletons() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let labels = label_propagation(&g, LabelPropagationOptions { max_rounds: 0 });
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Connected components via label propagation (Table 10, "ConnComp").
+//!
+//! Edges are treated as undirected (the paper's ConnComp runs until
+//! convergence on the person–knows–person subgraph). Each vertex starts in
+//! its own component; every iteration propagates the minimum component id
+//! across each edge in both directions until no label changes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::snapshot::GraphSnapshot;
+
+fn atomic_min(cell: &AtomicU64, value: u64) -> bool {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while value < cur {
+        match cell.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
+/// Computes connected components (undirected semantics) and returns the
+/// component id of every vertex. Component ids are the minimum vertex id of
+/// the component.
+pub fn connected_components<S: GraphSnapshot + ?Sized>(snapshot: &S, threads: usize) -> Vec<u64> {
+    let n = snapshot.num_vertices() as usize;
+    let threads = threads.max(1);
+    let labels: Vec<AtomicU64> = (0..n as u64).map(AtomicU64::new).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    loop {
+        let changed = AtomicBool::new(false);
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let labels = &labels;
+                let changed = &changed;
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    for v in start..end {
+                        let lv = labels[v].load(Ordering::Relaxed);
+                        snapshot.for_each_neighbor(v as u64, &mut |d| {
+                            let ld = labels[d as usize].load(Ordering::Relaxed);
+                            let m = lv.min(ld);
+                            if atomic_min(&labels[d as usize], m) | atomic_min(&labels[v], m) {
+                                changed.store(true, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    labels.into_iter().map(|l| l.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_baselines::CsrGraph;
+
+    #[test]
+    fn two_triangles_and_an_isolated_vertex() {
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        let g = CsrGraph::from_edges(7, &edges);
+        let cc = connected_components(&g, 1);
+        assert_eq!(cc[0], cc[1]);
+        assert_eq!(cc[1], cc[2]);
+        assert_eq!(cc[3], cc[4]);
+        assert_eq!(cc[4], cc[5]);
+        assert_ne!(cc[0], cc[3]);
+        assert_eq!(cc[6], 6, "isolated vertex is its own component");
+    }
+
+    #[test]
+    fn directed_edges_are_treated_as_undirected() {
+        // A chain of one-way edges still forms a single component.
+        let edges = vec![(4, 3), (3, 2), (2, 1), (1, 0)];
+        let g = CsrGraph::from_edges(5, &edges);
+        let cc = connected_components(&g, 1);
+        assert!(cc.iter().all(|&c| c == 0), "chain must collapse to component 0");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let edges: Vec<(u64, u64)> = (0..400u64).map(|i| (i % 80, (i * 13 + 5) % 80)).collect();
+        let g = CsrGraph::from_edges(80, &edges);
+        assert_eq!(connected_components(&g, 1), connected_components(&g, 4));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(connected_components(&g, 2).is_empty());
+    }
+
+    #[test]
+    fn component_count_matches_structure() {
+        // 10 isolated pairs → 10 components.
+        let edges: Vec<(u64, u64)> = (0..10u64).map(|i| (2 * i, 2 * i + 1)).collect();
+        let g = CsrGraph::from_edges(20, &edges);
+        let cc = connected_components(&g, 2);
+        let mut ids: Vec<u64> = cc.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+        for i in 0..10u64 {
+            assert_eq!(cc[2 * i as usize], cc[2 * i as usize + 1]);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! k-hop neighbourhood expansion.
+//!
+//! LDBC SNB's "complex read 1" visits the 3-hop friendship neighbourhood of
+//! a person; TAO-style production reads frequently expand 1- and 2-hop
+//! neighbourhoods. This module provides the shared frontier-expansion
+//! helper, both as a plain vertex set and with per-vertex hop distances.
+
+use std::collections::VecDeque;
+
+use crate::snapshot::GraphSnapshot;
+
+/// Returns all vertices reachable from `root` within at most `k` hops,
+/// excluding `root` itself, in ascending vertex-id order.
+pub fn k_hop_neighborhood<S: GraphSnapshot + ?Sized>(snapshot: &S, root: u64, k: u64) -> Vec<u64> {
+    k_hop_with_distances(snapshot, root, k)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// Returns `(vertex, hop distance)` for every vertex within `k` hops of
+/// `root` (excluding the root), ordered by vertex id.
+pub fn k_hop_with_distances<S: GraphSnapshot + ?Sized>(
+    snapshot: &S,
+    root: u64,
+    k: u64,
+) -> Vec<(u64, u64)> {
+    let n = snapshot.num_vertices() as usize;
+    if (root as usize) >= n || k == 0 {
+        return Vec::new();
+    }
+    let mut dist = vec![u64::MAX; n];
+    dist[root as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d == k {
+            continue;
+        }
+        snapshot.for_each_neighbor(v, &mut |u| {
+            if (u as usize) < n && dist[u as usize] == u64::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        });
+    }
+    let mut out: Vec<(u64, u64)> = dist
+        .into_iter()
+        .enumerate()
+        .filter(|&(v, d)| v as u64 != root && d != u64::MAX && d <= k)
+        .map(|(v, d)| (v as u64, d))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_baselines::CsrGraph;
+
+    fn sample() -> CsrGraph {
+        // 0 -> 1 -> 2 -> 3 -> 4, plus 0 -> 5, 5 -> 2.
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 2)])
+    }
+
+    #[test]
+    fn one_hop_is_the_direct_neighbourhood() {
+        let g = sample();
+        assert_eq!(k_hop_neighborhood(&g, 0, 1), vec![1, 5]);
+    }
+
+    #[test]
+    fn hops_accumulate_and_keep_shortest_distance() {
+        let g = sample();
+        let two = k_hop_with_distances(&g, 0, 2);
+        assert_eq!(two, vec![(1, 1), (2, 2), (5, 1)]);
+        let three = k_hop_with_distances(&g, 0, 3);
+        assert!(three.contains(&(3, 3)));
+        assert!(!three.contains(&(4, 4)), "4 is four hops away");
+    }
+
+    #[test]
+    fn zero_hops_or_invalid_root_is_empty() {
+        let g = sample();
+        assert!(k_hop_neighborhood(&g, 0, 0).is_empty());
+        assert!(k_hop_neighborhood(&g, 99, 3).is_empty());
+    }
+
+    #[test]
+    fn root_is_never_included_even_on_cycles() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let hops = k_hop_neighborhood(&g, 0, 5);
+        assert_eq!(hops, vec![1, 2]);
+    }
+
+    #[test]
+    fn large_k_saturates_at_the_reachable_set() {
+        let g = sample();
+        assert_eq!(k_hop_neighborhood(&g, 0, 100), vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,162 @@
+//! PageRank over a [`GraphSnapshot`] (Table 10 of the paper).
+//!
+//! Push-based, synchronous iterations: every vertex distributes its current
+//! rank over its out-edges into a `next` array; dangling vertices contribute
+//! their rank uniformly. Parallelism partitions the vertex range across
+//! threads and accumulates contributions with CAS on the f64 bit pattern,
+//! so the result is deterministic up to floating-point addition order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::snapshot::GraphSnapshot;
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankOptions {
+    /// Number of synchronous iterations (the paper runs 20).
+    pub iterations: usize,
+    /// Damping factor.
+    pub damping: f64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        Self {
+            iterations: 20,
+            damping: 0.85,
+            threads: 1,
+        }
+    }
+}
+
+fn atomic_add_f64(cell: &AtomicU64, value: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(current) + value;
+        match cell.compare_exchange_weak(current, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Runs PageRank and returns one score per vertex.
+pub fn pagerank<S: GraphSnapshot + ?Sized>(snapshot: &S, options: PageRankOptions) -> Vec<f64> {
+    let n = snapshot.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = options.threads.max(1);
+    let mut ranks = vec![1.0 / n as f64; n];
+    let next: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+
+    for _ in 0..options.iterations {
+        for cell in &next {
+            cell.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        let dangling = AtomicU64::new(0f64.to_bits());
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let ranks = &ranks;
+                let next = &next;
+                let dangling = &dangling;
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    for v in start..end {
+                        let degree = snapshot.out_degree(v as u64);
+                        if degree == 0 {
+                            atomic_add_f64(dangling, ranks[v]);
+                            continue;
+                        }
+                        let share = ranks[v] / degree as f64;
+                        snapshot.for_each_neighbor(v as u64, &mut |d| {
+                            atomic_add_f64(&next[d as usize], share);
+                        });
+                    }
+                });
+            }
+        });
+        let dangling_share = f64::from_bits(dangling.load(Ordering::Relaxed)) / n as f64;
+        let base = (1.0 - options.damping) / n as f64;
+        for (v, rank) in ranks.iter_mut().enumerate() {
+            let pushed = f64::from_bits(next[v].load(Ordering::Relaxed));
+            *rank = base + options.damping * (pushed + dangling_share);
+        }
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_baselines::CsrGraph;
+
+    fn cycle(n: u64) -> CsrGraph {
+        let edges: Vec<(u64, u64)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn uniform_on_a_symmetric_cycle() {
+        let g = cycle(10);
+        let pr = pagerank(&g, PageRankOptions::default());
+        for &r in &pr {
+            assert!((r - 0.1).abs() < 1e-9, "cycle vertices share rank equally");
+        }
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 0), (4, 0)];
+        let g = CsrGraph::from_edges(5, &edges);
+        let pr = pagerank(&g, PageRankOptions::default());
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "probability mass preserved, got {sum}");
+    }
+
+    #[test]
+    fn hub_receives_more_rank_than_spokes() {
+        // Star: every spoke points to vertex 0; 0 points back to spoke 1.
+        let mut edges = vec![(0u64, 1u64)];
+        for v in 1..20u64 {
+            edges.push((v, 0));
+        }
+        let g = CsrGraph::from_edges(20, &edges);
+        let pr = pagerank(&g, PageRankOptions::default());
+        assert!(pr[0] > pr[5] * 5.0, "hub must dominate");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let edges: Vec<(u64, u64)> = (0..500u64)
+            .map(|i| (i % 97, (i * 31 + 7) % 97))
+            .collect();
+        let g = CsrGraph::from_edges(97, &edges);
+        let seq = pagerank(&g, PageRankOptions { threads: 1, ..Default::default() });
+        let par = pagerank(&g, PageRankOptions { threads: 4, ..Default::default() });
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_result() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(pagerank(&g, PageRankOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn dangling_vertices_do_not_lose_mass() {
+        // 0 -> 1, 1 has no out-edges.
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let pr = pagerank(&g, PageRankOptions::default());
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(pr[1] > pr[0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! The snapshot abstraction analytics kernels run against.
+
+use livegraph_baselines::CsrGraph;
+use livegraph_core::{Label, ReadTxn};
+
+/// A read-only, consistent view of a graph's topology.
+///
+/// Kernels only need vertex counts, out-degrees and sequential neighbour
+/// iteration; both LiveGraph read transactions and CSR graphs provide these.
+/// Implementations must be safe to query from multiple threads.
+pub trait GraphSnapshot: Sync {
+    /// Number of vertices (vertex ids are `0..num_vertices()`).
+    fn num_vertices(&self) -> u64;
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: u64) -> u64 {
+        let mut n = 0;
+        self.for_each_neighbor(v, &mut |_| n += 1);
+        n
+    }
+
+    /// Invokes `f` for every out-neighbour of `v`.
+    fn for_each_neighbor(&self, v: u64, f: &mut dyn FnMut(u64));
+
+    /// Total number of directed edges (default: sum of out-degrees).
+    fn num_edges(&self) -> u64 {
+        (0..self.num_vertices()).map(|v| self.out_degree(v)).sum()
+    }
+}
+
+impl GraphSnapshot for CsrGraph {
+    fn num_vertices(&self) -> u64 {
+        CsrGraph::num_vertices(self)
+    }
+
+    fn out_degree(&self, v: u64) -> u64 {
+        CsrGraph::out_degree(self, v)
+    }
+
+    fn for_each_neighbor(&self, v: u64, f: &mut dyn FnMut(u64)) {
+        for &d in self.neighbors(v) {
+            f(d);
+        }
+    }
+
+    fn num_edges(&self) -> u64 {
+        CsrGraph::num_edges(self)
+    }
+}
+
+/// A [`GraphSnapshot`] over a LiveGraph read transaction: analytics run
+/// *in situ* on the primary store, on the MVCC snapshot the transaction
+/// pinned, while concurrent transactions keep executing (§7.4).
+pub struct LiveSnapshot<'a, 'g> {
+    txn: &'a ReadTxn<'g>,
+    label: Label,
+}
+
+impl<'a, 'g> LiveSnapshot<'a, 'g> {
+    /// Wraps a read transaction, scanning edges of the given label.
+    pub fn new(txn: &'a ReadTxn<'g>, label: Label) -> Self {
+        Self { txn, label }
+    }
+}
+
+impl GraphSnapshot for LiveSnapshot<'_, '_> {
+    fn num_vertices(&self) -> u64 {
+        self.txn.vertex_count()
+    }
+
+    fn for_each_neighbor(&self, v: u64, f: &mut dyn FnMut(u64)) {
+        for edge in self.txn.edges(v, self.label) {
+            f(edge.dst);
+        }
+    }
+
+    fn out_degree(&self, v: u64) -> u64 {
+        self.txn.degree(v, self.label) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_snapshot_reports_counts_and_neighbors() {
+        let csr = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (3, 0)]);
+        let snap: &dyn GraphSnapshot = &csr;
+        assert_eq!(snap.num_vertices(), 4);
+        assert_eq!(snap.num_edges(), 3);
+        assert_eq!(snap.out_degree(0), 2);
+        let mut seen = Vec::new();
+        snap.for_each_neighbor(0, &mut |d| seen.push(d));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn default_out_degree_counts_via_iteration() {
+        struct Line;
+        impl GraphSnapshot for Line {
+            fn num_vertices(&self) -> u64 {
+                3
+            }
+            fn for_each_neighbor(&self, v: u64, f: &mut dyn FnMut(u64)) {
+                if v + 1 < 3 {
+                    f(v + 1);
+                }
+            }
+        }
+        let line = Line;
+        assert_eq!(line.out_degree(0), 1);
+        assert_eq!(line.out_degree(2), 0);
+        assert_eq!(line.num_edges(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Descriptive graph statistics.
+//!
+//! The paper leans on the power-law degree distribution of real-world graphs
+//! in several design decisions (block growth policy, buddy allocator split,
+//! Bloom-filter sizing) and Figure 7b validates it by plotting the block-size
+//! histogram. This module computes the corresponding topological statistics
+//! directly from a [`GraphSnapshot`]: degree histograms, distribution
+//! moments, and a log–log slope estimate of the degree distribution's tail.
+
+use crate::snapshot::GraphSnapshot;
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub vertices: u64,
+    /// Number of directed edges.
+    pub edges: u64,
+    /// Minimum out-degree.
+    pub min: u64,
+    /// Maximum out-degree.
+    pub max: u64,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Out-degree at the 50th / 90th / 99th percentile.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Number of vertices with no out-edges.
+    pub zero_degree: u64,
+}
+
+/// Computes [`DegreeStats`] over a snapshot.
+pub fn degree_stats<S: GraphSnapshot + ?Sized>(snapshot: &S) -> DegreeStats {
+    let n = snapshot.num_vertices();
+    let mut degrees: Vec<u64> = (0..n).map(|v| snapshot.out_degree(v)).collect();
+    degrees.sort_unstable();
+    let edges: u64 = degrees.iter().sum();
+    let pct = |p: f64| -> u64 {
+        if degrees.is_empty() {
+            0
+        } else {
+            let idx = ((degrees.len() - 1) as f64 * p).round() as usize;
+            degrees[idx]
+        }
+    };
+    DegreeStats {
+        vertices: n,
+        edges,
+        min: degrees.first().copied().unwrap_or(0),
+        max: degrees.last().copied().unwrap_or(0),
+        mean: if n == 0 { 0.0 } else { edges as f64 / n as f64 },
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+        zero_degree: degrees.iter().take_while(|&&d| d == 0).count() as u64,
+    }
+}
+
+/// Histogram of out-degrees bucketed by powers of two:
+/// bucket `i` counts vertices with degree in `[2^i, 2^(i+1))`, with a
+/// dedicated first entry for degree 0. Returned as `(bucket label, count)`.
+pub fn degree_histogram<S: GraphSnapshot + ?Sized>(snapshot: &S) -> Vec<(String, u64)> {
+    let n = snapshot.num_vertices();
+    let mut zero = 0u64;
+    let mut buckets: Vec<u64> = Vec::new();
+    for v in 0..n {
+        let d = snapshot.out_degree(v);
+        if d == 0 {
+            zero += 1;
+            continue;
+        }
+        let bucket = 63 - d.leading_zeros() as usize; // floor(log2(d))
+        if buckets.len() <= bucket {
+            buckets.resize(bucket + 1, 0);
+        }
+        buckets[bucket] += 1;
+    }
+    let mut out = vec![("0".to_string(), zero)];
+    for (i, &count) in buckets.iter().enumerate() {
+        out.push((format!("[{}, {})", 1u64 << i, 1u64 << (i + 1)), count));
+    }
+    out
+}
+
+/// Least-squares slope of `log(count)` against `log(degree)` over the
+/// non-empty power-of-two buckets — a quick estimate of the power-law
+/// exponent (reported as a positive alpha). Returns `None` when fewer than
+/// three non-empty buckets exist.
+pub fn power_law_exponent<S: GraphSnapshot + ?Sized>(snapshot: &S) -> Option<f64> {
+    let histogram = degree_histogram(snapshot);
+    let points: Vec<(f64, f64)> = histogram
+        .iter()
+        .skip(1) // degree-0 bucket
+        .enumerate()
+        .filter(|(_, (_, count))| *count > 0)
+        .map(|(i, (_, count))| (((1u64 << i) as f64).ln(), (*count as f64).ln()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sum_x: f64 = points.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = points.iter().map(|(_, y)| y).sum();
+    let sum_xy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let sum_xx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let denom = n * sum_xx - sum_x * sum_x;
+    if denom.abs() < f64::EPSILON {
+        return None;
+    }
+    let slope = (n * sum_xy - sum_x * sum_y) / denom;
+    Some(-slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_baselines::CsrGraph;
+
+    fn star(spokes: u64) -> CsrGraph {
+        let edges: Vec<(u64, u64)> = (1..=spokes).map(|s| (0, s)).collect();
+        CsrGraph::from_edges(spokes + 1, &edges)
+    }
+
+    #[test]
+    fn stats_of_a_star_graph() {
+        let g = star(10);
+        let stats = degree_stats(&g);
+        assert_eq!(stats.vertices, 11);
+        assert_eq!(stats.edges, 10);
+        assert_eq!(stats.max, 10);
+        assert_eq!(stats.min, 0);
+        assert_eq!(stats.zero_degree, 10);
+        assert!((stats.mean - 10.0 / 11.0).abs() < 1e-12);
+        assert_eq!(stats.p50, 0);
+        assert_eq!(stats.p99, 10);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        // Degrees: 0, 1, 2, 3, 4 across five source vertices.
+        let mut edges = Vec::new();
+        for (v, d) in [(1u64, 1u64), (2, 2), (3, 3), (4, 4)] {
+            for i in 0..d {
+                edges.push((v, (10 + i) % 5));
+            }
+        }
+        let g = CsrGraph::from_edges(5, &edges);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[0], ("0".to_string(), 1));
+        assert_eq!(hist[1], ("[1, 2)".to_string(), 1));
+        assert_eq!(hist[2], ("[2, 4)".to_string(), 2));
+        assert_eq!(hist[3], ("[4, 8)".to_string(), 1));
+    }
+
+    #[test]
+    fn empty_graph_statistics_are_well_defined() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let stats = degree_stats(&g);
+        assert_eq!(stats.vertices, 0);
+        assert_eq!(stats.edges, 0);
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(degree_histogram(&g), vec![("0".to_string(), 0)]);
+        assert_eq!(power_law_exponent(&g), None);
+    }
+
+    #[test]
+    fn power_law_exponent_detects_skewed_distributions() {
+        // Construct a synthetic graph whose bucket counts decay as ~2^-2i:
+        // 256 vertices of degree 1, 64 of degree 2, 16 of degree 4, 4 of
+        // degree 8, 1 of degree 16.
+        let mut edges = Vec::new();
+        let mut next = 0u64;
+        let mut add_group = |count: u64, degree: u64, edges: &mut Vec<(u64, u64)>, next: &mut u64| {
+            for _ in 0..count {
+                let v = *next;
+                *next += 1;
+                for i in 0..degree {
+                    edges.push((v, (v + i + 1) % 400));
+                }
+            }
+        };
+        add_group(256, 1, &mut edges, &mut next);
+        add_group(64, 2, &mut edges, &mut next);
+        add_group(16, 4, &mut edges, &mut next);
+        add_group(4, 8, &mut edges, &mut next);
+        add_group(1, 16, &mut edges, &mut next);
+        let g = CsrGraph::from_edges(400, &edges);
+        let alpha = power_law_exponent(&g).expect("enough buckets");
+        assert!(alpha > 1.5 && alpha < 2.5, "expected alpha ≈ 2, got {alpha}");
+    }
+
+    #[test]
+    fn uniform_degrees_give_near_zero_exponent_or_none() {
+        // Every vertex has degree 2: only one non-empty bucket → None.
+        let edges: Vec<(u64, u64)> = (0..50u64).flat_map(|v| [(v, (v + 1) % 50), (v, (v + 2) % 50)]).collect();
+        let g = CsrGraph::from_edges(50, &edges);
+        assert_eq!(power_law_exponent(&g), None);
+    }
+}

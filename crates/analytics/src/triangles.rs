@@ -1,0 +1,171 @@
+//! Triangle counting over an undirected view of the graph.
+//!
+//! Triangle counts drive clustering-coefficient style features used by the
+//! paper's motivating applications (recommendations, fraud detection on
+//! "who-knows-whom" rings). The kernel materialises a deduplicated,
+//! direction-normalised adjacency (smaller id → larger id), then counts
+//! ordered intersections — the standard node-iterator algorithm.
+
+use crate::snapshot::GraphSnapshot;
+
+/// Counts the number of distinct triangles, treating edges as undirected and
+/// ignoring self-loops and parallel edges.
+pub fn count_triangles<S: GraphSnapshot + ?Sized>(snapshot: &S, threads: usize) -> u64 {
+    let n = snapshot.num_vertices() as usize;
+    if n < 3 {
+        return 0;
+    }
+    // Forward adjacency: v -> {u : u > v, (v,u) or (u,v) is an edge}.
+    let mut forward: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for v in 0..n as u64 {
+        snapshot.for_each_neighbor(v, &mut |u| {
+            if u as usize >= n || u == v {
+                return;
+            }
+            let (lo, hi) = if v < u { (v, u) } else { (u, v) };
+            forward[lo as usize].push(hi);
+        });
+    }
+    for list in &mut forward {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    let threads = threads.max(1);
+    let chunk = n.div_ceil(threads);
+    let forward = &forward;
+    let mut total = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            handles.push(scope.spawn(move || {
+                let mut local = 0u64;
+                for v in start..end {
+                    let nv = &forward[v];
+                    for &u in nv {
+                        // |forward[v] ∩ forward[u]| — both sorted.
+                        let nu = &forward[u as usize];
+                        let (mut i, mut j) = (0usize, 0usize);
+                        while i < nv.len() && j < nu.len() {
+                            match nv[i].cmp(&nu[j]) {
+                                std::cmp::Ordering::Less => i += 1,
+                                std::cmp::Ordering::Greater => j += 1,
+                                std::cmp::Ordering::Equal => {
+                                    local += 1;
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            total += h.join().expect("triangle worker panicked");
+        }
+    });
+    total
+}
+
+/// Global clustering coefficient: `3 * triangles / open-or-closed wedges`.
+/// Returns 0.0 for graphs without any wedge.
+pub fn global_clustering_coefficient<S: GraphSnapshot + ?Sized>(snapshot: &S, threads: usize) -> f64 {
+    let n = snapshot.num_vertices() as usize;
+    if n == 0 {
+        return 0.0;
+    }
+    // Undirected degrees (deduplicated).
+    let mut degree = vec![0u64; n];
+    let mut und: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for v in 0..n as u64 {
+        snapshot.for_each_neighbor(v, &mut |u| {
+            if u as usize >= n || u == v {
+                return;
+            }
+            und[v as usize].push(u);
+            und[u as usize].push(v);
+        });
+    }
+    for (v, list) in und.iter_mut().enumerate() {
+        list.sort_unstable();
+        list.dedup();
+        degree[v] = list.len() as u64;
+    }
+    let wedges: u64 = degree.iter().map(|&d| d * d.saturating_sub(1) / 2).sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    let triangles = count_triangles(snapshot, threads);
+    3.0 * triangles as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_baselines::CsrGraph;
+
+    #[test]
+    fn single_triangle() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_triangles(&g, 1), 1);
+        assert!((global_clustering_coefficient(&g, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_disjoint_triangles_and_noise() {
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (6, 0)];
+        let g = CsrGraph::from_edges(7, &edges);
+        assert_eq!(count_triangles(&g, 1), 2);
+    }
+
+    #[test]
+    fn direction_and_duplicates_do_not_double_count() {
+        // Same triangle expressed with both directions and a repeated edge.
+        let edges = vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (0, 1)];
+        let g = CsrGraph::from_edges(3, &edges);
+        assert_eq!(count_triangles(&g, 2), 1);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let g = CsrGraph::from_edges(3, &[(0, 0), (0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_triangles(&g, 1), 1);
+    }
+
+    #[test]
+    fn square_has_no_triangle_and_zero_clustering() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_triangles(&g, 1), 0);
+        assert_eq!(global_clustering_coefficient(&g, 1), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_k5_has_ten_triangles() {
+        let mut edges = Vec::new();
+        for a in 0..5u64 {
+            for b in (a + 1)..5u64 {
+                edges.push((a, b));
+            }
+        }
+        let g = CsrGraph::from_edges(5, &edges);
+        assert_eq!(count_triangles(&g, 3), 10);
+        assert!((global_clustering_coefficient(&g, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let edges: Vec<(u64, u64)> = (0..600u64).map(|i| (i % 50, (i * 17 + 3) % 50)).collect();
+        let g = CsrGraph::from_edges(50, &edges);
+        assert_eq!(count_triangles(&g, 1), count_triangles(&g, 4));
+    }
+
+    #[test]
+    fn tiny_graphs_have_no_triangles() {
+        assert_eq!(count_triangles(&CsrGraph::from_edges(0, &[]), 1), 0);
+        assert_eq!(count_triangles(&CsrGraph::from_edges(2, &[(0, 1)]), 1), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! B+-tree edge table baseline (the paper's LMDB stand-in).
+//!
+//! LMDB stores every edge of the graph in a single sorted collection keyed
+//! by the `(src, dst)` vertex-id pair. An adjacency-list scan is a range
+//! query on the prefix `src`: the seek costs `O(log N)` node traversals and
+//! the scan is "sequential with random accesses" whenever the range crosses
+//! tree-node boundaries (Table 1 of the paper). `std::collections::BTreeMap`
+//! is a B-tree with the same asymptotics and node-crossing behaviour, which
+//! is what the comparison is about.
+
+use std::collections::BTreeMap;
+
+use crate::AdjacencyStore;
+
+/// Sorted edge-table store backed by a B-tree.
+#[derive(Default)]
+pub struct BTreeEdgeStore {
+    edges: BTreeMap<(u64, u64), ()>,
+}
+
+impl BTreeEdgeStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-loads a list of edges.
+    pub fn from_edges(edges: &[(u64, u64)]) -> Self {
+        let mut store = Self::new();
+        for &(s, d) in edges {
+            store.insert_edge(s, d);
+        }
+        store
+    }
+}
+
+impl AdjacencyStore for BTreeEdgeStore {
+    fn insert_edge(&mut self, src: u64, dst: u64) {
+        self.edges.insert((src, dst), ());
+    }
+
+    fn delete_edge(&mut self, src: u64, dst: u64) {
+        self.edges.remove(&(src, dst));
+    }
+
+    fn scan_neighbors(&self, src: u64, f: &mut dyn FnMut(u64)) -> usize {
+        let mut n = 0;
+        for (&(_, dst), _) in self.edges.range((src, 0)..=(src, u64::MAX)) {
+            f(dst);
+            n += 1;
+        }
+        n
+    }
+
+    fn has_edge(&self, src: u64, dst: u64) -> bool {
+        self.edges.contains_key(&(src, dst))
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "btree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::check_against_model;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_scan_delete_roundtrip() {
+        let mut s = BTreeEdgeStore::new();
+        s.insert_edge(5, 1);
+        s.insert_edge(5, 9);
+        s.insert_edge(6, 2);
+        let mut got = Vec::new();
+        assert_eq!(s.scan_neighbors(5, &mut |d| got.push(d)), 2);
+        assert_eq!(got, vec![1, 9], "range scan is sorted by destination");
+        s.delete_edge(5, 1);
+        assert!(!s.has_edge(5, 1));
+        assert_eq!(s.edge_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut s = BTreeEdgeStore::new();
+        s.insert_edge(1, 2);
+        s.insert_edge(1, 2);
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn range_does_not_leak_into_neighbouring_vertices() {
+        let mut s = BTreeEdgeStore::new();
+        s.insert_edge(1, u64::MAX);
+        s.insert_edge(2, 0);
+        assert_eq!(s.degree(1), 1);
+        assert_eq!(s.degree(2), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_model(ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..64, 0u64..64), 1..300)) {
+            let mut s = BTreeEdgeStore::new();
+            check_against_model(&mut s, &ops);
+        }
+    }
+}

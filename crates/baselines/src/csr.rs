@@ -1,0 +1,185 @@
+//! Compressed Sparse Row (CSR) baseline — the layout used by static graph
+//! engines such as Gemini and Ligra.
+//!
+//! CSR keeps two arrays: `targets` concatenates every adjacency list, and
+//! `offsets[v]..offsets[v+1]` delimits vertex `v`'s slice. Seeks are a
+//! single array lookup and scans are perfectly contiguous, which is why the
+//! paper uses CSR as the lower bound for scan latency (Figure 1) and as the
+//! analytics engine representation (Table 10). The price is immutability:
+//! the structure must be rebuilt to apply updates, which is exactly the ETL
+//! cost the paper measures.
+
+use crate::AdjacencyStore;
+
+/// An immutable CSR graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<u64>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph with `num_vertices` vertices from an edge list.
+    /// Edge order within an adjacency list follows the input order.
+    pub fn from_edges(num_vertices: u64, edges: &[(u64, u64)]) -> Self {
+        let n = num_vertices as usize;
+        let mut degrees = vec![0u64; n];
+        for &(src, _) in edges {
+            degrees[src as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u64; edges.len()];
+        for &(src, dst) in edges {
+            let at = cursor[src as usize];
+            targets[at as usize] = dst;
+            cursor[src as usize] += 1;
+        }
+        Self { offsets, targets }
+    }
+
+    /// Builds a CSR graph from per-vertex adjacency lists.
+    pub fn from_adjacency(adjacency: &[Vec<u64>]) -> Self {
+        let mut offsets = Vec::with_capacity(adjacency.len() + 1);
+        offsets.push(0u64);
+        let mut targets = Vec::new();
+        for list in adjacency {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u64);
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// The adjacency list of `v` as a contiguous slice.
+    #[inline]
+    pub fn neighbors(&self, v: u64) -> &[u64] {
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.targets[start..end]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: u64) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Approximate in-memory footprint in bytes (offset + target arrays).
+    pub fn memory_bytes(&self) -> usize {
+        (self.offsets.len() + self.targets.len()) * std::mem::size_of::<u64>()
+    }
+}
+
+impl AdjacencyStore for CsrGraph {
+    fn insert_edge(&mut self, _src: u64, _dst: u64) {
+        // CSR is immutable; graph engines rebuild it from scratch (the ETL
+        // step the paper measures in Table 10).
+        panic!("CsrGraph is immutable: rebuild it with from_edges/from_adjacency");
+    }
+
+    fn delete_edge(&mut self, _src: u64, _dst: u64) {
+        panic!("CsrGraph is immutable: rebuild it with from_edges/from_adjacency");
+    }
+
+    fn scan_neighbors(&self, src: u64, f: &mut dyn FnMut(u64)) -> usize {
+        if src >= self.num_vertices() {
+            return 0;
+        }
+        let slice = self.neighbors(src);
+        for &d in slice {
+            f(d);
+        }
+        slice.len()
+    }
+
+    fn edge_count(&self) -> u64 {
+        self.num_edges()
+    }
+
+    fn name(&self) -> &'static str {
+        "csr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_edges_builds_correct_slices() {
+        let edges = vec![(0, 1), (0, 2), (2, 0), (0, 3)];
+        let g = CsrGraph::from_edges(4, &edges);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(1), &[] as &[u64]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.out_degree(0), 3);
+    }
+
+    #[test]
+    fn from_adjacency_matches_from_edges() {
+        let adj = vec![vec![1, 2], vec![], vec![0]];
+        let g1 = CsrGraph::from_adjacency(&adj);
+        let edges = vec![(0, 1), (0, 2), (2, 0)];
+        let g2 = CsrGraph::from_edges(3, &edges);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn scan_out_of_range_vertex_is_empty() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(g.scan_neighbors(5, &mut |_| {}), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "immutable")]
+    fn insert_panics() {
+        let mut g = CsrGraph::from_edges(1, &[]);
+        g.insert_edge(0, 0);
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_edges() {
+        let small = CsrGraph::from_edges(10, &[(0, 1)]);
+        let big_edges: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, (i + 1) % 10)).collect();
+        let big = CsrGraph::from_edges(10, &big_edges);
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+
+    proptest! {
+        /// Every input edge appears exactly once, under the right source.
+        #[test]
+        fn prop_all_edges_preserved(edges in proptest::collection::vec((0u64..32, 0u64..32), 0..200)) {
+            let g = CsrGraph::from_edges(32, &edges);
+            prop_assert_eq!(g.num_edges() as usize, edges.len());
+            let mut expected: Vec<Vec<u64>> = vec![Vec::new(); 32];
+            for &(s, d) in &edges {
+                expected[s as usize].push(d);
+            }
+            for v in 0..32u64 {
+                let mut got = g.neighbors(v).to_vec();
+                let mut want = expected[v as usize].clone();
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! LSM-tree edge table baseline (the paper's RocksDB stand-in).
+//!
+//! RocksDB stores edges as keys `(src, dst)` in a log-structured merge tree:
+//! a skip-list memtable absorbs writes and is periodically frozen into
+//! sorted runs (SSTs); reads must consult the memtable *and every run*
+//! because only the `src` prefix of the key is known, and scans merge the
+//! candidate ranges from all levels (§2.1). That is what makes LSM seeks and
+//! scans expensive for graph workloads despite excellent write throughput.
+//!
+//! This implementation reproduces the structure faithfully at a smaller
+//! scale: a sorted memtable, frozen immutable runs, k-way merge scans with
+//! newest-wins semantics and tombstones, plus size-triggered compaction that
+//! merges all runs into one.
+
+use std::collections::BTreeMap;
+
+use crate::AdjacencyStore;
+
+/// Tuning knobs for the LSM store.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmOptions {
+    /// Number of entries after which the memtable is frozen into a run.
+    pub memtable_limit: usize,
+    /// Maximum number of runs before a full merge compaction runs.
+    pub max_runs: usize,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        Self {
+            memtable_limit: 4096,
+            max_runs: 8,
+        }
+    }
+}
+
+/// One immutable sorted run: `(src, dst) -> live?` entries.
+struct Run {
+    entries: Vec<((u64, u64), bool)>,
+}
+
+impl Run {
+    /// Index of the first entry with key `>= (src, 0)`.
+    fn lower_bound(&self, src: u64) -> usize {
+        self.entries.partition_point(|&((s, _), _)| s < src)
+    }
+}
+
+/// LSM-tree edge store: memtable + sorted runs + merge-on-read.
+pub struct LsmEdgeStore {
+    options: LsmOptions,
+    /// Mutable memtable (newest data).
+    memtable: BTreeMap<(u64, u64), bool>,
+    /// Immutable runs, newest first.
+    runs: Vec<Run>,
+    /// Number of memtable flushes performed (diagnostics).
+    flushes: u64,
+    /// Number of full compactions performed (diagnostics).
+    compactions: u64,
+}
+
+impl Default for LsmEdgeStore {
+    fn default() -> Self {
+        Self::new(LsmOptions::default())
+    }
+}
+
+impl LsmEdgeStore {
+    /// Creates a store with the given options.
+    pub fn new(options: LsmOptions) -> Self {
+        Self {
+            options,
+            memtable: BTreeMap::new(),
+            runs: Vec::new(),
+            flushes: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Creates a store with default options.
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    fn write(&mut self, src: u64, dst: u64, live: bool) {
+        self.memtable.insert((src, dst), live);
+        if self.memtable.len() >= self.options.memtable_limit {
+            self.flush_memtable();
+        }
+    }
+
+    /// Freezes the memtable into a new sorted run.
+    pub fn flush_memtable(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries: Vec<((u64, u64), bool)> = std::mem::take(&mut self.memtable).into_iter().collect();
+        self.runs.insert(0, Run { entries });
+        self.flushes += 1;
+        if self.runs.len() > self.options.max_runs {
+            self.compact();
+        }
+    }
+
+    /// Merges every run into a single one, dropping shadowed versions and
+    /// tombstones (major compaction).
+    pub fn compact(&mut self) {
+        let mut merged: BTreeMap<(u64, u64), bool> = BTreeMap::new();
+        // Oldest runs first so newer runs overwrite them.
+        for run in self.runs.iter().rev() {
+            for &(key, live) in &run.entries {
+                merged.insert(key, live);
+            }
+        }
+        let entries: Vec<((u64, u64), bool)> = merged.into_iter().filter(|&(_, live)| live).collect();
+        self.runs = vec![Run { entries }];
+        self.compactions += 1;
+    }
+
+    /// Number of runs currently on "disk".
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of memtable flushes so far.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Number of major compactions so far.
+    pub fn compaction_count(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Merge-scan of the `src` prefix across the memtable and every run,
+    /// newest version wins, tombstones suppress older versions.
+    fn merged_prefix(&self, src: u64, f: &mut dyn FnMut(u64)) -> usize {
+        // Cursor per source: (iterator position). We emit in ascending dst
+        // order, tracking which dsts have already been decided by a newer
+        // level. Levels: memtable (newest), then runs[0], runs[1], ...
+        struct Cursor<'a> {
+            entries: &'a [((u64, u64), bool)],
+            pos: usize,
+            src: u64,
+        }
+        impl Cursor<'_> {
+            fn peek(&self) -> Option<(u64, bool)> {
+                let ((s, d), live) = *self.entries.get(self.pos)?;
+                if s != self.src {
+                    return None;
+                }
+                Some((d, live))
+            }
+            fn advance(&mut self) {
+                self.pos += 1;
+            }
+        }
+
+        let mem_entries: Vec<((u64, u64), bool)> = self
+            .memtable
+            .range((src, 0)..=(src, u64::MAX))
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        let mut cursors: Vec<Cursor<'_>> = Vec::with_capacity(self.runs.len() + 1);
+        cursors.push(Cursor {
+            entries: &mem_entries,
+            pos: 0,
+            src,
+        });
+        for run in &self.runs {
+            let start = run.lower_bound(src);
+            cursors.push(Cursor {
+                entries: &run.entries[start..],
+                pos: 0,
+                src,
+            });
+        }
+
+        let mut emitted = 0usize;
+        loop {
+            // Find the smallest destination across cursors; the earliest
+            // cursor (newest level) holding it decides liveness.
+            let mut min_dst: Option<u64> = None;
+            for c in &cursors {
+                if let Some((d, _)) = c.peek() {
+                    min_dst = Some(min_dst.map_or(d, |m: u64| m.min(d)));
+                }
+            }
+            let Some(dst) = min_dst else { break };
+            let mut decided: Option<bool> = None;
+            for c in &mut cursors {
+                if let Some((d, live)) = c.peek() {
+                    if d == dst {
+                        if decided.is_none() {
+                            decided = Some(live);
+                        }
+                        c.advance();
+                    }
+                }
+            }
+            if decided == Some(true) {
+                f(dst);
+                emitted += 1;
+            }
+        }
+        emitted
+    }
+}
+
+impl AdjacencyStore for LsmEdgeStore {
+    fn insert_edge(&mut self, src: u64, dst: u64) {
+        self.write(src, dst, true);
+    }
+
+    fn delete_edge(&mut self, src: u64, dst: u64) {
+        self.write(src, dst, false);
+    }
+
+    fn scan_neighbors(&self, src: u64, f: &mut dyn FnMut(u64)) -> usize {
+        self.merged_prefix(src, f)
+    }
+
+    fn edge_count(&self) -> u64 {
+        // Count via full merge semantics (exact, not an estimate).
+        let mut sources: Vec<u64> = self
+            .memtable
+            .keys()
+            .map(|&(s, _)| s)
+            .chain(self.runs.iter().flat_map(|r| r.entries.iter().map(|&((s, _), _)| s)))
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+            .into_iter()
+            .map(|s| self.merged_prefix(s, &mut |_| {}) as u64)
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "lsm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::check_against_model;
+    use proptest::prelude::*;
+
+    fn tiny() -> LsmEdgeStore {
+        LsmEdgeStore::new(LsmOptions {
+            memtable_limit: 8,
+            max_runs: 3,
+        })
+    }
+
+    #[test]
+    fn insert_and_scan_across_memtable_and_runs() {
+        let mut s = tiny();
+        for d in 0..20u64 {
+            s.insert_edge(1, d);
+        }
+        assert!(s.run_count() >= 1, "memtable must have flushed");
+        let mut got = Vec::new();
+        assert_eq!(s.scan_neighbors(1, &mut |d| got.push(d)), 20);
+        assert_eq!(got, (0..20u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn newest_version_wins_across_levels() {
+        let mut s = tiny();
+        s.insert_edge(1, 5);
+        s.flush_memtable();
+        s.delete_edge(1, 5); // tombstone in the memtable shadows the run
+        assert!(!s.has_edge(1, 5));
+        assert_eq!(s.degree(1), 0);
+        s.insert_edge(1, 5); // re-insert on top of the tombstone
+        assert!(s.has_edge(1, 5));
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_preserves_live_edges() {
+        let mut s = tiny();
+        for d in 0..30u64 {
+            s.insert_edge(2, d);
+        }
+        for d in (0..30u64).step_by(2) {
+            s.delete_edge(2, d);
+        }
+        s.flush_memtable();
+        s.compact();
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.degree(2), 15);
+        assert!(s.compaction_count() >= 1);
+        let live: Vec<u64> = {
+            let mut v = Vec::new();
+            s.scan_neighbors(2, &mut |d| v.push(d));
+            v
+        };
+        assert!(live.iter().all(|d| d % 2 == 1));
+    }
+
+    #[test]
+    fn max_runs_triggers_automatic_compaction() {
+        let mut s = LsmEdgeStore::new(LsmOptions {
+            memtable_limit: 4,
+            max_runs: 2,
+        });
+        for d in 0..64u64 {
+            s.insert_edge(d % 4, d);
+        }
+        assert!(s.run_count() <= 3, "compaction must bound the run count");
+        assert!(s.compaction_count() > 0);
+        assert_eq!(s.edge_count(), 64);
+    }
+
+    #[test]
+    fn scans_are_isolated_per_source() {
+        let mut s = tiny();
+        s.insert_edge(1, 100);
+        s.insert_edge(2, 200);
+        s.flush_memtable();
+        s.insert_edge(1, 101);
+        assert_eq!(s.degree(1), 2);
+        assert_eq!(s.degree(2), 1);
+        assert_eq!(s.degree(3), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_model(ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..32, 0u64..32), 1..300)) {
+            let mut s = LsmEdgeStore::new(LsmOptions { memtable_limit: 16, max_runs: 3 });
+            check_against_model(&mut s, &ops);
+        }
+
+        /// Flush/compaction timing must never change query results.
+        #[test]
+        fn prop_flush_points_are_transparent(
+            ops in proptest::collection::vec((0u64..16, 0u64..16), 1..100),
+            flush_every in 1usize..20,
+        ) {
+            let mut a = LsmEdgeStore::new(LsmOptions { memtable_limit: usize::MAX, max_runs: 64 });
+            let mut b = LsmEdgeStore::new(LsmOptions { memtable_limit: usize::MAX, max_runs: 64 });
+            for (i, &(s, d)) in ops.iter().enumerate() {
+                a.insert_edge(s, d);
+                b.insert_edge(s, d);
+                if i % flush_every == 0 {
+                    b.flush_memtable();
+                }
+            }
+            for v in 0..16u64 {
+                let mut ga = Vec::new();
+                let mut gb = Vec::new();
+                a.scan_neighbors(v, &mut |d| ga.push(d));
+                b.scan_neighbors(v, &mut |d| gb.push(d));
+                prop_assert_eq!(ga, gb);
+            }
+        }
+    }
+}

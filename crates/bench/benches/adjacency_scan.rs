@@ -1,0 +1,54 @@
+//! Criterion version of the Figure 1 comparison: adjacency-list scans over
+//! the same Kronecker graph stored in TEL (LiveGraph), B+ tree, LSM, linked
+//! list and CSR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livegraph_baselines::{AdjacencyStore, BTreeEdgeStore, CsrGraph, LinkedListStore, LsmEdgeStore};
+use livegraph_bench::{load_livegraph_edges, LiveGraphAdapter};
+use livegraph_workloads::kronecker::{generate_kronecker, KroneckerConfig};
+use livegraph_workloads::linkbench::AccessDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scans(c: &mut Criterion) {
+    let config = KroneckerConfig::new(13);
+    let edges = generate_kronecker(&config);
+    let n = config.num_vertices();
+
+    let tel = LiveGraphAdapter::from_graph(load_livegraph_edges(n, &edges));
+    let mut lsm = LsmEdgeStore::with_defaults();
+    let mut btree = BTreeEdgeStore::new();
+    let mut list = LinkedListStore::with_vertices(n);
+    for &(s, d) in &edges {
+        lsm.insert_edge(s, d);
+        btree.insert_edge(s, d);
+        list.insert_edge(s, d);
+    }
+    let csr = CsrGraph::from_edges(n, &edges);
+
+    let dist = AccessDistribution::new(n, 0.8);
+    let mut rng = StdRng::seed_from_u64(3);
+    let starts: Vec<u64> = (0..256).map(|_| dist.sample(&mut rng)).collect();
+
+    let stores: Vec<(&str, &dyn AdjacencyStore)> =
+        vec![("tel", &tel), ("lsm", &lsm), ("btree", &btree), ("linked-list", &list), ("csr", &csr)];
+
+    let mut group = c.benchmark_group("adjacency_scan_256_powerlaw_starts");
+    for (name, store) in stores {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &v in &starts {
+                    total += store.scan_neighbors(v, &mut |d| {
+                        criterion::black_box(d);
+                    }) as u64;
+                }
+                criterion::black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

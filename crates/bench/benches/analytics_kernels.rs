@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the analytics kernels on CSR vs the in-situ
+//! LiveGraph snapshot (the per-iteration gap behind Table 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livegraph_analytics::{connected_components, pagerank, LiveSnapshot, PageRankOptions};
+use livegraph_baselines::CsrGraph;
+use livegraph_bench::load_livegraph_edges;
+use livegraph_workloads::kronecker::{generate_kronecker, KroneckerConfig};
+
+fn bench_kernels(c: &mut Criterion) {
+    let config = KroneckerConfig::new(13);
+    let edges = generate_kronecker(&config);
+    let n = config.num_vertices();
+    let csr = CsrGraph::from_edges(n, &edges);
+    let graph = load_livegraph_edges(n, &edges);
+
+    let mut group = c.benchmark_group("analytics_kernels");
+    group.sample_size(10);
+    let pr_options = PageRankOptions {
+        iterations: 5,
+        damping: 0.85,
+        threads: 2,
+    };
+
+    group.bench_with_input(BenchmarkId::new("pagerank", "csr"), &csr, |b, csr| {
+        b.iter(|| criterion::black_box(pagerank(csr, pr_options)));
+    });
+    group.bench_function(BenchmarkId::new("pagerank", "livegraph_in_situ"), |b| {
+        b.iter(|| {
+            let read = graph.begin_read().unwrap();
+            let snap = LiveSnapshot::new(&read, 0);
+            criterion::black_box(pagerank(&snap, pr_options))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("conncomp", "csr"), &csr, |b, csr| {
+        b.iter(|| criterion::black_box(connected_components(csr, 2)));
+    });
+    group.bench_function(BenchmarkId::new("conncomp", "livegraph_in_situ"), |b| {
+        b.iter(|| {
+            let read = graph.begin_read().unwrap();
+            let snap = LiveSnapshot::new(&read, 0);
+            criterion::black_box(connected_components(&snap, 2))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

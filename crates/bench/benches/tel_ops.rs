@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of core TEL operations: edge insertion
+//! (amortised O(1) appends with Bloom-filter upsert checks), adjacency
+//! scans of various degrees, and single-edge point reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use livegraph_core::{LiveGraph, LiveGraphOptions, SyncMode, DEFAULT_LABEL};
+
+fn graph() -> LiveGraph {
+    LiveGraph::open(
+        LiveGraphOptions::in_memory()
+            .with_capacity(1 << 28)
+            .with_max_vertices(1 << 20)
+            .with_sync_mode(SyncMode::NoSync),
+    )
+    .unwrap()
+}
+
+fn bench_edge_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tel_edge_insert");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single_edge_txn", |b| {
+        let g = graph();
+        let mut setup = g.begin_write().unwrap();
+        let src = setup.create_vertex(b"src").unwrap();
+        setup.create_vertex_with_id(1 << 19, b"").unwrap();
+        setup.commit().unwrap();
+        let mut next = 1u64;
+        b.iter(|| {
+            let mut txn = g.begin_write().unwrap();
+            txn.put_edge(src, DEFAULT_LABEL, next % (1 << 19), b"payload").unwrap();
+            txn.commit().unwrap();
+            next += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_adjacency_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tel_adjacency_scan");
+    for degree in [8u64, 64, 512, 4096] {
+        let g = graph();
+        let mut txn = g.begin_write().unwrap();
+        let src = txn.create_vertex(b"src").unwrap();
+        txn.create_vertex_with_id(degree + 10, b"").unwrap();
+        for d in 0..degree {
+            txn.put_edge(src, DEFAULT_LABEL, d + 1, b"x").unwrap();
+        }
+        txn.commit().unwrap();
+        group.throughput(Throughput::Elements(degree));
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, _| {
+            b.iter(|| {
+                let read = g.begin_read().unwrap();
+                let mut sum = 0u64;
+                for edge in read.edges(src, DEFAULT_LABEL) {
+                    sum = sum.wrapping_add(edge.dst);
+                }
+                criterion::black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tel_point_read");
+    let g = graph();
+    let mut txn = g.begin_write().unwrap();
+    let src = txn.create_vertex(b"src").unwrap();
+    txn.create_vertex_with_id(2048, b"").unwrap();
+    for d in 1..=1024u64 {
+        txn.put_edge(src, DEFAULT_LABEL, d, b"x").unwrap();
+    }
+    txn.commit().unwrap();
+    group.bench_function("get_edge_hit", |b| {
+        b.iter(|| {
+            let read = g.begin_read().unwrap();
+            criterion::black_box(read.get_edge(src, DEFAULT_LABEL, 512).is_some())
+        });
+    });
+    group.bench_function("get_edge_miss_bloom_reject", |b| {
+        b.iter(|| {
+            let read = g.begin_read().unwrap();
+            criterion::black_box(read.get_edge(src, DEFAULT_LABEL, 2_000).is_some())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_insert, bench_adjacency_scan, bench_point_read);
+criterion_main!(benches);

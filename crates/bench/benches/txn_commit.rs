@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the transaction protocol: commit cost with and
+//! without a durable WAL, and the cost of read-transaction begin/end
+//! (epoch registration).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use livegraph_core::{LiveGraph, LiveGraphOptions, SyncMode, DEFAULT_LABEL};
+
+fn in_memory_graph() -> LiveGraph {
+    LiveGraph::open(
+        LiveGraphOptions::in_memory()
+            .with_capacity(1 << 28)
+            .with_max_vertices(1 << 18)
+            .with_sync_mode(SyncMode::NoSync),
+    )
+    .unwrap()
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_commit");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("write_txn_no_wal", |b| {
+        let g = in_memory_graph();
+        let mut setup = g.begin_write().unwrap();
+        let src = setup.create_vertex(b"").unwrap();
+        setup.create_vertex_with_id(1 << 17, b"").unwrap();
+        setup.commit().unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut txn = g.begin_write().unwrap();
+            txn.put_edge(src, DEFAULT_LABEL, i % (1 << 17), b"p").unwrap();
+            txn.commit().unwrap();
+            i += 1;
+        });
+    });
+
+    group.bench_function("write_txn_with_wal_nosync", |b| {
+        let dir = tempfile::tempdir().unwrap();
+        let g = LiveGraph::open(
+            LiveGraphOptions::durable(dir.path())
+                .with_capacity(1 << 28)
+                .with_max_vertices(1 << 18)
+                .with_sync_mode(SyncMode::NoSync),
+        )
+        .unwrap();
+        let mut setup = g.begin_write().unwrap();
+        let src = setup.create_vertex(b"").unwrap();
+        setup.create_vertex_with_id(1 << 17, b"").unwrap();
+        setup.commit().unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut txn = g.begin_write().unwrap();
+            txn.put_edge(src, DEFAULT_LABEL, i % (1 << 17), b"p").unwrap();
+            txn.commit().unwrap();
+            i += 1;
+        });
+    });
+
+    group.bench_function("read_txn_begin_end", |b| {
+        let g = in_memory_graph();
+        b.iter(|| {
+            let txn = g.begin_read().unwrap();
+            criterion::black_box(txn.read_epoch())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

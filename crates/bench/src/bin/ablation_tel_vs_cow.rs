@@ -1,0 +1,116 @@
+//! Ablation: Transactional Edge Log vs Grace-style copy-on-write lists.
+//!
+//! §4 of the paper argues that a coarse-grained copy-on-write approach to
+//! multi-versioning (Grace) "makes updates very expensive, especially for
+//! high-degree vertices", which is why the TEL stores the adjacency list as
+//! a log of versions instead. This ablation quantifies that design choice:
+//! it inserts edges into a single hub vertex of growing degree and into a
+//! power-law graph, with the TEL (through the full transactional engine)
+//! and with the copy-on-write baseline, reporting per-insert latency and the
+//! bytes rewritten per insert.
+
+use std::time::Instant;
+
+use livegraph_baselines::{AdjacencyStore, CowAdjacencyStore};
+use livegraph_bench::{fmt_ns, LiveGraphAdapter, ResultTable, ScaleMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mode = ScaleMode::from_env();
+
+    // --- Part 1: single hub of growing degree --------------------------------
+    let degrees: Vec<u64> = if matches!(mode, ScaleMode::Paper) {
+        vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    } else {
+        vec![1 << 8, 1 << 10, 1 << 12]
+    };
+    let mut hub_table = ResultTable::new(
+        "Ablation — inserting into one hub vertex (per-insert cost)",
+        &["hub_degree", "tel_ns_per_insert", "cow_ns_per_insert", "cow_bytes_copied_per_insert"],
+    );
+    for &degree in &degrees {
+        // TEL through the full engine (transactions, timestamps, Bloom filter).
+        let mut tel = LiveGraphAdapter::new(degree + 2);
+        let start = Instant::now();
+        for d in 0..degree {
+            tel.insert_edge(0, d + 1);
+        }
+        let tel_ns = start.elapsed().as_nanos() as f64 / degree as f64;
+
+        // Grace-style copy-on-write list.
+        let mut cow = CowAdjacencyStore::new();
+        let start = Instant::now();
+        for d in 0..degree {
+            cow.insert_edge(0, d + 1);
+        }
+        let cow_ns = start.elapsed().as_nanos() as f64 / degree as f64;
+
+        hub_table.add_row(vec![
+            degree.to_string(),
+            fmt_ns(tel_ns),
+            fmt_ns(cow_ns),
+            format!("{:.0}", cow.bytes_copied() as f64 / degree as f64),
+        ]);
+    }
+    hub_table.finish("ablation_tel_vs_cow_hub");
+    println!(
+        "\nExpected shape (paper §4): the TEL's amortised-constant appends stay flat while the \
+         copy-on-write cost grows linearly with the hub degree.\n"
+    );
+
+    // --- Part 2: power-law workload -------------------------------------------
+    let num_vertices: u64 = mode.pick(10_000, 1 << 20);
+    let inserts: u64 = mode.pick(200_000, 10_000_000);
+    let mut rng = StdRng::seed_from_u64(7);
+    let edges: Vec<(u64, u64)> = (0..inserts)
+        .map(|_| {
+            // Zipf-ish source choice: low ids are hot, mirroring power-law graphs.
+            let r: f64 = rng.gen::<f64>();
+            let src = ((num_vertices as f64 - 1.0) * r * r * r) as u64;
+            let dst = rng.gen_range(0..num_vertices);
+            (src, dst)
+        })
+        .collect();
+
+    let mut mixed_table = ResultTable::new(
+        "Ablation — power-law edge ingestion",
+        &["store", "total_ms", "ns_per_insert", "rewrite_bytes_per_insert"],
+    );
+    {
+        let mut tel = LiveGraphAdapter::new(num_vertices);
+        let start = Instant::now();
+        for &(s, d) in &edges {
+            tel.insert_edge(s, d);
+        }
+        let elapsed = start.elapsed();
+        mixed_table.add_row(vec![
+            "livegraph-tel".into(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            fmt_ns(elapsed.as_nanos() as f64 / edges.len() as f64),
+            "-".into(),
+        ]);
+    }
+    {
+        let mut cow = CowAdjacencyStore::new();
+        let start = Instant::now();
+        for &(s, d) in &edges {
+            cow.insert_edge(s, d);
+        }
+        let elapsed = start.elapsed();
+        mixed_table.add_row(vec![
+            cow.name().into(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            fmt_ns(elapsed.as_nanos() as f64 / edges.len() as f64),
+            format!("{:.0}", cow.bytes_copied() as f64 / edges.len() as f64),
+        ]);
+    }
+    mixed_table.finish("ablation_tel_vs_cow_powerlaw");
+    println!(
+        "\nExpected shape: on a skewed insert stream the copy-on-write store pays ever-growing \
+         rewrites for the hot (high-degree) sources, while the TEL keeps appending in place. \
+         Note the TEL column pays for a full transaction (epochs, locks, timestamps) per insert \
+         while the COW column is a raw in-memory structure; the structural gap is the rewrite \
+         column and the hub table above, where COW's per-insert cost grows with the degree."
+    );
+}

@@ -1,0 +1,88 @@
+//! Table 10 — iterative analytics on the latest snapshot: PageRank and
+//! Connected Components on LiveGraph (in situ) vs a CSR engine (Gemini
+//! stand-in), including the ETL cost of exporting the graph to CSR.
+
+use std::time::Instant;
+
+use livegraph_analytics::{
+    connected_components, pagerank, snapshot_to_csr, LiveSnapshot, PageRankOptions,
+};
+use livegraph_bench::{fmt_ms, ResultTable, ScaleMode};
+use livegraph_workloads::snb::{generate_snb, LiveGraphSnb, SnbBackend, SnbConfig, KNOWS};
+
+fn main() {
+    let mode = ScaleMode::from_env();
+    // The paper uses the Person–knows–Person subgraph of SNB SF10 (3.88M
+    // edges); quick mode uses a proportionally smaller person graph.
+    let dataset = generate_snb(SnbConfig {
+        persons: mode.pick(5_000, 200_000),
+        avg_friends: mode.pick(20, 40),
+        posts_per_person: 2,
+        likes_per_person: 2,
+        seed: 42,
+    });
+    let backend = LiveGraphSnb::new(livegraph_bench::bench_graph(
+        (dataset.num_vertices() as usize * 4).next_power_of_two(),
+    ));
+    backend.load(&dataset);
+    let threads = mode.pick(4, 24);
+
+    let read = backend.graph().begin_read().expect("begin_read");
+    let live = LiveSnapshot::new(&read, KNOWS);
+
+    // In-situ analytics on the TEL snapshot.
+    let t = Instant::now();
+    let pr_live = pagerank(&live, PageRankOptions { iterations: 20, damping: 0.85, threads });
+    let live_pagerank = t.elapsed();
+    let t = Instant::now();
+    let cc_live = connected_components(&live, threads);
+    let live_conncomp = t.elapsed();
+
+    // Gemini-style workflow: ETL to CSR, then run the kernels there.
+    let t = Instant::now();
+    let csr = snapshot_to_csr(&live);
+    let etl = t.elapsed();
+    let t = Instant::now();
+    let pr_csr = pagerank(&csr, PageRankOptions { iterations: 20, damping: 0.85, threads });
+    let csr_pagerank = t.elapsed();
+    let t = Instant::now();
+    let cc_csr = connected_components(&csr, threads);
+    let csr_conncomp = t.elapsed();
+
+    // Sanity: both engines must agree on the results.
+    assert_eq!(cc_live, cc_csr, "connected components must match");
+    let drift = pr_live
+        .iter()
+        .zip(&pr_csr)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(drift < 1e-9, "pagerank must match (max drift {drift})");
+
+    let mut table = ResultTable::new(
+        "Table 10 — ETL and execution times for analytics (ms)",
+        &["step", "livegraph_in_situ", "csr_engine"],
+    );
+    table.add_row(vec!["ETL".into(), "-".into(), fmt_ms(etl)]);
+    table.add_row(vec![
+        "PageRank (20 iters)".into(),
+        fmt_ms(live_pagerank),
+        fmt_ms(csr_pagerank),
+    ]);
+    table.add_row(vec![
+        "ConnComp".into(),
+        fmt_ms(live_conncomp),
+        fmt_ms(csr_conncomp),
+    ]);
+    table.finish("table10_analytics");
+    println!(
+        "\nGraph: {} persons, {} knows edges; {} threads.",
+        dataset.config.persons,
+        dataset.knows.len() * 2,
+        threads
+    );
+    println!(
+        "Expected shape (paper): the CSR engine wins the per-kernel times (LiveGraph reaches \
+         ~59% of its PageRank and ~25% of its ConnComp speed), but the one-off ETL cost \
+         exceeds both kernel runtimes, so end-to-end the in-situ run is faster."
+    );
+}

@@ -1,0 +1,31 @@
+//! Table 4 — LinkBench DFLT (69% reads / 31% writes), in-memory latency.
+//!
+//! Expected shape: LiveGraph still wins every latency column; the B+ tree
+//! degrades sharply under the write-heavy mix (single-writer, high insert
+//! cost) while the log-structured stores cope better.
+
+use livegraph_bench::{latency_rows, LinkBenchExperiment, ResultTable, ScaleMode};
+use livegraph_workloads::OpMix;
+
+fn main() {
+    let mode = ScaleMode::from_env();
+    let exp = LinkBenchExperiment {
+        num_vertices: mode.pick(20_000, 1 << 20),
+        avg_degree: 4,
+        clients: mode.pick(4, 24),
+        ops_per_client: mode.pick(20_000, 500_000),
+        mix: OpMix::dflt(),
+        ooc: None,
+    };
+    let reports = livegraph_bench::run_linkbench_comparison(&exp);
+    let mut table = ResultTable::new(
+        "Table 4 — LinkBench DFLT in memory (latency in ms)",
+        &["system", "mean", "p99", "p999", "throughput_req_s"],
+    );
+    latency_rows(&mut table, &reports);
+    table.finish("table4_dflt_latency");
+    println!(
+        "\nExpected shape (paper, Optane): LiveGraph mean 0.0449 ms vs RocksDB 0.1278 ms vs \
+         LMDB 1.6030 ms — LiveGraph first, LSM second, B+ tree far behind on writes."
+    );
+}

@@ -1,0 +1,359 @@
+//! Checkpointing and recovery (§6 of the paper).
+//!
+//! A checkpoint persists the latest consistent snapshot (taken through a
+//! read-only transaction, so concurrent writers are unaffected) and prunes
+//! every WAL record already covered by the snapshot. Recovery loads the most
+//! recent checkpoint and replays the remaining committed WAL records through
+//! the regular write path.
+//!
+//! The checkpoint file reuses the WAL frame format: it is simply a sequence
+//! of [`WalRecord`]s, all tagged with the snapshot epoch, containing one
+//! `CreateVertex` per visible vertex and one `PutEdge` per visible edge.
+//! This keeps one serialisation format for everything that crosses a crash
+//! boundary.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::{Error, Result};
+use crate::graph::GraphInner;
+use crate::types::{Timestamp, VertexId};
+use crate::wal::{read_wal, SyncMode, WalOp, WalRecord, WalWriter};
+
+/// Number of operations bundled per checkpoint record / recovery batch.
+const CHECKPOINT_BATCH: usize = 4096;
+
+fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("checkpoint.dat")
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+/// Writes a checkpoint of the latest committed snapshot and prunes the WAL.
+pub(crate) fn write_checkpoint(graph: &GraphInner) -> Result<()> {
+    let dir = graph
+        .options
+        .data_dir
+        .clone()
+        .ok_or_else(|| Error::Corruption("checkpoint requires a data directory".into()))?;
+
+    // Register as a reader so compaction keeps everything we are dumping.
+    let worker = graph.worker_slot()?;
+    let snapshot_epoch = graph.epochs.begin_read(worker);
+    let result = dump_snapshot(graph, &dir, snapshot_epoch);
+    graph.epochs.finish(worker);
+    result?;
+
+    // Prune WAL records the checkpoint already covers. Holding the WAL lock
+    // keeps group-commit leaders out while the file is rewritten, and the
+    // writer is re-pointed at the replacement file so later commits are not
+    // lost in the unlinked old inode.
+    graph.commit.with_wal_locked(|wal| -> Result<()> {
+        if let Some(wal) = wal {
+            let path = wal_path(&dir);
+            let remaining: Vec<WalRecord> = if path.exists() {
+                read_wal(&path)?
+                    .into_iter()
+                    .filter(|r| r.epoch > snapshot_epoch)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            wal.rewrite(&remaining)?;
+        }
+        Ok(())
+    })?;
+    Ok(())
+}
+
+fn dump_snapshot(graph: &GraphInner, dir: &Path, epoch: Timestamp) -> Result<()> {
+    let tmp = dir.join("checkpoint.tmp");
+    let _ = std::fs::remove_file(&tmp);
+    let mut writer = WalWriter::open(&tmp, SyncMode::Fsync)?;
+    let mut batch: Vec<WalOp> = Vec::with_capacity(CHECKPOINT_BATCH);
+    let flush = |batch: &mut Vec<WalOp>, writer: &mut WalWriter| -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        writer.append_group(&[WalRecord {
+            epoch,
+            ops: std::mem::take(batch),
+        }])?;
+        Ok(())
+    };
+
+    let vertex_count = graph.next_vertex.load(std::sync::atomic::Ordering::Acquire);
+    for vertex in 0..vertex_count {
+        if let Some(props) = graph.read_vertex_version(vertex, epoch, 0) {
+            batch.push(WalOp::CreateVertex {
+                vertex,
+                properties: props.to_vec(),
+            });
+        } else if graph.vertex_deleted_at(vertex, epoch) {
+            // Preserve the deletion (and the id allocation) across recovery.
+            batch.push(WalOp::DeleteVertex { vertex });
+        }
+        // Dump each label's visible adjacency list.
+        let li_ptr = graph.edge_index.get(vertex);
+        if li_ptr != livegraph_storage::NULL_BLOCK {
+            let li = graph.label_index_ref(li_ptr);
+            for (label, tel_ptr) in li.iter() {
+                if tel_ptr == livegraph_storage::NULL_BLOCK {
+                    continue;
+                }
+                let tel = graph.tel_ref_auto(tel_ptr);
+                let log = tel.log_size();
+                for entry in tel.scan(log) {
+                    if entry.visible(epoch, 0) {
+                        batch.push(WalOp::PutEdge {
+                            src: vertex,
+                            label,
+                            dst: entry.dst(),
+                            properties: tel.properties(&entry).to_vec(),
+                        });
+                    }
+                    if batch.len() >= CHECKPOINT_BATCH {
+                        flush(&mut batch, &mut writer)?;
+                    }
+                }
+            }
+        }
+        if batch.len() >= CHECKPOINT_BATCH {
+            flush(&mut batch, &mut writer)?;
+        }
+    }
+    // Record the total vertex-id space even if trailing ids carry no data,
+    // so recovery restores the id allocator exactly.
+    if vertex_count > 0 {
+        let last = vertex_count - 1;
+        match graph.read_vertex_version(last, epoch, 0) {
+            Some(props) => batch.push(WalOp::PutVertex {
+                vertex: last,
+                properties: props.to_vec(),
+            }),
+            // A deleted or never-committed trailing id: reserve the id space
+            // without resurrecting the vertex.
+            None => batch.push(WalOp::DeleteVertex { vertex: last }),
+        }
+    }
+    flush(&mut batch, &mut writer)?;
+    std::fs::rename(&tmp, checkpoint_path(dir))?;
+    Ok(())
+}
+
+/// Recovers graph state from an existing checkpoint and WAL, if present.
+/// Called once from [`crate::LiveGraph::open`] before the graph is shared.
+pub(crate) fn recover(graph: &GraphInner) -> Result<()> {
+    let Some(dir) = graph.options.data_dir.clone() else {
+        return Ok(());
+    };
+    graph
+        .recovery_mode
+        .store(true, std::sync::atomic::Ordering::Release);
+    let result = recover_inner(graph, &dir);
+    graph
+        .recovery_mode
+        .store(false, std::sync::atomic::Ordering::Release);
+    result
+}
+
+fn recover_inner(graph: &GraphInner, dir: &Path) -> Result<()> {
+    let mut max_epoch: Timestamp = 0;
+    let cp = checkpoint_path(dir);
+    let mut checkpoint_epoch: Timestamp = 0;
+    if cp.exists() {
+        let records = read_wal(&cp)?;
+        for record in &records {
+            checkpoint_epoch = checkpoint_epoch.max(record.epoch);
+        }
+        for record in records {
+            apply_record(graph, &record)?;
+        }
+        max_epoch = max_epoch.max(checkpoint_epoch);
+    }
+    let wal = wal_path(dir);
+    if wal.exists() {
+        for record in read_wal(&wal)? {
+            if record.epoch > checkpoint_epoch {
+                apply_record(graph, &record)?;
+                max_epoch = max_epoch.max(record.epoch);
+            }
+        }
+    }
+    if max_epoch > 0 {
+        graph.epochs.reset_to(max_epoch);
+    }
+    Ok(())
+}
+
+/// Replays one WAL/checkpoint record through the normal write path.
+/// Recovery mode (set by [`recover`]) suppresses re-logging to the WAL.
+fn apply_record(graph: &GraphInner, record: &WalRecord) -> Result<()> {
+    replay_ops(graph, &record.ops)
+}
+
+fn replay_ops(graph: &GraphInner, ops: &[WalOp]) -> Result<()> {
+    for chunk in ops.chunks(CHECKPOINT_BATCH) {
+        let mut txn = crate::txn::WriteTxn::begin(graph)?;
+        for op in chunk {
+            match op {
+                WalOp::CreateVertex { vertex, properties } => {
+                    txn.create_vertex_with_id(*vertex, properties)?;
+                }
+                WalOp::PutVertex { vertex, properties } => {
+                    ensure_vertex(graph, &mut txn, *vertex)?;
+                    txn.put_vertex(*vertex, properties)?;
+                }
+                WalOp::PutEdge {
+                    src,
+                    label,
+                    dst,
+                    properties,
+                } => {
+                    ensure_vertex(graph, &mut txn, *src)?;
+                    ensure_vertex(graph, &mut txn, *dst)?;
+                    txn.put_edge(*src, *label, *dst, properties)?;
+                }
+                WalOp::DeleteEdge { src, label, dst } => {
+                    if graph.vertex_exists(*src) {
+                        txn.delete_edge(*src, *label, *dst)?;
+                    }
+                }
+                WalOp::DeleteVertex { vertex } => {
+                    ensure_vertex(graph, &mut txn, *vertex)?;
+                    txn.delete_vertex(*vertex)?;
+                }
+            }
+        }
+        txn.commit()?;
+    }
+    Ok(())
+}
+
+/// Makes sure a vertex id referenced during replay is allocated (ids must be
+/// preserved exactly across recovery).
+fn ensure_vertex(
+    graph: &GraphInner,
+    txn: &mut crate::txn::WriteTxn<'_>,
+    vertex: VertexId,
+) -> Result<()> {
+    if !graph.vertex_exists(vertex) {
+        txn.reserve_vertex_id(vertex);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{LiveGraph, LiveGraphOptions};
+    use crate::wal::SyncMode;
+
+    fn durable_options(dir: &std::path::Path) -> LiveGraphOptions {
+        LiveGraphOptions::durable(dir)
+            .with_capacity(1 << 24)
+            .with_max_vertices(1 << 14)
+            .with_sync_mode(SyncMode::NoSync)
+    }
+
+    #[test]
+    fn wal_replay_restores_graph_after_restart() {
+        let dir = tempfile::tempdir().unwrap();
+        let (a, b, c);
+        {
+            let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+            let mut txn = g.begin_write().unwrap();
+            a = txn.create_vertex(b"alice").unwrap();
+            b = txn.create_vertex(b"bob").unwrap();
+            c = txn.create_vertex(b"carol").unwrap();
+            txn.put_edge(a, 0, b, b"ab").unwrap();
+            txn.put_edge(a, 0, c, b"ac").unwrap();
+            txn.commit().unwrap();
+            let mut txn = g.begin_write().unwrap();
+            txn.delete_edge(a, 0, b).unwrap();
+            txn.put_vertex(c, b"carol2").unwrap();
+            txn.commit().unwrap();
+        }
+        let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+        let r = g.begin_read().unwrap();
+        assert_eq!(r.get_vertex(a), Some(&b"alice"[..]));
+        assert_eq!(r.get_vertex(c), Some(&b"carol2"[..]));
+        assert_eq!(r.degree(a, 0), 1);
+        assert_eq!(r.get_edge(a, 0, c), Some(&b"ac"[..]));
+        assert_eq!(r.get_edge(a, 0, b), None, "deleted edge must stay deleted");
+        assert_eq!(g.vertex_count(), 3, "vertex id space restored");
+    }
+
+    #[test]
+    fn checkpoint_prunes_wal_and_recovery_uses_both() {
+        let dir = tempfile::tempdir().unwrap();
+        let (a, b, c);
+        {
+            let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+            let mut txn = g.begin_write().unwrap();
+            a = txn.create_vertex(b"a").unwrap();
+            b = txn.create_vertex(b"b").unwrap();
+            txn.put_edge(a, 0, b, b"pre-checkpoint").unwrap();
+            txn.commit().unwrap();
+
+            g.checkpoint().unwrap();
+            let wal_len_after_checkpoint =
+                std::fs::metadata(dir.path().join("wal.log")).unwrap().len();
+
+            // Post-checkpoint writes land only in the WAL.
+            let mut txn = g.begin_write().unwrap();
+            c = txn.create_vertex(b"c").unwrap();
+            txn.put_edge(a, 0, c, b"post-checkpoint").unwrap();
+            txn.commit().unwrap();
+            assert!(
+                std::fs::metadata(dir.path().join("wal.log")).unwrap().len()
+                    > wal_len_after_checkpoint
+            );
+            assert!(dir.path().join("checkpoint.dat").exists());
+        }
+        let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+        let r = g.begin_read().unwrap();
+        assert_eq!(r.get_edge(a, 0, b), Some(&b"pre-checkpoint"[..]));
+        assert_eq!(r.get_edge(a, 0, c), Some(&b"post-checkpoint"[..]));
+        assert_eq!(r.get_vertex(c), Some(&b"c"[..]));
+    }
+
+    #[test]
+    fn new_writes_after_recovery_get_higher_epochs() {
+        let dir = tempfile::tempdir().unwrap();
+        let a;
+        let epoch_before;
+        {
+            let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+            let mut txn = g.begin_write().unwrap();
+            a = txn.create_vertex(b"a").unwrap();
+            epoch_before = txn.commit().unwrap();
+        }
+        {
+            let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+            let mut txn = g.begin_write().unwrap();
+            let b = txn.create_vertex(b"b").unwrap();
+            txn.put_edge(a, 0, b, b"").unwrap();
+            let epoch_after = txn.commit().unwrap();
+            assert!(
+                epoch_after > epoch_before,
+                "epochs must not go backwards across recovery"
+            );
+            let r = g.begin_read().unwrap();
+            assert_eq!(r.degree(a, 0), 1);
+        }
+    }
+
+    #[test]
+    fn recovery_of_empty_directory_is_a_noop() {
+        let dir = tempfile::tempdir().unwrap();
+        let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+    }
+
+    #[test]
+    fn checkpoint_without_data_dir_fails() {
+        let g = LiveGraph::in_memory().unwrap();
+        assert!(g.checkpoint().is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Group commit coordination (the paper's *persist phase*, §5).
+//!
+//! Write transactions finish their work phase and hand their logical
+//! operations to the [`CommitCoordinator`]. Committers form *commit groups*:
+//! the first committer becomes the group leader, drains every queued
+//! request, advances the global write epoch `GWE` once for the whole group,
+//! appends one batch to the WAL, issues a single `fsync`, and hands every
+//! member its write timestamp `TWE = GWE`. Each member then performs its own
+//! *apply phase*; the global read epoch `GRE` only advances to an epoch once
+//! every transaction of that commit group (and of all earlier groups) has
+//! finished applying — this is what guarantees that a transaction's read
+//! timestamp is always smaller than the write timestamp of any ongoing
+//! transaction.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::epoch::EpochManager;
+use crate::error::Result;
+use crate::types::Timestamp;
+use crate::wal::{SyncMode, WalOp, WalRecord, WalWriter};
+
+/// A commit request queued by a write transaction.
+struct PendingCommit {
+    request: u64,
+    ops: Vec<WalOp>,
+    log_to_wal: bool,
+}
+
+#[derive(Default)]
+struct GroupState {
+    queue: Vec<PendingCommit>,
+    /// Assigned write epochs for requests whose group has persisted.
+    assigned: HashMap<u64, Timestamp>,
+    leader_active: bool,
+    next_request: u64,
+}
+
+/// Tracks apply-phase completion so `GRE` advances in epoch order.
+#[derive(Default)]
+struct ApplyTracker {
+    /// epoch → number of transactions still applying.
+    outstanding: BTreeMap<Timestamp, usize>,
+}
+
+/// Coordinates WAL persistence and epoch publication for commits.
+pub struct CommitCoordinator {
+    wal: Option<Mutex<WalWriter>>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    tracker: Mutex<ApplyTracker>,
+}
+
+impl CommitCoordinator {
+    /// Creates a coordinator. `wal_path = None` disables durability (pure
+    /// in-memory operation); otherwise the WAL is opened in the given sync
+    /// mode.
+    pub fn new(wal_path: Option<&Path>, sync: SyncMode) -> Result<Self> {
+        let wal = match wal_path {
+            Some(path) => Some(Mutex::new(WalWriter::open(path, sync)?)),
+            None => None,
+        };
+        Ok(Self {
+            wal,
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
+            tracker: Mutex::new(ApplyTracker::default()),
+        })
+    }
+
+    /// True if a WAL is configured.
+    #[cfg(test)]
+    pub fn durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Total bytes appended to the WAL so far (0 without a WAL).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.as_ref().map(|w| w.lock().bytes_written()).unwrap_or(0)
+    }
+
+    /// Runs `f` while holding the WAL exclusively (used by checkpointing to
+    /// prune the log without racing group leaders).
+    pub fn with_wal_locked<R>(&self, f: impl FnOnce(Option<&mut WalWriter>) -> R) -> R {
+        match &self.wal {
+            Some(w) => {
+                let mut guard = w.lock();
+                f(Some(&mut guard))
+            }
+            None => f(None),
+        }
+    }
+
+    /// Persist phase: queues this transaction's operations, participates in
+    /// (or leads) a commit group and returns the assigned write timestamp.
+    ///
+    /// On return, the WAL (if any) durably contains this transaction and the
+    /// epoch has been registered with the apply tracker; the caller must
+    /// perform its apply phase and then call [`CommitCoordinator::finish_apply`].
+    #[cfg(test)]
+    pub fn persist(&self, epochs: &EpochManager, ops: Vec<WalOp>) -> Result<Timestamp> {
+        self.persist_with(epochs, ops, true)
+    }
+
+    /// Like [`CommitCoordinator::persist`], with control over whether the
+    /// operations are logged to the WAL (recovery replay passes `false`).
+    pub fn persist_with(
+        &self,
+        epochs: &EpochManager,
+        ops: Vec<WalOp>,
+        log_to_wal: bool,
+    ) -> Result<Timestamp> {
+        let request = {
+            let mut g = self.group.lock();
+            let id = g.next_request;
+            g.next_request += 1;
+            g.queue.push(PendingCommit {
+                request: id,
+                ops,
+                log_to_wal,
+            });
+            if g.leader_active {
+                // A leader is running; wait for it to persist our request.
+                loop {
+                    if let Some(epoch) = g.assigned.remove(&id) {
+                        return Ok(epoch);
+                    }
+                    self.group_cv.wait(&mut g);
+                }
+            }
+            g.leader_active = true;
+            id
+        };
+        // This thread is the leader: persist groups until the queue drains.
+        let mut my_epoch = None;
+        loop {
+            let batch = {
+                let mut g = self.group.lock();
+                if g.queue.is_empty() {
+                    g.leader_active = false;
+                    // Wake any committer that queued after our last drain but
+                    // found `leader_active == true` just before we cleared it.
+                    self.group_cv.notify_all();
+                    break;
+                }
+                std::mem::take(&mut g.queue)
+            };
+            let epoch = epochs.advance_gwe();
+            // Register apply obligations before anyone learns the epoch.
+            self.tracker.lock().outstanding.insert(epoch, batch.len());
+            if let Some(wal) = &self.wal {
+                let records: Vec<WalRecord> = batch
+                    .iter()
+                    .filter(|p| p.log_to_wal)
+                    .map(|p| WalRecord {
+                        epoch,
+                        ops: p.ops.clone(),
+                    })
+                    .collect();
+                if !records.is_empty() {
+                    wal.lock().append_group(&records)?;
+                }
+            }
+            let mut g = self.group.lock();
+            for p in &batch {
+                if p.request == request {
+                    my_epoch = Some(epoch);
+                } else {
+                    g.assigned.insert(p.request, epoch);
+                }
+            }
+            self.group_cv.notify_all();
+        }
+        Ok(my_epoch.expect("leader's own request must be part of a batch"))
+    }
+
+    /// Apply-phase completion: marks one transaction of `epoch` as applied
+    /// and advances `GRE` across every fully-applied prefix of epochs.
+    pub fn finish_apply(&self, epochs: &EpochManager, epoch: Timestamp) {
+        let mut t = self.tracker.lock();
+        if let Some(count) = t.outstanding.get_mut(&epoch) {
+            *count -= 1;
+        }
+        // Advance GRE while the smallest outstanding epochs are complete.
+        let mut new_gre = epochs.gre();
+        while let Some((&e, &count)) = t.outstanding.iter().next() {
+            if count == 0 {
+                t.outstanding.remove(&e);
+                new_gre = e;
+            } else {
+                break;
+            }
+        }
+        if new_gre > epochs.gre() {
+            epochs.publish_gre(new_gre);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn coordinator(dir: &tempfile::TempDir, durable: bool) -> CommitCoordinator {
+        let path = dir.path().join("wal.log");
+        CommitCoordinator::new(durable.then_some(path.as_path()), SyncMode::NoSync).unwrap()
+    }
+
+    #[test]
+    fn single_commit_advances_gre_after_apply() {
+        let dir = tempfile::tempdir().unwrap();
+        let c = coordinator(&dir, false);
+        let epochs = EpochManager::new(4);
+        let epoch = c.persist(&epochs, vec![]).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(epochs.gre(), 0, "GRE must not move before apply completes");
+        c.finish_apply(&epochs, epoch);
+        assert_eq!(epochs.gre(), 1);
+    }
+
+    #[test]
+    fn epochs_only_publish_in_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let c = coordinator(&dir, false);
+        let epochs = EpochManager::new(4);
+        let e1 = c.persist(&epochs, vec![]).unwrap();
+        let e2 = c.persist(&epochs, vec![]).unwrap();
+        assert!(e2 > e1);
+        // Finish the later epoch first: GRE must not jump over e1.
+        c.finish_apply(&epochs, e2);
+        assert_eq!(epochs.gre(), 0);
+        c.finish_apply(&epochs, e1);
+        assert_eq!(epochs.gre(), e2);
+    }
+
+    #[test]
+    fn durable_commits_reach_the_wal() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let c = CommitCoordinator::new(Some(path.as_path()), SyncMode::Fsync).unwrap();
+        let epochs = EpochManager::new(4);
+        let ops = vec![WalOp::CreateVertex {
+            vertex: 1,
+            properties: b"x".to_vec(),
+        }];
+        let epoch = c.persist(&epochs, ops.clone()).unwrap();
+        c.finish_apply(&epochs, epoch);
+        let records = crate::wal::read_wal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].epoch, epoch);
+        assert_eq!(records[0].ops, ops);
+        assert!(c.durable());
+        assert!(c.wal_bytes() > 0);
+    }
+
+    #[test]
+    fn concurrent_commits_all_receive_epochs_and_gre_catches_up() {
+        let dir = tempfile::tempdir().unwrap();
+        let c = Arc::new(coordinator(&dir, true));
+        let epochs = Arc::new(EpochManager::new(32));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            let epochs = Arc::clone(&epochs);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for i in 0..50u64 {
+                    let ops = vec![WalOp::PutEdge {
+                        src: i,
+                        label: 0,
+                        dst: i + 1,
+                        properties: vec![],
+                    }];
+                    let epoch = c.persist(&epochs, ops).unwrap();
+                    c.finish_apply(&epochs, epoch);
+                    got.push(epoch);
+                }
+                got
+            }));
+        }
+        let mut max_epoch = 0;
+        for h in handles {
+            for e in h.join().unwrap() {
+                assert!(e > 0);
+                max_epoch = max_epoch.max(e);
+            }
+        }
+        assert_eq!(epochs.gre(), max_epoch, "GRE must catch up to the last group");
+        assert!(max_epoch <= 8 * 50, "epochs are grouped, never exceed txn count");
+    }
+
+    #[test]
+    fn group_commit_batches_under_contention() {
+        // With many concurrent committers and a slow (fsync) WAL, the number
+        // of consumed epochs should be visibly smaller than the number of
+        // transactions — evidence that groups of more than one formed.
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let c = Arc::new(CommitCoordinator::new(Some(path.as_path()), SyncMode::Fsync).unwrap());
+        let epochs = Arc::new(EpochManager::new(32));
+        let txns_per_thread = 30;
+        let threads = 8;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let c = Arc::clone(&c);
+            let epochs = Arc::clone(&epochs);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..txns_per_thread {
+                    let e = c.persist(&epochs, vec![]).unwrap();
+                    c.finish_apply(&epochs, e);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (threads * txns_per_thread) as i64;
+        assert!(epochs.gwe() <= total);
+        assert!(epochs.gwe() >= 1);
+    }
+}

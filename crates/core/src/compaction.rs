@@ -1,0 +1,481 @@
+//! Compaction and garbage collection (§6 of the paper).
+//!
+//! A TEL is implicitly a multi-version log: invalidated entries are useful
+//! for historical snapshots but eventually bloat the block. Each worker
+//! therefore keeps a *dirty vertex set* of vertices whose blocks it updated;
+//! every `compaction_interval` commits (65 536 by default) the worker runs a
+//! compaction pass over its own dirty set:
+//!
+//! * entries invisible to every current and future transaction are dropped
+//!   by copying the surviving entries into a fresh (possibly smaller) block;
+//! * superseded TEL versions (the `prev` chains left behind by block
+//!   upgrades) and superseded vertex versions are reclaimed;
+//! * blocks are only returned to the allocator once no active transaction
+//!   can still hold a pointer to them — tracked with a *retired list* tagged
+//!   with the global read epoch at retirement.
+//!
+//! Compaction is vertex-wise and holds the ordinary per-vertex lock while it
+//! rewrites a block, so it never blocks readers and interferes with at most
+//! one writer at a time — unlike an LSM-tree, there is never a multi-file
+//! merge.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use livegraph_storage::{BlockPtr, NULL_BLOCK};
+use parking_lot::Mutex;
+
+use crate::graph::GraphInner;
+use crate::types::{Timestamp, VertexId, NULL_TS};
+
+/// Statistics about compaction activity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionStats {
+    /// Number of compaction passes executed.
+    pub passes: u64,
+    /// Vertices whose blocks were rewritten or trimmed.
+    pub vertices_compacted: u64,
+    /// Blocks returned to the allocator.
+    pub blocks_freed: u64,
+    /// Dead log entries dropped.
+    pub entries_dropped: u64,
+    /// Blocks currently awaiting a safe epoch before being freed.
+    pub retired_pending: u64,
+}
+
+struct RetiredBlock {
+    epoch: Timestamp,
+    ptr: BlockPtr,
+    order: u8,
+}
+
+/// Shared compaction bookkeeping.
+pub(crate) struct CompactionState {
+    dirty: Vec<Mutex<HashSet<VertexId>>>,
+    commits: Vec<AtomicU64>,
+    retired: Mutex<Vec<RetiredBlock>>,
+    passes: AtomicU64,
+    vertices_compacted: AtomicU64,
+    blocks_freed: AtomicU64,
+    entries_dropped: AtomicU64,
+}
+
+impl CompactionState {
+    pub(crate) fn new(max_workers: usize) -> Self {
+        Self {
+            dirty: (0..max_workers).map(|_| Mutex::new(HashSet::new())).collect(),
+            commits: (0..max_workers).map(|_| AtomicU64::new(0)).collect(),
+            retired: Mutex::new(Vec::new()),
+            passes: AtomicU64::new(0),
+            vertices_compacted: AtomicU64::new(0),
+            blocks_freed: AtomicU64::new(0),
+            entries_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records vertices touched by a committed transaction of `worker`.
+    pub(crate) fn mark_dirty(&self, worker: usize, vertices: &[VertexId]) {
+        if vertices.is_empty() {
+            return;
+        }
+        let mut set = self.dirty[worker].lock();
+        set.extend(vertices.iter().copied());
+    }
+
+    /// Counts a commit and reports whether the worker is due for a pass.
+    pub(crate) fn should_compact(&self, worker: usize, interval: u64) -> bool {
+        let n = self.commits[worker].fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= interval.max(1) {
+            self.commits[worker].store(0, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Queues a block for freeing once every transaction active at `epoch`
+    /// has finished.
+    pub(crate) fn retire(&self, epoch: Timestamp, ptr: BlockPtr, order: u8) {
+        self.retired.lock().push(RetiredBlock { epoch, ptr, order });
+    }
+
+    /// Snapshot of compaction statistics.
+    pub(crate) fn stats(&self) -> CompactionStats {
+        CompactionStats {
+            passes: self.passes.load(Ordering::Relaxed),
+            vertices_compacted: self.vertices_compacted.load(Ordering::Relaxed),
+            blocks_freed: self.blocks_freed.load(Ordering::Relaxed),
+            entries_dropped: self.entries_dropped.load(Ordering::Relaxed),
+            retired_pending: self.retired.lock().len() as u64,
+        }
+    }
+}
+
+/// Runs one compaction pass over `worker`'s dirty vertex set.
+pub(crate) fn compact_worker(graph: &GraphInner, worker: usize) {
+    let dirty: Vec<VertexId> = {
+        let mut set = graph.compaction.dirty[worker].lock();
+        set.drain().collect()
+    };
+    run_pass(graph, worker, dirty);
+}
+
+/// Runs a compaction pass over every worker's dirty set (manual trigger).
+pub(crate) fn compact_all(graph: &GraphInner) {
+    let mut dirty: Vec<VertexId> = Vec::new();
+    for set in &graph.compaction.dirty {
+        dirty.extend(set.lock().drain());
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
+    run_pass(graph, 0, dirty);
+}
+
+fn run_pass(graph: &GraphInner, worker: usize, dirty: Vec<VertexId>) {
+    let state = &graph.compaction;
+    // Versions visible at or after `safe` must be kept. The history
+    // retention window lowers the bar further so time-travel reads within
+    // the window keep working even with no transaction pinning them.
+    let retention_floor = graph
+        .epochs
+        .gre()
+        .saturating_sub(graph.options.history_retention.max(0));
+    let safe = graph.epochs.min_active_epoch().min(retention_floor);
+    for vertex in dirty {
+        if !compact_vertex(graph, vertex, safe) {
+            // Could not take the lock quickly; try again next pass.
+            state.dirty[worker].lock().insert(vertex);
+        }
+    }
+    free_retired(graph);
+    state.passes.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Compacts one vertex's blocks. Returns false if the vertex lock could not
+/// be acquired promptly.
+fn compact_vertex(graph: &GraphInner, vertex: VertexId, safe: Timestamp) -> bool {
+    let state = &graph.compaction;
+    if !graph.locks.lock_with_timeout(vertex, Duration::from_millis(5)) {
+        return false;
+    }
+    let mut touched = false;
+
+    // ---- Deleted vertices -------------------------------------------------
+    // If the newest version is a tombstone that every current and future
+    // transaction can see, the whole vertex (version chain, label index and
+    // TELs) is reclaimed and its id recycled.
+    let head = graph.vertex_index.get(vertex);
+    if head != NULL_BLOCK {
+        let block = graph.vertex_ref(head);
+        let ts = block.creation_ts();
+        if block.is_deleted() && ts > 0 && ts <= safe {
+            reclaim_deleted_vertex(graph, vertex);
+            graph.locks.unlock(vertex);
+            state.vertices_compacted.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+    }
+
+    // ---- Adjacency lists -------------------------------------------------
+    let li_ptr = graph.edge_index.get(vertex);
+    if li_ptr != NULL_BLOCK {
+        let li = graph.label_index_ref(li_ptr);
+        let labels: Vec<(u16, BlockPtr)> = li.iter().collect();
+        for (label, tel_ptr) in labels {
+            if tel_ptr == NULL_BLOCK {
+                continue;
+            }
+            let tel = graph.tel_ref_auto(tel_ptr);
+            // Retire superseded versions left behind by block upgrades.
+            let mut prev = tel.prev_ptr();
+            if prev != NULL_BLOCK {
+                tel.set_prev_ptr(NULL_BLOCK);
+                while prev != NULL_BLOCK {
+                    let old = graph.tel_ref_auto(prev);
+                    let next = old.prev_ptr();
+                    state.retire(graph.epochs.gre(), prev, old.order());
+                    prev = next;
+                }
+                touched = true;
+            }
+            // Drop entries no current or future transaction can see.
+            let log = tel.log_size();
+            let dead = tel
+                .scan(log)
+                .filter(|e| {
+                    let inv = e.invalidation_ts();
+                    inv != NULL_TS && inv > 0 && inv <= safe
+                })
+                .count();
+            if dead == 0 {
+                continue;
+            }
+            let live_log = log - (dead * crate::tel::EDGE_ENTRY_SIZE) as u64;
+            let live_prop: u64 = tel
+                .scan(log)
+                .filter(|e| {
+                    let inv = e.invalidation_ts();
+                    !(inv != NULL_TS && inv > 0 && inv <= safe)
+                })
+                .map(|e| e.prop_len() as u64)
+                .sum();
+            let order = GraphInner::tel_order_for(live_log.max(64), live_prop);
+            let new_ptr = match graph.store.allocate_zeroed(order) {
+                Ok(p) => p,
+                Err(_) => break, // out of space: skip compaction, not fatal
+            };
+            let new_tel = graph.tel_ref(new_ptr, order);
+            new_tel.init(vertex, label, order, NULL_BLOCK);
+            let (new_log, new_prop) = tel.copy_into(log, &new_tel, |e| {
+                let inv = e.invalidation_ts();
+                !(inv != NULL_TS && inv > 0 && inv <= safe)
+            });
+            new_tel.set_commit_ts(tel.commit_ts());
+            new_tel.set_log_size(new_log);
+            new_tel.set_prop_size(new_prop);
+            let updated = li.update(label, new_ptr);
+            debug_assert!(updated);
+            state.retire(graph.epochs.gre(), tel_ptr, tel.order());
+            state
+                .entries_dropped
+                .fetch_add(dead as u64, Ordering::Relaxed);
+            touched = true;
+        }
+    }
+
+    // ---- Vertex version chain --------------------------------------------
+    let head = graph.vertex_index.get(vertex);
+    if head != NULL_BLOCK {
+        // Find the newest version visible to every active/future transaction;
+        // everything older can be reclaimed.
+        let mut cut = head;
+        loop {
+            let block = graph.vertex_ref(cut);
+            let ts = block.creation_ts();
+            if ts > 0 && ts <= safe {
+                let mut prev = block.prev_ptr();
+                if prev != NULL_BLOCK {
+                    block.set_prev_ptr(NULL_BLOCK);
+                    while prev != NULL_BLOCK {
+                        let old = graph.vertex_ref(prev);
+                        let next = old.prev_ptr();
+                        state.retire(graph.epochs.gre(), prev, old.order());
+                        prev = next;
+                    }
+                    touched = true;
+                }
+                break;
+            }
+            let prev = block.prev_ptr();
+            if prev == NULL_BLOCK {
+                break;
+            }
+            cut = prev;
+        }
+    }
+
+    graph.locks.unlock(vertex);
+    if touched {
+        state.vertices_compacted.fetch_add(1, Ordering::Relaxed);
+    }
+    true
+}
+
+/// Reclaims every block belonging to a deleted vertex whose tombstone is
+/// older than the safe epoch: the version chain, the label index block and
+/// all TELs (including superseded versions). The vertex id is returned to
+/// the free list so a later `create_vertex` can recycle it.
+fn reclaim_deleted_vertex(graph: &GraphInner, vertex: VertexId) {
+    let state = &graph.compaction;
+    let retire_epoch = graph.epochs.gre();
+
+    // Version chain.
+    let mut ptr = graph.vertex_index.swap(vertex, NULL_BLOCK);
+    while ptr != NULL_BLOCK {
+        let block = graph.vertex_ref(ptr);
+        debug_assert_eq!(block.vertex_id(), vertex, "version chain crossed vertices");
+        let next = block.prev_ptr();
+        state.retire(retire_epoch, ptr, block.order());
+        ptr = next;
+    }
+
+    // Label index block and TELs (with their superseded versions).
+    let li_ptr = graph.edge_index.swap(vertex, NULL_BLOCK);
+    if li_ptr != NULL_BLOCK {
+        let li = graph.label_index_ref(li_ptr);
+        for (_, tel_ptr) in li.iter() {
+            let mut tel_ptr = tel_ptr;
+            while tel_ptr != NULL_BLOCK {
+                let tel = graph.tel_ref_auto(tel_ptr);
+                let next = tel.prev_ptr();
+                state.retire(retire_epoch, tel_ptr, tel.order());
+                tel_ptr = next;
+            }
+        }
+        state.retire(retire_epoch, li_ptr, li.order());
+    }
+
+    graph.push_free_vertex_id(vertex);
+}
+
+/// Frees retired blocks whose retirement epoch is older than every active
+/// transaction. Retired blocks are already unreachable through the indexes,
+/// so only transactions that were live at retirement time can still hold
+/// pointers into them.
+fn free_retired(graph: &GraphInner) {
+    let min = graph.epochs.min_active_reader_epoch();
+    let state = &graph.compaction;
+    let mut retired = state.retired.lock();
+    let mut kept = Vec::with_capacity(retired.len());
+    for block in retired.drain(..) {
+        if block.epoch < min {
+            graph.store.free(block.ptr, block.order);
+            state.blocks_freed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            kept.push(block);
+        }
+    }
+    *retired = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{LiveGraph, LiveGraphOptions};
+
+    fn graph() -> LiveGraph {
+        LiveGraph::open(
+            LiveGraphOptions::in_memory()
+                .with_capacity(1 << 24)
+                .with_max_vertices(1 << 14)
+                .with_auto_compaction(false),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compaction_reclaims_upgraded_blocks() {
+        let g = graph();
+        let mut setup = g.begin_write().unwrap();
+        let hub = setup.create_vertex(b"").unwrap();
+        let mut others = Vec::new();
+        for i in 0..300u64 {
+            others.push(setup.create_vertex(format!("{i}").as_bytes()).unwrap());
+        }
+        setup.commit().unwrap();
+        for &o in &others {
+            let mut txn = g.begin_write().unwrap();
+            txn.put_edge(hub, 0, o, b"p").unwrap();
+            txn.commit().unwrap();
+        }
+        let live_before = g.stats().blocks.live_bytes();
+        g.compact();
+        // Second pass frees blocks retired in the first (no active readers).
+        g.compact();
+        let stats = g.stats();
+        assert!(stats.compaction.blocks_freed > 0, "upgrade chains must be freed");
+        assert!(stats.blocks.live_bytes() <= live_before);
+        // Data is intact after compaction.
+        let r = g.begin_read().unwrap();
+        assert_eq!(r.degree(hub, 0), 300);
+    }
+
+    #[test]
+    fn compaction_drops_dead_entries_and_preserves_live_ones() {
+        let g = graph();
+        let mut setup = g.begin_write().unwrap();
+        let hub = setup.create_vertex(b"").unwrap();
+        let mut others = Vec::new();
+        for i in 0..50u64 {
+            others.push(setup.create_vertex(format!("{i}").as_bytes()).unwrap());
+        }
+        for &o in &others {
+            setup.put_edge(hub, 0, o, b"x").unwrap();
+        }
+        setup.commit().unwrap();
+        // Delete every other edge.
+        let mut del = g.begin_write().unwrap();
+        for &o in others.iter().step_by(2) {
+            del.delete_edge(hub, 0, o).unwrap();
+        }
+        del.commit().unwrap();
+
+        g.compact();
+        g.compact();
+        let stats = g.stats();
+        assert!(stats.compaction.entries_dropped >= 25, "dead versions must be dropped");
+        let r = g.begin_read().unwrap();
+        assert_eq!(r.degree(hub, 0), 25);
+        for (i, &o) in others.iter().enumerate() {
+            let present = r.get_edge(hub, 0, o).is_some();
+            assert_eq!(present, i % 2 == 1, "edge {i} visibility after compaction");
+        }
+    }
+
+    #[test]
+    fn compaction_respects_active_readers() {
+        let g = graph();
+        let mut setup = g.begin_write().unwrap();
+        let a = setup.create_vertex(b"").unwrap();
+        let b = setup.create_vertex(b"").unwrap();
+        setup.put_edge(a, 0, b, b"v1").unwrap();
+        setup.commit().unwrap();
+
+        let old_reader = g.begin_read().unwrap();
+        let mut del = g.begin_write().unwrap();
+        del.delete_edge(a, 0, b).unwrap();
+        del.commit().unwrap();
+
+        // The old reader still needs the invalidated version: compaction may
+        // run but must not remove what the reader can see.
+        g.compact();
+        assert_eq!(old_reader.degree(a, 0), 1, "old snapshot must survive compaction");
+        drop(old_reader);
+        g.compact();
+        g.compact();
+        let r = g.begin_read().unwrap();
+        assert_eq!(r.degree(a, 0), 0);
+    }
+
+    #[test]
+    fn vertex_version_chains_are_trimmed() {
+        let g = graph();
+        let mut setup = g.begin_write().unwrap();
+        let v = setup.create_vertex(b"v0").unwrap();
+        setup.commit().unwrap();
+        for i in 1..20u32 {
+            let mut txn = g.begin_write().unwrap();
+            txn.put_vertex(v, format!("v{i}").as_bytes()).unwrap();
+            txn.commit().unwrap();
+        }
+        g.compact();
+        g.compact();
+        let stats = g.stats();
+        assert!(stats.compaction.blocks_freed > 0);
+        let r = g.begin_read().unwrap();
+        assert_eq!(r.get_vertex(v), Some(&b"v19"[..]));
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_interval() {
+        let g = LiveGraph::open(
+            LiveGraphOptions::in_memory()
+                .with_capacity(1 << 22)
+                .with_max_vertices(1 << 12)
+                .with_auto_compaction(true)
+                .with_compaction_interval(5),
+        )
+        .unwrap();
+        let mut setup = g.begin_write().unwrap();
+        let a = setup.create_vertex(b"").unwrap();
+        let b = setup.create_vertex(b"").unwrap();
+        setup.commit().unwrap();
+        for i in 0..30u32 {
+            let mut txn = g.begin_write().unwrap();
+            txn.put_vertex(a, format!("{i}").as_bytes()).unwrap();
+            txn.put_edge(a, 0, b, format!("{i}").as_bytes()).unwrap();
+            txn.commit().unwrap();
+        }
+        assert!(g.stats().compaction.passes > 0, "interval must trigger passes");
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for the LiveGraph engine.
+
+use std::fmt;
+use std::io;
+
+use crate::types::VertexId;
+
+/// Errors returned by LiveGraph operations.
+#[derive(Debug)]
+pub enum Error {
+    /// A write-write conflict: the target vertex or adjacency list was
+    /// modified by a transaction that committed after this transaction's
+    /// read epoch (first-updater-wins under snapshot isolation), or the
+    /// per-vertex lock could not be acquired before the deadlock-avoidance
+    /// timeout expired. The transaction has been rolled back and can be
+    /// retried.
+    WriteConflict {
+        /// The vertex whose lock / adjacency list caused the conflict.
+        vertex: VertexId,
+    },
+    /// The referenced vertex does not exist (was never created or lies
+    /// beyond the allocated id space).
+    VertexNotFound(VertexId),
+    /// The transaction was already committed or aborted.
+    TransactionClosed,
+    /// The underlying block store ran out of space or failed.
+    Storage(livegraph_storage::StorageError),
+    /// WAL / checkpoint I/O failure.
+    Io(io::Error),
+    /// A corrupted WAL or checkpoint record was encountered during recovery.
+    Corruption(String),
+    /// Too many concurrent worker threads for the configured worker-table
+    /// size.
+    TooManyWorkers {
+        /// Configured maximum number of worker slots.
+        max_workers: usize,
+    },
+    /// A time-travel read requested an epoch that is not available: either
+    /// it lies in the future (greater than the current global read epoch)
+    /// or it is negative.
+    EpochUnavailable {
+        /// The epoch the caller asked for.
+        requested: crate::types::Timestamp,
+        /// The newest epoch a read can currently be pinned at.
+        newest: crate::types::Timestamp,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::WriteConflict { vertex } => {
+                write!(f, "write-write conflict on vertex {vertex}")
+            }
+            Error::VertexNotFound(v) => write!(f, "vertex {v} not found"),
+            Error::TransactionClosed => write!(f, "transaction already committed or aborted"),
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Corruption(msg) => write!(f, "corrupted log or checkpoint: {msg}"),
+            Error::TooManyWorkers { max_workers } => {
+                write!(f, "too many concurrent workers (max {max_workers})")
+            }
+            Error::EpochUnavailable { requested, newest } => {
+                write!(
+                    f,
+                    "epoch {requested} is not readable (newest committed epoch is {newest})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<livegraph_storage::StorageError> for Error {
+    fn from(e: livegraph_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Result alias for LiveGraph operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_details() {
+        assert!(Error::WriteConflict { vertex: 42 }.to_string().contains("42"));
+        assert!(Error::VertexNotFound(7).to_string().contains('7'));
+        assert!(Error::TooManyWorkers { max_workers: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(Error::EpochUnavailable { requested: 99, newest: 5 }
+            .to_string()
+            .contains("99"));
+        assert!(Error::Corruption("bad length".into())
+            .to_string()
+            .contains("bad length"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: Error = io::Error::new(io::ErrorKind::Other, "disk gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let s: Error = livegraph_storage::StorageError::OutOfSpace {
+            requested: 1,
+            capacity: 0,
+        }
+        .into();
+        assert!(matches!(s, Error::Storage(_)));
+    }
+}

@@ -1,0 +1,608 @@
+//! The `LiveGraph` storage engine: public API and internal storage plumbing.
+//!
+//! A [`LiveGraph`] owns the block store, the vertex/edge index arrays, the
+//! per-vertex lock table, the epoch manager and the commit coordinator, and
+//! hands out [`ReadTxn`](crate::txn::ReadTxn) / [`WriteTxn`](crate::txn::WriteTxn)
+//! handles. All data lives in power-of-two blocks inside one memory region
+//! (§3, Figure 2): vertex blocks, label index blocks and TELs.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use livegraph_storage::{BlockPtr, BlockStore, BlockStoreOptions, BlockStoreStats, NULL_BLOCK};
+
+use crate::commit::CommitCoordinator;
+use crate::compaction::{CompactionState, CompactionStats};
+use crate::epoch::EpochManager;
+use crate::error::{Error, Result};
+use crate::index::{IndexArray, LabelIndexRef};
+use crate::locks::VertexLockTable;
+use crate::tel::{TelRef, EDGE_ENTRY_SIZE, TEL_HEADER_SIZE};
+use crate::txn::{ReadTxn, WriteTxn};
+use crate::types::{Label, Timestamp, TxnId, VertexId};
+use crate::vertex::VertexBlockRef;
+use crate::wal::SyncMode;
+use crate::bloom::bloom_bytes_for_block;
+
+/// Configuration for a [`LiveGraph`] instance.
+#[derive(Debug, Clone)]
+pub struct LiveGraphOptions {
+    /// Capacity of the block store region in bytes.
+    pub block_store_capacity: usize,
+    /// Maximum number of vertices (sizes the index arrays and lock table;
+    /// the reservation is virtual memory only).
+    pub max_vertices: usize,
+    /// Directory for durable state (WAL, checkpoints, optional on-disk block
+    /// store). `None` disables durability entirely.
+    pub data_dir: Option<PathBuf>,
+    /// Back the block store itself with a file inside `data_dir` (the
+    /// paper's out-of-core configuration). Ignored without `data_dir`.
+    pub block_store_on_disk: bool,
+    /// Whether commit groups `fsync` the WAL.
+    pub sync_mode: SyncMode,
+    /// Number of commits between automatic compaction passes per worker
+    /// (the paper's default is 65 536 transactions).
+    pub compaction_interval: u64,
+    /// Automatically run compaction every `compaction_interval` commits.
+    pub auto_compaction: bool,
+    /// Deadlock-avoidance timeout for per-vertex locks.
+    pub lock_timeout: Duration,
+    /// Maximum number of worker threads that may run transactions.
+    pub max_workers: usize,
+    /// Number of recent epochs whose superseded versions compaction must
+    /// keep, enabling time-travel reads via
+    /// [`LiveGraph::begin_read_at`]. `0` (the default) reproduces the
+    /// paper's prototype, which garbage-collects aggressively and keeps only
+    /// what active transactions still need.
+    pub history_retention: i64,
+}
+
+impl Default for LiveGraphOptions {
+    fn default() -> Self {
+        Self {
+            block_store_capacity: 1 << 30,
+            max_vertices: 1 << 24,
+            data_dir: None,
+            block_store_on_disk: false,
+            sync_mode: SyncMode::Fsync,
+            compaction_interval: 65_536,
+            auto_compaction: true,
+            lock_timeout: Duration::from_millis(100),
+            max_workers: 256,
+            history_retention: 0,
+        }
+    }
+}
+
+impl LiveGraphOptions {
+    /// Pure in-memory configuration (no WAL, no durability).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Durable configuration rooted at `dir` (WAL + checkpoints).
+    pub fn durable(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the block store capacity.
+    pub fn with_capacity(mut self, bytes: usize) -> Self {
+        self.block_store_capacity = bytes;
+        self
+    }
+
+    /// Sets the maximum vertex count.
+    pub fn with_max_vertices(mut self, n: usize) -> Self {
+        self.max_vertices = n;
+        self
+    }
+
+    /// Sets the WAL sync mode.
+    pub fn with_sync_mode(mut self, mode: SyncMode) -> Self {
+        self.sync_mode = mode;
+        self
+    }
+
+    /// Enables or disables automatic compaction.
+    pub fn with_auto_compaction(mut self, on: bool) -> Self {
+        self.auto_compaction = on;
+        self
+    }
+
+    /// Sets the automatic compaction interval (commits per worker).
+    pub fn with_compaction_interval(mut self, every: u64) -> Self {
+        self.compaction_interval = every;
+        self
+    }
+
+    /// Places the block store itself on disk (out-of-core mode).
+    pub fn with_block_store_on_disk(mut self, on: bool) -> Self {
+        self.block_store_on_disk = on;
+        self
+    }
+
+    /// Keeps superseded versions of the last `epochs` commit epochs so they
+    /// remain readable through [`LiveGraph::begin_read_at`].
+    pub fn with_history_retention(mut self, epochs: i64) -> Self {
+        self.history_retention = epochs;
+        self
+    }
+}
+
+/// Aggregated engine statistics (memory consumption, compaction, WAL).
+#[derive(Debug, Clone)]
+pub struct GraphStats {
+    /// Number of vertices ever created.
+    pub vertex_count: u64,
+    /// Number of committed edge insertions (upserts counted once).
+    pub edge_insert_count: u64,
+    /// Block store statistics, including the block size distribution used
+    /// for Figure 7b.
+    pub blocks: BlockStoreStats,
+    /// Compaction statistics.
+    pub compaction: CompactionStats,
+    /// Bytes written to the WAL so far.
+    pub wal_bytes: u64,
+    /// Current global read epoch.
+    pub read_epoch: Timestamp,
+    /// Current global write epoch.
+    pub write_epoch: Timestamp,
+}
+
+static GRAPH_IDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Internal shared state. Public API types borrow this through [`LiveGraph`].
+pub(crate) struct GraphInner {
+    pub(crate) id: usize,
+    pub(crate) store: BlockStore,
+    pub(crate) vertex_index: IndexArray,
+    pub(crate) edge_index: IndexArray,
+    pub(crate) locks: VertexLockTable,
+    pub(crate) epochs: EpochManager,
+    pub(crate) commit: CommitCoordinator,
+    pub(crate) compaction: CompactionState,
+    pub(crate) next_vertex: AtomicU64,
+    pub(crate) edge_insert_count: AtomicU64,
+    /// Ids of deleted vertices reclaimed by compaction, available for reuse
+    /// by [`crate::WriteTxn::create_vertex`].
+    pub(crate) free_vertex_ids: parking_lot::Mutex<Vec<VertexId>>,
+    /// Set while recovery replays the checkpoint/WAL, so committed replays
+    /// are not re-appended to the WAL.
+    pub(crate) recovery_mode: AtomicBool,
+    pub(crate) options: LiveGraphOptions,
+}
+
+thread_local! {
+    /// Worker slot of the current thread, per graph instance id.
+    static WORKER_SLOTS: std::cell::RefCell<Vec<(usize, usize)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl GraphInner {
+    /// Returns (allocating on first use) the calling thread's worker slot.
+    pub(crate) fn worker_slot(&self) -> Result<usize> {
+        WORKER_SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            if let Some(&(_, slot)) = slots.iter().find(|(id, _)| *id == self.id) {
+                return Ok(slot);
+            }
+            let slot = self.epochs.allocate_worker()?;
+            slots.push((self.id, slot));
+            Ok(slot)
+        })
+    }
+
+    /// Smallest size-class order whose TEL can hold `log_bytes` of edge
+    /// entries plus `prop_bytes` of properties (accounting for the header
+    /// and the Bloom filter share of the block).
+    pub(crate) fn tel_order_for(log_bytes: u64, prop_bytes: u64) -> u8 {
+        let needed = log_bytes as usize + prop_bytes as usize;
+        let mut order = 1u8; // 128 bytes: header + 2 entries minimum
+        loop {
+            let size = 64usize << order;
+            let usable = size - TEL_HEADER_SIZE - bloom_bytes_for_block(size);
+            if usable >= needed {
+                return order;
+            }
+            order += 1;
+        }
+    }
+
+    /// Allocates and initialises an empty TEL of at least the given usable
+    /// capacity.
+    pub(crate) fn alloc_tel(
+        &self,
+        src: VertexId,
+        label: Label,
+        log_bytes: u64,
+        prop_bytes: u64,
+        prev: BlockPtr,
+    ) -> Result<BlockPtr> {
+        let order = Self::tel_order_for(log_bytes, prop_bytes);
+        let ptr = self.store.allocate_zeroed(order)?;
+        let tel = self.tel_ref(ptr, order);
+        tel.init(src, label, order, prev);
+        Ok(ptr)
+    }
+
+    /// Wraps a block pointer whose order is already known.
+    pub(crate) fn tel_ref(&self, ptr: BlockPtr, order: u8) -> TelRef<'_> {
+        // SAFETY: the block was allocated with this order and never moves.
+        unsafe { TelRef::from_raw(self.store.block_ptr(ptr), 64usize << order) }
+    }
+
+    /// Wraps a block pointer, reading the order from the TEL header.
+    pub(crate) fn tel_ref_auto(&self, ptr: BlockPtr) -> TelRef<'_> {
+        debug_assert_ne!(ptr, NULL_BLOCK);
+        // SAFETY: order byte lives at a fixed header offset (48) in every TEL.
+        let order = unsafe { *self.store.block_ptr(ptr).add(48) };
+        self.tel_ref(ptr, order)
+    }
+
+    /// Wraps a vertex block pointer, reading the order from its header.
+    pub(crate) fn vertex_ref(&self, ptr: BlockPtr) -> VertexBlockRef<'_> {
+        debug_assert_ne!(ptr, NULL_BLOCK);
+        // SAFETY: order byte lives at header offset 20 in every vertex block.
+        let order = unsafe { *self.store.block_ptr(ptr).add(20) };
+        unsafe { VertexBlockRef::from_raw(self.store.block_ptr(ptr), 64usize << order) }
+    }
+
+    /// Wraps a label index block pointer. The order is stored in its header.
+    pub(crate) fn label_index_ref(&self, ptr: BlockPtr) -> LabelIndexRef<'_> {
+        debug_assert_ne!(ptr, NULL_BLOCK);
+        // SAFETY: order byte lives at header offset 8 in label index blocks.
+        let order = unsafe { *self.store.block_ptr(ptr).add(8) };
+        unsafe { LabelIndexRef::from_raw(self.store.block_ptr(ptr), 64usize << order) }
+    }
+
+    /// Looks up the committed TEL for `(vertex, label)`.
+    pub(crate) fn find_tel(&self, vertex: VertexId, label: Label) -> Option<BlockPtr> {
+        let li_ptr = self.edge_index.get(vertex);
+        if li_ptr == NULL_BLOCK {
+            return None;
+        }
+        let li = self.label_index_ref(li_ptr);
+        li.find(label).filter(|&p| p != NULL_BLOCK)
+    }
+
+    /// Ensures a label-index entry and TEL exist for `(vertex, label)`,
+    /// creating (and, if necessary, upgrading the label index block) under
+    /// the caller-held vertex lock. Returns the TEL pointer.
+    pub(crate) fn ensure_tel(&self, vertex: VertexId, label: Label) -> Result<BlockPtr> {
+        // Label index block.
+        let mut li_ptr = self.edge_index.get(vertex);
+        if li_ptr == NULL_BLOCK {
+            let order = 0u8; // 64-byte block: 3 label slots
+            li_ptr = self.store.allocate_zeroed(order)?;
+            self.label_index_ref(li_ptr).init(order);
+            self.edge_index.set(vertex, li_ptr);
+        }
+        let li = self.label_index_ref(li_ptr);
+        if let Some(tel) = li.find(label) {
+            if tel != NULL_BLOCK {
+                return Ok(tel);
+            }
+        }
+        // Need a fresh TEL for this label.
+        let tel_ptr = self.alloc_tel(vertex, label, EDGE_ENTRY_SIZE as u64, 0, NULL_BLOCK)?;
+        if !li.push(label, tel_ptr) {
+            // Label index block full: upgrade it (double the size).
+            let new_order = li.order() + 1;
+            let new_ptr = self.store.allocate_zeroed(new_order)?;
+            let new_li = self.label_index_ref_with_order(new_ptr, new_order);
+            new_li.init(new_order);
+            li.copy_into(&new_li);
+            let pushed = new_li.push(label, tel_ptr);
+            debug_assert!(pushed);
+            self.edge_index.set(vertex, new_ptr);
+            // The old label index block may still be referenced by readers
+            // that loaded the edge-index slot before the swap; retire it.
+            self.compaction
+                .retire(self.epochs.gre(), li_ptr, li.order());
+        }
+        Ok(tel_ptr)
+    }
+
+    fn label_index_ref_with_order(&self, ptr: BlockPtr, order: u8) -> LabelIndexRef<'_> {
+        // SAFETY: freshly allocated with this order.
+        unsafe { LabelIndexRef::from_raw(self.store.block_ptr(ptr), 64usize << order) }
+    }
+
+    /// Reads the committed vertex payload visible at `(tre, tid)`. Returns
+    /// `None` if the visible version is a deletion tombstone.
+    pub(crate) fn read_vertex_version(
+        &self,
+        vertex: VertexId,
+        tre: Timestamp,
+        tid: TxnId,
+    ) -> Option<&[u8]> {
+        if vertex >= self.next_vertex.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut ptr = self.vertex_index.get(vertex);
+        // Walk the copy-on-write chain until a visible version is found.
+        while ptr != NULL_BLOCK {
+            let block = self.vertex_ref(ptr);
+            if block.visible(tre, tid) {
+                if block.is_deleted() {
+                    return None;
+                }
+                return Some(block.data());
+            }
+            ptr = block.prev_ptr();
+        }
+        None
+    }
+
+    /// True if the version of `vertex` visible at `tre` is a deletion
+    /// tombstone (as opposed to the id simply never having been committed).
+    pub(crate) fn vertex_deleted_at(&self, vertex: VertexId, tre: Timestamp) -> bool {
+        if vertex >= self.next_vertex.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut ptr = self.vertex_index.get(vertex);
+        while ptr != NULL_BLOCK {
+            let block = self.vertex_ref(ptr);
+            if block.visible(tre, 0) {
+                return block.is_deleted();
+            }
+            ptr = block.prev_ptr();
+        }
+        false
+    }
+
+    /// The labels for which `vertex` has a (possibly empty) TEL.
+    pub(crate) fn labels_of(&self, vertex: VertexId) -> Vec<Label> {
+        if !self.vertex_exists(vertex) {
+            return Vec::new();
+        }
+        let li_ptr = self.edge_index.get(vertex);
+        if li_ptr == NULL_BLOCK {
+            return Vec::new();
+        }
+        let li = self.label_index_ref(li_ptr);
+        li.iter()
+            .filter(|&(_, tel)| tel != NULL_BLOCK)
+            .map(|(label, _)| label)
+            .collect()
+    }
+
+    /// Pops a recycled vertex id, if one is available.
+    pub(crate) fn pop_free_vertex_id(&self) -> Option<VertexId> {
+        self.free_vertex_ids.lock().pop()
+    }
+
+    /// Returns a vertex id to the free list for reuse.
+    pub(crate) fn push_free_vertex_id(&self, vertex: VertexId) {
+        self.free_vertex_ids.lock().push(vertex);
+    }
+
+    /// True if `vertex` has been allocated (it may still lack a committed
+    /// vertex block if its creating transaction is in flight or aborted).
+    pub(crate) fn vertex_exists(&self, vertex: VertexId) -> bool {
+        vertex < self.next_vertex.load(Ordering::Acquire)
+    }
+
+    /// Number of label-slot entries a fresh label index block of order 0
+    /// offers (used by tests and sizing heuristics).
+    #[cfg(test)]
+    pub(crate) fn label_slots_for_order(order: u8) -> usize {
+        use crate::index::{LABEL_INDEX_HEADER, LABEL_SLOT_SIZE};
+        ((64usize << order) - LABEL_INDEX_HEADER) / LABEL_SLOT_SIZE
+    }
+}
+
+/// A transactional graph storage engine with purely sequential adjacency
+/// list scans (the system described in the paper).
+///
+/// `LiveGraph` is cheap to clone-by-reference (`&LiveGraph`) across threads:
+/// all shared state is internally synchronised. Transactions borrow the
+/// graph, so the graph must outlive them.
+///
+/// # Example
+/// ```
+/// use livegraph_core::{LiveGraph, LiveGraphOptions};
+///
+/// let graph = LiveGraph::open(LiveGraphOptions::in_memory()).unwrap();
+/// let mut txn = graph.begin_write().unwrap();
+/// let alice = txn.create_vertex(b"alice").unwrap();
+/// let bob = txn.create_vertex(b"bob").unwrap();
+/// txn.put_edge(alice, 0, bob, b"friends").unwrap();
+/// txn.commit().unwrap();
+///
+/// let read = graph.begin_read().unwrap();
+/// let neighbours: Vec<_> = read.edges(alice, 0).map(|e| e.dst).collect();
+/// assert_eq!(neighbours, vec![bob]);
+/// ```
+pub struct LiveGraph {
+    inner: Arc<GraphInner>,
+}
+
+impl LiveGraph {
+    /// Opens a graph with the given options. If a data directory with an
+    /// existing checkpoint and/or WAL is supplied, the previous state is
+    /// recovered before the call returns.
+    pub fn open(options: LiveGraphOptions) -> Result<Self> {
+        let store = match (&options.data_dir, options.block_store_on_disk) {
+            (Some(dir), true) => {
+                std::fs::create_dir_all(dir)?;
+                BlockStore::file_backed(
+                    &dir.join("blocks.dat"),
+                    BlockStoreOptions {
+                        capacity: options.block_store_capacity,
+                        ..Default::default()
+                    },
+                )?
+            }
+            _ => {
+                if let Some(dir) = &options.data_dir {
+                    std::fs::create_dir_all(dir)?;
+                }
+                BlockStore::with_options(BlockStoreOptions {
+                    capacity: options.block_store_capacity,
+                    ..Default::default()
+                })?
+            }
+        };
+        let wal_path = options.data_dir.as_ref().map(|d| d.join("wal.log"));
+        let commit = CommitCoordinator::new(wal_path.as_deref(), options.sync_mode)?;
+        let inner = GraphInner {
+            id: GRAPH_IDS.fetch_add(1, Ordering::Relaxed),
+            vertex_index: IndexArray::new(options.max_vertices)?,
+            edge_index: IndexArray::new(options.max_vertices)?,
+            locks: VertexLockTable::new(options.max_vertices)?,
+            epochs: EpochManager::new(options.max_workers),
+            commit,
+            compaction: CompactionState::new(options.max_workers),
+            next_vertex: AtomicU64::new(0),
+            edge_insert_count: AtomicU64::new(0),
+            free_vertex_ids: parking_lot::Mutex::new(Vec::new()),
+            recovery_mode: AtomicBool::new(false),
+            store,
+            options,
+        };
+        debug_assert_eq!(inner.epochs.max_workers(), inner.options.max_workers);
+        debug_assert_eq!(inner.vertex_index.capacity(), inner.options.max_vertices);
+        debug_assert_eq!(inner.locks.capacity(), inner.options.max_vertices);
+        let graph = Self {
+            inner: Arc::new(inner),
+        };
+        graph.recover_existing_state()?;
+        Ok(graph)
+    }
+
+    /// Convenience constructor for a default in-memory graph.
+    pub fn in_memory() -> Result<Self> {
+        Self::open(LiveGraphOptions::in_memory())
+    }
+
+    /// Starts a read-only transaction on a consistent snapshot.
+    pub fn begin_read(&self) -> Result<ReadTxn<'_>> {
+        ReadTxn::begin(self.inner.as_ref())
+    }
+
+    /// Starts a time-travel read-only transaction pinned at `epoch`.
+    ///
+    /// The epoch must be between 0 and the current global read epoch (see
+    /// [`GraphStats::read_epoch`]). Whether versions older than the pinned
+    /// epoch are still materialised depends on
+    /// [`LiveGraphOptions::history_retention`]: with the default aggressive
+    /// garbage collection only epochs newer than the oldest running
+    /// transaction are guaranteed to be complete.
+    pub fn begin_read_at(&self, epoch: Timestamp) -> Result<ReadTxn<'_>> {
+        ReadTxn::begin_at(self.inner.as_ref(), epoch)
+    }
+
+    /// Starts a read-write transaction.
+    pub fn begin_write(&self) -> Result<WriteTxn<'_>> {
+        WriteTxn::begin(self.inner.as_ref())
+    }
+
+    /// Number of vertices ever created (including uncommitted/aborted ids).
+    pub fn vertex_count(&self) -> u64 {
+        self.inner.next_vertex.load(Ordering::Acquire)
+    }
+
+    /// Runs a full compaction pass over every dirty vertex (all workers).
+    pub fn compact(&self) {
+        crate::compaction::compact_all(&self.inner);
+    }
+
+    /// Writes a checkpoint of the latest committed snapshot into the data
+    /// directory and prunes the WAL. Requires a durable configuration.
+    pub fn checkpoint(&self) -> Result<()> {
+        crate::checkpoint::write_checkpoint(&self.inner)
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            vertex_count: self.vertex_count(),
+            edge_insert_count: self.inner.edge_insert_count.load(Ordering::Relaxed),
+            blocks: self.inner.store.stats(),
+            compaction: self.inner.compaction.stats(),
+            wal_bytes: self.inner.commit.wal_bytes(),
+            read_epoch: self.inner.epochs.gre(),
+            write_epoch: self.inner.epochs.gwe(),
+        }
+    }
+
+    /// The options this graph was opened with.
+    pub fn options(&self) -> &LiveGraphOptions {
+        &self.inner.options
+    }
+
+    /// Drops OS page-cache residency for a file-backed block store (used by
+    /// the out-of-core benchmarks to start cold). No-op for in-memory
+    /// graphs.
+    pub fn drop_page_cache(&self) -> Result<()> {
+        self.inner.store.drop_page_cache().map_err(Error::from)
+    }
+
+    fn recover_existing_state(&self) -> Result<()> {
+        crate::checkpoint::recover(&self.inner)
+    }
+}
+
+impl std::fmt::Debug for LiveGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveGraph")
+            .field("vertices", &self.vertex_count())
+            .field("gre", &self.inner.epochs.gre())
+            .field("gwe", &self.inner.epochs.gwe())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tel_order_sizing_accounts_for_header_and_bloom() {
+        // 2 entries (64 bytes) fit in a 128-byte block.
+        assert_eq!(GraphInner::tel_order_for(64, 0), 1);
+        // 3 entries need 256 bytes (192 usable).
+        assert_eq!(GraphInner::tel_order_for(96, 0), 2);
+        // Large logs account for the 1/16 bloom share.
+        let order = GraphInner::tel_order_for(10_000, 0);
+        let size = 64usize << order;
+        assert!(size - TEL_HEADER_SIZE - bloom_bytes_for_block(size) >= 10_000);
+    }
+
+    #[test]
+    fn label_slot_capacity_matches_block_math() {
+        assert_eq!(GraphInner::label_slots_for_order(0), 3);
+        assert_eq!(GraphInner::label_slots_for_order(1), 7);
+    }
+
+    #[test]
+    fn options_builders_compose() {
+        let opts = LiveGraphOptions::in_memory()
+            .with_capacity(1 << 20)
+            .with_max_vertices(1024)
+            .with_auto_compaction(false)
+            .with_compaction_interval(7)
+            .with_sync_mode(SyncMode::NoSync);
+        assert_eq!(opts.block_store_capacity, 1 << 20);
+        assert_eq!(opts.max_vertices, 1024);
+        assert!(!opts.auto_compaction);
+        assert_eq!(opts.compaction_interval, 7);
+        assert_eq!(opts.sync_mode, SyncMode::NoSync);
+    }
+
+    #[test]
+    fn open_in_memory_graph_and_query_stats() {
+        let graph = LiveGraph::in_memory().unwrap();
+        assert_eq!(graph.vertex_count(), 0);
+        let stats = graph.stats();
+        assert_eq!(stats.vertex_count, 0);
+        assert_eq!(stats.wal_bytes, 0);
+        assert_eq!(stats.read_epoch, 0);
+    }
+}

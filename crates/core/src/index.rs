@@ -1,0 +1,275 @@
+//! Vertex and edge index arrays plus per-vertex label index blocks.
+//!
+//! §3 of the paper: blocks are reached through two index arrays — a *vertex
+//! index* (vertex id → newest vertex block) and an *edge index* (vertex id →
+//! label index block → TEL per label). Vertex ids grow contiguously, so both
+//! indexes are flat arrays of pointers. We reserve the full capacity as an
+//! anonymous mapping (pages are only committed on first touch), which gives
+//! us stable `AtomicU64` slots without any resizing or locking on the read
+//! path — the same property the paper gets from its extendable arrays.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use livegraph_storage::{BlockPtr, Region};
+
+use crate::error::Result;
+use crate::types::{Label, VertexId};
+
+/// A flat array of atomic block pointers indexed by vertex id.
+pub struct IndexArray {
+    region: Region,
+    capacity: usize,
+}
+
+impl IndexArray {
+    /// Reserves an index with room for `capacity` vertices.
+    pub fn new(capacity: usize) -> Result<Self> {
+        let region = Region::anonymous(capacity * 8)?;
+        Ok(Self { region, capacity })
+    }
+
+    /// Number of addressable slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn slot(&self, vertex: VertexId) -> &AtomicU64 {
+        debug_assert!((vertex as usize) < self.capacity, "vertex id out of range");
+        // SAFETY: in range; anonymous mappings are zero-initialised, and a
+        // zero slot is NULL_BLOCK.
+        unsafe { &*(self.region.as_ptr().add(vertex as usize * 8) as *const AtomicU64) }
+    }
+
+    /// Loads the pointer for `vertex` (`NULL_BLOCK` if unset).
+    #[inline]
+    pub fn get(&self, vertex: VertexId) -> BlockPtr {
+        self.slot(vertex).load(Ordering::Acquire)
+    }
+
+    /// Atomically publishes a new pointer for `vertex`.
+    #[inline]
+    pub fn set(&self, vertex: VertexId, ptr: BlockPtr) {
+        self.slot(vertex).store(ptr, Ordering::Release);
+    }
+
+    /// Atomically swaps the pointer, returning the previous value.
+    #[inline]
+    pub fn swap(&self, vertex: VertexId, ptr: BlockPtr) -> BlockPtr {
+        self.slot(vertex).swap(ptr, Ordering::AcqRel)
+    }
+}
+
+/// Layout of a label index block: a small array of `(label, tel_ptr)` pairs.
+///
+/// The paper interposes "label index blocks" between the edge index and the
+/// TELs so that edges with different labels can be scanned separately. Most
+/// vertices only ever use one or two labels, so the block starts at 64 bytes
+/// and doubles when full, exactly like a TEL.
+pub struct LabelIndexRef<'a> {
+    ptr: *mut u8,
+    size: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+/// Size of the label index block header.
+pub const LABEL_INDEX_HEADER: usize = 16;
+/// Size of one label index slot.
+pub const LABEL_SLOT_SIZE: usize = 16;
+
+impl<'a> LabelIndexRef<'a> {
+    /// Wraps raw block memory as a label index block.
+    ///
+    /// # Safety
+    /// `ptr` must point to `size` valid bytes, 8-byte aligned, for `'a`.
+    #[inline]
+    pub unsafe fn from_raw(ptr: *mut u8, size: usize) -> Self {
+        debug_assert!(size >= LABEL_INDEX_HEADER + LABEL_SLOT_SIZE);
+        Self {
+            ptr,
+            size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Initialises an empty label index block (count = 0).
+    pub fn init(&self, order: u8) {
+        self.count_atomic().store(0, Ordering::Release);
+        unsafe { self.ptr.add(8).write(order) };
+    }
+
+    #[inline]
+    fn count_atomic(&self) -> &AtomicU64 {
+        // SAFETY: header word at offset 0, 8-aligned.
+        unsafe { &*(self.ptr as *const AtomicU64) }
+    }
+
+    /// Number of `(label, tel)` pairs stored.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count_atomic().load(Ordering::Acquire) as usize
+    }
+
+    /// Size-class order of this block.
+    #[inline]
+    pub fn order(&self) -> u8 {
+        unsafe { self.ptr.add(8).read() }
+    }
+
+    /// Maximum number of slots this block can hold.
+    #[inline]
+    pub fn slot_capacity(&self) -> usize {
+        (self.size - LABEL_INDEX_HEADER) / LABEL_SLOT_SIZE
+    }
+
+    #[inline]
+    fn slot_ptr(&self, idx: usize) -> *mut u8 {
+        debug_assert!(idx < self.slot_capacity());
+        // SAFETY: bounds asserted above.
+        unsafe { self.ptr.add(LABEL_INDEX_HEADER + idx * LABEL_SLOT_SIZE) }
+    }
+
+    /// Returns the label stored in slot `idx`.
+    #[inline]
+    pub fn label_at(&self, idx: usize) -> Label {
+        unsafe { (self.slot_ptr(idx) as *const u64).read() as Label }
+    }
+
+    /// Returns the TEL pointer stored in slot `idx`.
+    #[inline]
+    pub fn tel_at(&self, idx: usize) -> BlockPtr {
+        // SAFETY: second word of the slot, 8-aligned.
+        unsafe { (*(self.slot_ptr(idx).add(8) as *const AtomicU64)).load(Ordering::Acquire) }
+    }
+
+    /// Looks up the TEL pointer for a label.
+    pub fn find(&self, label: Label) -> Option<BlockPtr> {
+        let n = self.count();
+        (0..n).find(|&i| self.label_at(i) == label).map(|i| self.tel_at(i))
+    }
+
+    /// Updates the TEL pointer of an existing label (e.g. after a TEL
+    /// upgrade or compaction). Returns false if the label is absent.
+    pub fn update(&self, label: Label, tel: BlockPtr) -> bool {
+        let n = self.count();
+        for i in 0..n {
+            if self.label_at(i) == label {
+                // SAFETY: slot i exists; pointer word is atomically updated
+                // so concurrent readers see either the old or the new TEL.
+                unsafe {
+                    (*(self.slot_ptr(i).add(8) as *const AtomicU64)).store(tel, Ordering::Release)
+                };
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Appends a new `(label, tel)` pair. Returns `false` if the block is
+    /// full and must be upgraded. Callers serialise appends per vertex via
+    /// the vertex lock; the count is published last so concurrent readers
+    /// never observe a half-written slot.
+    pub fn push(&self, label: Label, tel: BlockPtr) -> bool {
+        let n = self.count();
+        if n >= self.slot_capacity() {
+            return false;
+        }
+        unsafe {
+            (self.slot_ptr(n) as *mut u64).write(label as u64);
+            (self.slot_ptr(n).add(8) as *mut u64).write(tel);
+        }
+        self.count_atomic().store(n as u64 + 1, Ordering::Release);
+        true
+    }
+
+    /// Iterates all `(label, tel)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, BlockPtr)> + '_ {
+        (0..self.count()).map(move |i| (self.label_at(i), self.tel_at(i)))
+    }
+
+    /// Copies all pairs into `target` (used when upgrading the block).
+    pub fn copy_into(&self, target: &LabelIndexRef<'_>) {
+        for (label, tel) in self.iter() {
+            let ok = target.push(label, tel);
+            debug_assert!(ok, "target label index too small");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_storage::NULL_BLOCK;
+
+    #[test]
+    fn index_array_starts_null_and_roundtrips() {
+        let idx = IndexArray::new(1024).unwrap();
+        assert_eq!(idx.get(0), NULL_BLOCK);
+        assert_eq!(idx.get(1023), NULL_BLOCK);
+        idx.set(10, 0x40);
+        assert_eq!(idx.get(10), 0x40);
+        assert_eq!(idx.swap(10, 0x80), 0x40);
+        assert_eq!(idx.get(10), 0x80);
+        assert_eq!(idx.capacity(), 1024);
+    }
+
+    struct TestBlock {
+        buf: Vec<u64>,
+        size: usize,
+    }
+    impl TestBlock {
+        fn new(size: usize) -> Self {
+            Self {
+                buf: vec![0u64; size / 8],
+                size,
+            }
+        }
+        fn view(&self) -> LabelIndexRef<'_> {
+            unsafe { LabelIndexRef::from_raw(self.buf.as_ptr() as *mut u8, self.size) }
+        }
+    }
+
+    #[test]
+    fn label_index_push_find_update() {
+        let block = TestBlock::new(64);
+        let li = block.view();
+        li.init(0);
+        assert_eq!(li.slot_capacity(), 3);
+        assert!(li.push(0, 0x100));
+        assert!(li.push(5, 0x200));
+        assert_eq!(li.find(0), Some(0x100));
+        assert_eq!(li.find(5), Some(0x200));
+        assert_eq!(li.find(9), None);
+        assert!(li.update(5, 0x300));
+        assert_eq!(li.find(5), Some(0x300));
+        assert!(!li.update(9, 0x400));
+    }
+
+    #[test]
+    fn label_index_reports_full() {
+        let block = TestBlock::new(64);
+        let li = block.view();
+        li.init(0);
+        assert!(li.push(0, 1));
+        assert!(li.push(1, 2));
+        assert!(li.push(2, 3));
+        assert!(!li.push(3, 4), "capacity of a 64-byte block is 3 labels");
+    }
+
+    #[test]
+    fn label_index_copy_into_preserves_pairs() {
+        let small = TestBlock::new(64);
+        let li = small.view();
+        li.init(0);
+        li.push(1, 11);
+        li.push(2, 22);
+        let big = TestBlock::new(128);
+        let target = big.view();
+        target.init(1);
+        li.copy_into(&target);
+        assert_eq!(target.count(), 2);
+        assert_eq!(target.find(1), Some(11));
+        assert_eq!(target.find(2), Some(22));
+    }
+}

@@ -1,0 +1,70 @@
+//! # LiveGraph core
+//!
+//! A from-scratch Rust implementation of **LiveGraph** (Zhu et al., VLDB
+//! 2020): a transactional graph storage system whose adjacency-list scans
+//! are *purely sequential* — they never require random accesses, even in the
+//! presence of concurrent transactions.
+//!
+//! The two co-designed pieces are:
+//!
+//! * the **Transactional Edge Log** ([`tel`]): a per-`(vertex, label)`
+//!   power-of-two block holding the adjacency list as a log of fixed-size,
+//!   cache-aligned entries with embedded creation/invalidation timestamps,
+//!   plus a blocked Bloom filter for amortised-O(1) edge insertion;
+//! * the **MVCC transaction protocol** ([`txn`], commit, epochs):
+//!   snapshot isolation driven by two global epoch counters and per-vertex
+//!   futex-style locks, with group commit to a write-ahead log and an apply
+//!   phase that publishes timestamps in place — no auxiliary version store,
+//!   so readers scan a single contiguous block.
+//!
+//! Surrounding infrastructure — copy-on-write vertex versions, vertex/edge
+//! index arrays, compaction/GC, checkpointing and recovery — follows §3–§6
+//! of the paper. Storage (block allocation, memory mapping) lives in the
+//! `livegraph-storage` crate.
+//!
+//! ## Quick start
+//! ```
+//! use livegraph_core::{LiveGraph, LiveGraphOptions};
+//!
+//! let graph = LiveGraph::open(LiveGraphOptions::in_memory()).unwrap();
+//!
+//! // Write transaction: create vertices and edges.
+//! let mut txn = graph.begin_write().unwrap();
+//! let alice = txn.create_vertex(b"alice").unwrap();
+//! let bob = txn.create_vertex(b"bob").unwrap();
+//! txn.put_edge(alice, 0, bob, b"follows").unwrap();
+//! txn.commit().unwrap();
+//!
+//! // Read transaction: purely sequential adjacency list scan.
+//! let read = graph.begin_read().unwrap();
+//! for edge in read.edges(alice, 0) {
+//!     println!("alice -> {} ({:?})", edge.dst, edge.properties);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bloom;
+mod checkpoint;
+mod commit;
+mod compaction;
+mod epoch;
+mod error;
+mod graph;
+mod index;
+mod locks;
+pub mod props;
+pub mod tel;
+mod txn;
+pub mod types;
+mod vertex;
+pub mod wal;
+
+pub use compaction::CompactionStats;
+pub use error::{Error, Result};
+pub use props::{PropBuilder, PropError, PropMap, PropValue};
+pub use graph::{GraphStats, LiveGraph, LiveGraphOptions};
+pub use txn::{Edge, EdgeIter, ReadTxn, VertexIter, WriteTxn};
+pub use types::{Label, Timestamp, TxnId, VertexId, DEFAULT_LABEL};
+pub use wal::SyncMode;

@@ -1,0 +1,184 @@
+//! Per-vertex write locks.
+//!
+//! §5 of the paper: write-write conflicts are detected with per-vertex locks
+//! kept in a large pre-allocated (`mmap`-backed) array of word-sized lock
+//! entries — the authors found a futex array more scalable than spinlocks or
+//! concurrent hash tables because waiters sleep instead of burning cycles.
+//!
+//! We mirror that design with an anonymous [`Region`] of `AtomicU32` words
+//! (pages are committed lazily, so reserving one word per possible vertex is
+//! cheap). Lock acquisition spins briefly, then backs off with short sleeps
+//! (the parking role of the futex) until a deadlock-avoidance timeout
+//! expires, at which point the transaction aborts and retries — the paper's
+//! timeout mechanism.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use livegraph_storage::Region;
+
+use crate::error::Result;
+use crate::types::VertexId;
+
+const UNLOCKED: u32 = 0;
+const LOCKED: u32 = 1;
+
+/// A table of per-vertex word locks.
+pub struct VertexLockTable {
+    region: Region,
+    capacity: usize,
+}
+
+impl VertexLockTable {
+    /// Reserves a lock table for `capacity` vertices.
+    pub fn new(capacity: usize) -> Result<Self> {
+        let region = Region::anonymous(capacity * 4)?;
+        Ok(Self { region, capacity })
+    }
+
+    /// Number of lockable vertices.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn word(&self, vertex: VertexId) -> &AtomicU32 {
+        debug_assert!((vertex as usize) < self.capacity);
+        // SAFETY: in-range, 4-byte aligned, zero-initialised (= UNLOCKED).
+        unsafe { &*(self.region.as_ptr().add(vertex as usize * 4) as *const AtomicU32) }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    #[inline]
+    pub fn try_lock(&self, vertex: VertexId) -> bool {
+        self.word(vertex)
+            .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Acquires the lock, giving up after `timeout` (deadlock avoidance).
+    ///
+    /// Returns `true` on success. The caller (a write transaction) must
+    /// abort and roll back when this returns `false`.
+    pub fn lock_with_timeout(&self, vertex: VertexId, timeout: Duration) -> bool {
+        // Fast path + bounded spin: uncontended locks are the overwhelmingly
+        // common case because conflicts are per-vertex.
+        for _ in 0..64 {
+            if self.try_lock(vertex) {
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_micros(5);
+        loop {
+            if self.try_lock(vertex) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            // Futex-style wait: sleep instead of spinning so that heavy
+            // contention does not waste CPU (§5: "futex-based
+            // implementations utilize CPU cycles better by putting waiters
+            // to sleep").
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_micros(200));
+        }
+    }
+
+    /// Releases a lock previously acquired on `vertex`.
+    #[inline]
+    pub fn unlock(&self, vertex: VertexId) {
+        debug_assert!(self.is_locked(vertex), "unlock of an unlocked vertex");
+        let prev = self.word(vertex).swap(UNLOCKED, Ordering::Release);
+        debug_assert_eq!(prev, LOCKED, "unlock of an unlocked vertex");
+    }
+
+    /// True if the vertex is currently locked (diagnostics only).
+    #[inline]
+    pub fn is_locked(&self, vertex: VertexId) -> bool {
+        self.word(vertex).load(Ordering::Relaxed) == LOCKED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock_roundtrip() {
+        let table = VertexLockTable::new(128).unwrap();
+        assert!(table.try_lock(5));
+        assert!(table.is_locked(5));
+        assert!(!table.try_lock(5), "second acquisition must fail");
+        table.unlock(5);
+        assert!(!table.is_locked(5));
+        assert!(table.try_lock(5));
+        table.unlock(5);
+    }
+
+    #[test]
+    fn locks_are_independent_per_vertex() {
+        let table = VertexLockTable::new(128).unwrap();
+        assert!(table.try_lock(1));
+        assert!(table.try_lock(2));
+        assert!(table.try_lock(127));
+        table.unlock(1);
+        table.unlock(2);
+        table.unlock(127);
+    }
+
+    #[test]
+    fn lock_with_timeout_gives_up() {
+        let table = VertexLockTable::new(16).unwrap();
+        assert!(table.try_lock(3));
+        let start = Instant::now();
+        let acquired = table.lock_with_timeout(3, Duration::from_millis(20));
+        assert!(!acquired);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        table.unlock(3);
+        assert!(table.lock_with_timeout(3, Duration::from_millis(20)));
+        table.unlock(3);
+    }
+
+    #[test]
+    fn contended_lock_is_eventually_acquired() {
+        let table = Arc::new(VertexLockTable::new(16).unwrap());
+        assert!(table.try_lock(7));
+        let t2 = Arc::clone(&table);
+        let handle = std::thread::spawn(move || t2.lock_with_timeout(7, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        table.unlock(7);
+        assert!(handle.join().unwrap(), "waiter must eventually acquire");
+        table.unlock(7);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let table = Arc::new(VertexLockTable::new(4).unwrap());
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let table = Arc::clone(&table);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    assert!(table.lock_with_timeout(0, Duration::from_secs(10)));
+                    // Non-atomic-like critical section emulated with two
+                    // ordered atomic ops; violation would show as a torn
+                    // counter (odd intermediate observed by another thread).
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    table.unlock(0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 200);
+    }
+}

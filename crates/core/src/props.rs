@@ -1,0 +1,394 @@
+//! Typed property encoding helpers.
+//!
+//! LiveGraph stores vertex and edge properties as opaque byte payloads (§3:
+//! "their content is opaque to LiveGraph"), exactly like the paper. Most
+//! applications, however, want named, typed fields — the LDBC SNB schema has
+//! dates, strings and integers on every entity. This module provides a
+//! compact, schema-less binary encoding of `name → value` pairs that
+//! examples, workloads and downstream users can store inside the opaque
+//! payloads without pulling in a serialisation framework.
+//!
+//! The format is deliberately simple and stable:
+//!
+//! ```text
+//! record  := count:u16 (field)*
+//! field   := name_len:u8 name:[u8] tag:u8 value
+//! value   := i64 | f64 | u8(bool) | len:u32 bytes | len:u32 utf8
+//! ```
+//!
+//! Field order is preserved; duplicate names are allowed (last one wins on
+//! lookup) so "upsert one field" can be done by appending.
+
+use std::fmt;
+
+/// A single typed property value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropValue {
+    /// Signed 64-bit integer.
+    Int(i64),
+    /// IEEE-754 double.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropValue::Int(v) => write!(f, "{v}"),
+            PropValue::Float(v) => write!(f, "{v}"),
+            PropValue::Bool(v) => write!(f, "{v}"),
+            PropValue::Str(v) => write!(f, "{v}"),
+            PropValue::Bytes(v) => write!(f, "{} bytes", v.len()),
+        }
+    }
+}
+
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+
+/// Errors produced when decoding a property payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropError {
+    /// The payload ended in the middle of a field.
+    Truncated,
+    /// An unknown type tag was encountered.
+    UnknownTag(u8),
+    /// A string field does not contain valid UTF-8.
+    InvalidUtf8,
+    /// A field name is longer than 255 bytes.
+    NameTooLong,
+}
+
+impl fmt::Display for PropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropError::Truncated => write!(f, "property payload is truncated"),
+            PropError::UnknownTag(t) => write!(f, "unknown property type tag {t}"),
+            PropError::InvalidUtf8 => write!(f, "property string is not valid UTF-8"),
+            PropError::NameTooLong => write!(f, "property names are limited to 255 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for PropError {}
+
+/// Builder that encodes named, typed fields into an opaque payload.
+#[derive(Debug, Default, Clone)]
+pub struct PropBuilder {
+    fields: Vec<(String, PropValue)>,
+}
+
+impl PropBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a field (chainable).
+    pub fn with(mut self, name: &str, value: impl Into<PropValue>) -> Self {
+        self.fields.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a field in place.
+    pub fn push(&mut self, name: &str, value: impl Into<PropValue>) -> &mut Self {
+        self.fields.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Number of fields added so far.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if no fields were added.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Encodes the fields into a payload suitable for
+    /// [`crate::WriteTxn::put_vertex`] / [`crate::WriteTxn::put_edge`].
+    pub fn encode(&self) -> Result<Vec<u8>, PropError> {
+        let mut out = Vec::with_capacity(16 * self.fields.len() + 2);
+        out.extend_from_slice(&(self.fields.len() as u16).to_le_bytes());
+        for (name, value) in &self.fields {
+            if name.len() > u8::MAX as usize {
+                return Err(PropError::NameTooLong);
+            }
+            out.push(name.len() as u8);
+            out.extend_from_slice(name.as_bytes());
+            match value {
+                PropValue::Int(v) => {
+                    out.push(TAG_INT);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                PropValue::Float(v) => {
+                    out.push(TAG_FLOAT);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                PropValue::Bool(v) => {
+                    out.push(TAG_BOOL);
+                    out.push(*v as u8);
+                }
+                PropValue::Str(v) => {
+                    out.push(TAG_STR);
+                    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    out.extend_from_slice(v.as_bytes());
+                }
+                PropValue::Bytes(v) => {
+                    out.push(TAG_BYTES);
+                    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    out.extend_from_slice(v);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+impl From<u32> for PropValue {
+    fn from(v: u32) -> Self {
+        PropValue::Int(v as i64)
+    }
+}
+impl From<f64> for PropValue {
+    fn from(v: f64) -> Self {
+        PropValue::Float(v)
+    }
+}
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::Str(v.to_string())
+    }
+}
+impl From<String> for PropValue {
+    fn from(v: String) -> Self {
+        PropValue::Str(v)
+    }
+}
+impl From<Vec<u8>> for PropValue {
+    fn from(v: Vec<u8>) -> Self {
+        PropValue::Bytes(v)
+    }
+}
+
+/// Decoded view over a property payload.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PropMap {
+    fields: Vec<(String, PropValue)>,
+}
+
+impl PropMap {
+    /// Decodes a payload produced by [`PropBuilder::encode`]. An empty
+    /// payload decodes to an empty map.
+    pub fn decode(payload: &[u8]) -> Result<Self, PropError> {
+        if payload.is_empty() {
+            return Ok(Self::default());
+        }
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], PropError> {
+            if *pos + n > payload.len() {
+                return Err(PropError::Truncated);
+            }
+            let s = &payload[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let mut fields = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = take(&mut pos, 1)?[0] as usize;
+            let name = std::str::from_utf8(take(&mut pos, name_len)?)
+                .map_err(|_| PropError::InvalidUtf8)?
+                .to_string();
+            let tag = take(&mut pos, 1)?[0];
+            let value = match tag {
+                TAG_INT => PropValue::Int(i64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
+                TAG_FLOAT => {
+                    PropValue::Float(f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()))
+                }
+                TAG_BOOL => PropValue::Bool(take(&mut pos, 1)?[0] != 0),
+                TAG_STR => {
+                    let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                    PropValue::Str(
+                        std::str::from_utf8(take(&mut pos, len)?)
+                            .map_err(|_| PropError::InvalidUtf8)?
+                            .to_string(),
+                    )
+                }
+                TAG_BYTES => {
+                    let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                    PropValue::Bytes(take(&mut pos, len)?.to_vec())
+                }
+                other => return Err(PropError::UnknownTag(other)),
+            };
+            fields.push((name, value));
+        }
+        Ok(Self { fields })
+    }
+
+    /// Number of fields (duplicates included).
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the map has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks up a field by name; the *last* occurrence wins.
+    pub fn get(&self, name: &str) -> Option<&PropValue> {
+        self.fields.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Convenience accessor for integer fields.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        match self.get(name) {
+            Some(PropValue::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for string fields.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        match self.get(name) {
+            Some(PropValue::Str(v)) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Iterates fields in encoding order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PropValue)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let payload = PropBuilder::new()
+            .with("age", 42i64)
+            .with("score", 3.25f64)
+            .with("active", true)
+            .with("name", "ada")
+            .with("blob", vec![1u8, 2, 3])
+            .encode()
+            .unwrap();
+        let map = PropMap::decode(&payload).unwrap();
+        assert_eq!(map.len(), 5);
+        assert_eq!(map.get_int("age"), Some(42));
+        assert_eq!(map.get("score"), Some(&PropValue::Float(3.25)));
+        assert_eq!(map.get("active"), Some(&PropValue::Bool(true)));
+        assert_eq!(map.get_str("name"), Some("ada"));
+        assert_eq!(map.get("blob"), Some(&PropValue::Bytes(vec![1, 2, 3])));
+        assert_eq!(map.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_payload_decodes_to_empty_map() {
+        let map = PropMap::decode(&[]).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(PropBuilder::new().encode().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_last_one_wins() {
+        let payload = PropBuilder::new()
+            .with("status", "pending")
+            .with("status", "done")
+            .encode()
+            .unwrap();
+        let map = PropMap::decode(&payload).unwrap();
+        assert_eq!(map.get_str("status"), Some("done"));
+        assert_eq!(map.len(), 2, "both occurrences are preserved");
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let payload = PropBuilder::new().with("k", 7i64).encode().unwrap();
+        for cut in 1..payload.len() {
+            assert!(
+                PropMap::decode(&payload[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_reported() {
+        let mut payload = PropBuilder::new().with("k", 7i64).encode().unwrap();
+        // Patch the tag byte (2 count + 1 name_len + 1 name).
+        payload[4] = 99;
+        assert_eq!(PropMap::decode(&payload), Err(PropError::UnknownTag(99)));
+    }
+
+    #[test]
+    fn overlong_names_are_rejected_at_encode_time() {
+        let name = "x".repeat(300);
+        assert_eq!(
+            PropBuilder::new().with(&name, 1i64).encode(),
+            Err(PropError::NameTooLong)
+        );
+    }
+
+    #[test]
+    fn mixed_type_lookup_helpers_return_none_on_type_mismatch() {
+        let payload = PropBuilder::new().with("n", "not an int").encode().unwrap();
+        let map = PropMap::decode(&payload).unwrap();
+        assert_eq!(map.get_int("n"), None);
+        assert_eq!(map.get_str("n"), Some("not an int"));
+    }
+
+    #[test]
+    fn iteration_preserves_field_order() {
+        let payload = PropBuilder::new()
+            .with("a", 1i64)
+            .with("b", 2i64)
+            .with("c", 3i64)
+            .encode()
+            .unwrap();
+        let map = PropMap::decode(&payload).unwrap();
+        let names: Vec<&str> = map.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn payload_stores_and_reads_back_through_the_engine() {
+        use crate::{LiveGraph, LiveGraphOptions};
+        let g = LiveGraph::open(LiveGraphOptions::in_memory()).unwrap();
+        let mut txn = g.begin_write().unwrap();
+        let props = PropBuilder::new()
+            .with("name", "alice")
+            .with("karma", 17i64)
+            .encode()
+            .unwrap();
+        let v = txn.create_vertex(&props).unwrap();
+        txn.commit().unwrap();
+        let read = g.begin_read().unwrap();
+        let map = PropMap::decode(read.get_vertex(v).unwrap()).unwrap();
+        assert_eq!(map.get_str("name"), Some("alice"));
+        assert_eq!(map.get_int("karma"), Some(17));
+    }
+}

@@ -1,0 +1,94 @@
+//! Power-of-two size classes.
+//!
+//! LiveGraph fits every TEL into the smallest power-of-two block that can
+//! hold it, starting at 64 bytes (one cache line: a 36-byte header plus a
+//! single 28-byte log entry in the paper's layout). Size classes are
+//! identified by an *order*: `size = MIN_BLOCK_SIZE << order`.
+
+/// Smallest block size in bytes (one cache line, holding one edge).
+pub const MIN_BLOCK_SIZE: usize = 64;
+
+/// Largest supported order. `MIN_BLOCK_SIZE << MAX_ORDER` must not overflow
+/// `usize`; 57 mirrors the paper's `L[i], i = 0..57` free-list array (the
+/// practical bound is the region capacity, far below this).
+pub const MAX_ORDER: u8 = 57;
+
+/// Returns the block size in bytes for a size-class order.
+///
+/// # Panics
+/// Panics if `order > MAX_ORDER`.
+#[inline]
+pub fn size_for_order(order: u8) -> usize {
+    assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+    MIN_BLOCK_SIZE << order
+}
+
+/// Returns the smallest order whose block size is at least `bytes`.
+///
+/// `bytes == 0` maps to order 0 (the minimum block).
+#[inline]
+pub fn order_for_size(bytes: usize) -> u8 {
+    if bytes <= MIN_BLOCK_SIZE {
+        return 0;
+    }
+    let blocks = bytes.div_ceil(MIN_BLOCK_SIZE);
+    let order = usize::BITS - (blocks - 1).leading_zeros();
+    debug_assert!(order as u8 <= MAX_ORDER);
+    order as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn min_block_is_order_zero() {
+        assert_eq!(order_for_size(0), 0);
+        assert_eq!(order_for_size(1), 0);
+        assert_eq!(order_for_size(64), 0);
+        assert_eq!(size_for_order(0), 64);
+    }
+
+    #[test]
+    fn boundaries_round_up() {
+        assert_eq!(order_for_size(65), 1);
+        assert_eq!(order_for_size(128), 1);
+        assert_eq!(order_for_size(129), 2);
+        assert_eq!(order_for_size(256), 2);
+        assert_eq!(order_for_size(257), 3);
+    }
+
+    #[test]
+    fn sizes_double() {
+        for order in 0..20u8 {
+            assert_eq!(size_for_order(order + 1), size_for_order(order) * 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_ORDER")]
+    fn size_for_order_rejects_out_of_range() {
+        let _ = size_for_order(MAX_ORDER + 1);
+    }
+
+    proptest! {
+        /// The chosen class always fits the request and the next-smaller
+        /// class never does (minimality).
+        #[test]
+        fn order_is_minimal_and_sufficient(bytes in 0usize..(1 << 30)) {
+            let order = order_for_size(bytes);
+            prop_assert!(size_for_order(order) >= bytes.max(MIN_BLOCK_SIZE).next_power_of_two() / 2 + 1 || size_for_order(order) >= bytes);
+            prop_assert!(size_for_order(order) >= bytes);
+            if order > 0 {
+                prop_assert!(size_for_order(order - 1) < bytes);
+            }
+        }
+
+        /// Round-tripping an exact class size is the identity.
+        #[test]
+        fn roundtrip_exact_sizes(order in 0u8..30) {
+            prop_assert_eq!(order_for_size(size_for_order(order)), order);
+        }
+    }
+}

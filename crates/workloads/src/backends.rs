@@ -1,0 +1,332 @@
+//! Storage backends the LinkBench-style driver can target.
+//!
+//! The paper compares LiveGraph against embedded stores (LMDB, RocksDB,
+//! Neo4j's linked lists) "to focus on comparing the impact of data structure
+//! choices". The backends here mirror that setup:
+//!
+//! * [`LiveGraphBackend`] — the real engine, with transactional reads and
+//!   writes (conflict-aborted transactions are retried like any SI client
+//!   would).
+//! * [`SortedStoreBackend`] — wraps one of the `livegraph-baselines`
+//!   adjacency stores plus a node-property table behind a readers–writer
+//!   lock: concurrent readers, single writer, which is how LMDB operates
+//!   (and a fair simplification for the others; the data-structure costs,
+//!   not the locking, dominate the comparisons reproduced here).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use livegraph_baselines::AdjacencyStore;
+use livegraph_core::{Error, LiveGraph, DEFAULT_LABEL};
+
+/// The interface the LinkBench driver needs.
+pub trait LinkBenchBackend: Send + Sync {
+    /// Creates a node and returns its id.
+    fn add_node(&self, properties: &[u8]) -> u64;
+    /// Reads a node's properties.
+    fn get_node(&self, id: u64) -> Option<Vec<u8>>;
+    /// Overwrites a node's properties. Returns false if the node is unknown.
+    fn update_node(&self, id: u64, properties: &[u8]) -> bool;
+    /// Inserts (upserts) a link.
+    fn add_link(&self, src: u64, dst: u64, properties: &[u8]);
+    /// Deletes a link if present.
+    fn delete_link(&self, src: u64, dst: u64);
+    /// Updates a link's properties (upsert).
+    fn update_link(&self, src: u64, dst: u64, properties: &[u8]);
+    /// Reads one link; true if present.
+    fn get_link(&self, src: u64, dst: u64) -> bool;
+    /// Scans the most recent `limit` links of `src`; returns how many were
+    /// visited.
+    fn get_link_list(&self, src: u64, limit: usize) -> usize;
+    /// Counts the links of `src`.
+    fn count_links(&self, src: u64) -> usize;
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// LiveGraph backend
+// ---------------------------------------------------------------------------
+
+/// LinkBench backend running on the LiveGraph engine.
+pub struct LiveGraphBackend {
+    graph: LiveGraph,
+}
+
+impl LiveGraphBackend {
+    /// Wraps an existing graph.
+    pub fn new(graph: LiveGraph) -> Self {
+        Self { graph }
+    }
+
+    /// Access to the underlying graph (for statistics).
+    pub fn graph(&self) -> &LiveGraph {
+        &self.graph
+    }
+
+    /// Runs a write closure with conflict retries, as an SI client would.
+    fn with_retries(&self, mut f: impl FnMut(&mut livegraph_core::WriteTxn<'_>) -> livegraph_core::Result<()>) {
+        loop {
+            let mut txn = match self.graph.begin_write() {
+                Ok(t) => t,
+                Err(e) => panic!("begin_write failed: {e}"),
+            };
+            match f(&mut txn).and_then(|()| txn.commit().map(|_| ())) {
+                Ok(()) => return,
+                Err(Error::WriteConflict { .. }) => continue,
+                Err(e) => panic!("unexpected error in workload: {e}"),
+            }
+        }
+    }
+}
+
+impl LinkBenchBackend for LiveGraphBackend {
+    fn add_node(&self, properties: &[u8]) -> u64 {
+        let mut id = 0;
+        self.with_retries(|txn| {
+            id = txn.create_vertex(properties)?;
+            Ok(())
+        });
+        id
+    }
+
+    fn get_node(&self, id: u64) -> Option<Vec<u8>> {
+        let txn = self.graph.begin_read().ok()?;
+        txn.get_vertex(id).map(|p| p.to_vec())
+    }
+
+    fn update_node(&self, id: u64, properties: &[u8]) -> bool {
+        let mut ok = true;
+        self.with_retries(|txn| match txn.put_vertex(id, properties) {
+            Ok(()) => {
+                ok = true;
+                Ok(())
+            }
+            Err(Error::VertexNotFound(_)) => {
+                ok = false;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        });
+        ok
+    }
+
+    fn add_link(&self, src: u64, dst: u64, properties: &[u8]) {
+        self.with_retries(|txn| match txn.put_edge(src, DEFAULT_LABEL, dst, properties) {
+            Ok(_) => Ok(()),
+            Err(Error::VertexNotFound(_)) => Ok(()), // ignore dangling ids
+            Err(e) => Err(e),
+        });
+    }
+
+    fn delete_link(&self, src: u64, dst: u64) {
+        self.with_retries(|txn| match txn.delete_edge(src, DEFAULT_LABEL, dst) {
+            Ok(_) => Ok(()),
+            Err(Error::VertexNotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        });
+    }
+
+    fn update_link(&self, src: u64, dst: u64, properties: &[u8]) {
+        self.add_link(src, dst, properties);
+    }
+
+    fn get_link(&self, src: u64, dst: u64) -> bool {
+        match self.graph.begin_read() {
+            Ok(txn) => txn.get_edge(src, DEFAULT_LABEL, dst).is_some(),
+            Err(_) => false,
+        }
+    }
+
+    fn get_link_list(&self, src: u64, limit: usize) -> usize {
+        match self.graph.begin_read() {
+            Ok(txn) => txn.edges(src, DEFAULT_LABEL).take(limit).count(),
+            Err(_) => 0,
+        }
+    }
+
+    fn count_links(&self, src: u64) -> usize {
+        match self.graph.begin_read() {
+            Ok(txn) => txn.degree(src, DEFAULT_LABEL),
+            Err(_) => 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "livegraph"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sorted-store backends (B+ tree / LSM / linked list baselines)
+// ---------------------------------------------------------------------------
+
+/// LinkBench backend over one of the baseline adjacency stores.
+pub struct SortedStoreBackend<S: AdjacencyStore> {
+    store: RwLock<S>,
+    nodes: RwLock<HashMap<u64, Vec<u8>>>,
+    next_node: AtomicU64,
+    name: &'static str,
+}
+
+impl<S: AdjacencyStore + Send + Sync> SortedStoreBackend<S> {
+    /// Wraps a baseline store. `first_free_id` must be larger than any
+    /// pre-loaded vertex id.
+    pub fn new(store: S, name: &'static str, first_free_id: u64) -> Self {
+        Self {
+            store: RwLock::new(store),
+            nodes: RwLock::new(HashMap::new()),
+            next_node: AtomicU64::new(first_free_id),
+            name,
+        }
+    }
+
+    /// Registers the property payload of a pre-loaded node.
+    pub fn preload_node(&self, id: u64, properties: &[u8]) {
+        self.nodes.write().insert(id, properties.to_vec());
+    }
+}
+
+impl<S: AdjacencyStore + Send + Sync> LinkBenchBackend for SortedStoreBackend<S> {
+    fn add_node(&self, properties: &[u8]) -> u64 {
+        let id = self.next_node.fetch_add(1, Ordering::Relaxed);
+        self.nodes.write().insert(id, properties.to_vec());
+        id
+    }
+
+    fn get_node(&self, id: u64) -> Option<Vec<u8>> {
+        self.nodes.read().get(&id).cloned()
+    }
+
+    fn update_node(&self, id: u64, properties: &[u8]) -> bool {
+        let mut nodes = self.nodes.write();
+        match nodes.get_mut(&id) {
+            Some(slot) => {
+                *slot = properties.to_vec();
+                true
+            }
+            None => {
+                nodes.insert(id, properties.to_vec());
+                true
+            }
+        }
+    }
+
+    fn add_link(&self, src: u64, dst: u64, _properties: &[u8]) {
+        self.store.write().insert_edge(src, dst);
+    }
+
+    fn delete_link(&self, src: u64, dst: u64) {
+        self.store.write().delete_edge(src, dst);
+    }
+
+    fn update_link(&self, src: u64, dst: u64, _properties: &[u8]) {
+        self.store.write().insert_edge(src, dst);
+    }
+
+    fn get_link(&self, src: u64, dst: u64) -> bool {
+        self.store.read().has_edge(src, dst)
+    }
+
+    fn get_link_list(&self, src: u64, limit: usize) -> usize {
+        let mut n = 0;
+        self.store.read().scan_neighbors(src, &mut |_| {
+            if n < limit {
+                n += 1;
+            }
+        });
+        n.min(limit)
+    }
+
+    fn count_links(&self, src: u64) -> usize {
+        self.store.read().degree(src)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_baselines::{BTreeEdgeStore, LsmEdgeStore};
+    use livegraph_core::LiveGraphOptions;
+
+    fn livegraph_backend() -> LiveGraphBackend {
+        let graph = LiveGraph::open(
+            LiveGraphOptions::in_memory()
+                .with_capacity(1 << 22)
+                .with_max_vertices(1 << 12),
+        )
+        .unwrap();
+        LiveGraphBackend::new(graph)
+    }
+
+    fn exercise(backend: &dyn LinkBenchBackend) {
+        let a = backend.add_node(b"a");
+        let b = backend.add_node(b"b");
+        assert_eq!(backend.get_node(a), Some(b"a".to_vec()));
+        assert!(backend.update_node(a, b"a2"));
+        assert_eq!(backend.get_node(a), Some(b"a2".to_vec()));
+        assert_eq!(backend.get_node(999_999), None);
+
+        backend.add_link(a, b, b"ab");
+        assert!(backend.get_link(a, b));
+        assert!(!backend.get_link(b, a));
+        assert_eq!(backend.count_links(a), 1);
+        assert_eq!(backend.get_link_list(a, 10), 1);
+        assert_eq!(backend.get_link_list(a, 0), 0);
+
+        backend.update_link(a, b, b"ab2");
+        assert_eq!(backend.count_links(a), 1, "update must not duplicate");
+
+        backend.delete_link(a, b);
+        assert!(!backend.get_link(a, b));
+        assert_eq!(backend.count_links(a), 0);
+    }
+
+    #[test]
+    fn livegraph_backend_supports_the_full_linkbench_surface() {
+        let backend = livegraph_backend();
+        exercise(&backend);
+    }
+
+    #[test]
+    fn btree_backend_supports_the_full_linkbench_surface() {
+        let backend = SortedStoreBackend::new(BTreeEdgeStore::new(), "btree", 0);
+        exercise(&backend);
+    }
+
+    #[test]
+    fn lsm_backend_supports_the_full_linkbench_surface() {
+        let backend = SortedStoreBackend::new(LsmEdgeStore::with_defaults(), "lsm", 0);
+        exercise(&backend);
+    }
+
+    #[test]
+    fn livegraph_backend_is_safe_under_concurrent_clients() {
+        let backend = std::sync::Arc::new(livegraph_backend());
+        let seed = backend.add_node(b"seed");
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let backend = std::sync::Arc::clone(&backend);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let n = backend.add_node(b"n");
+                    backend.add_link(seed, n, b"");
+                    backend.get_link_list(seed, 10);
+                    if (i + t) % 3 == 0 {
+                        backend.delete_link(seed, n);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(backend.count_links(seed) > 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Closed-loop multi-threaded benchmark driver.
+//!
+//! Reproduces the paper's measurement methodology: a configurable number of
+//! client threads each issue a fixed number of requests against a shared
+//! backend, optionally sleeping a "think time" between requests (the latency
+//! experiments) or running saturated (the throughput experiments). Per-op
+//! latencies are recorded in log-bucketed histograms and merged at the end.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::backends::LinkBenchBackend;
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use crate::linkbench::{OpKind, OpMix, Request, RequestGenerator};
+
+/// Configuration for one LinkBench-style run.
+#[derive(Clone)]
+pub struct DriverConfig {
+    /// Number of client threads.
+    pub clients: usize,
+    /// Requests issued by each client.
+    pub ops_per_client: u64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Size of the vertex id space targeted by requests.
+    pub num_vertices: u64,
+    /// Zipf exponent of the access skew.
+    pub zipf_exponent: f64,
+    /// Optional think time between requests (None = saturation mode).
+    pub think_time: Option<Duration>,
+    /// Limit for `get_link_list` scans (LinkBench uses 10 000; TAO range
+    /// queries typically return the most recent few dozen).
+    pub link_list_limit: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            ops_per_client: 10_000,
+            mix: OpMix::dflt(),
+            num_vertices: 1 << 16,
+            zipf_exponent: 0.8,
+            think_time: None,
+            link_list_limit: 1_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one workload run.
+pub struct WorkloadReport {
+    /// Backend name.
+    pub backend: String,
+    /// Total requests executed.
+    pub total_ops: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Overall latency summary.
+    pub latency: LatencySummary,
+    /// Latency summary per operation type.
+    pub per_op: Vec<(OpKind, LatencySummary)>,
+}
+
+impl WorkloadReport {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Renders a compact human-readable summary line.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<12} {:>10.0} req/s | {}",
+            self.backend,
+            self.throughput(),
+            self.latency.to_millis_row()
+        )
+    }
+}
+
+fn execute(backend: &dyn LinkBenchBackend, request: &Request, link_list_limit: usize) {
+    match request.kind {
+        OpKind::GetNode => {
+            backend.get_node(request.src);
+        }
+        OpKind::UpdateNode => {
+            backend.update_node(request.src, b"updated-node-payload");
+        }
+        OpKind::AddNode => {
+            backend.add_node(b"new-node-payload");
+        }
+        OpKind::GetLink => {
+            backend.get_link(request.src, request.dst);
+        }
+        OpKind::GetLinkList => {
+            backend.get_link_list(request.src, link_list_limit);
+        }
+        OpKind::CountLinks => {
+            backend.count_links(request.src);
+        }
+        OpKind::AddLink => {
+            backend.add_link(request.src, request.dst, b"link-payload");
+        }
+        OpKind::DeleteLink => {
+            backend.delete_link(request.src, request.dst);
+        }
+        OpKind::UpdateLink => {
+            backend.update_link(request.src, request.dst, b"link-payload-v2");
+        }
+    }
+}
+
+/// Runs the workload and returns the merged report.
+pub fn run_workload(backend: Arc<dyn LinkBenchBackend>, config: &DriverConfig) -> WorkloadReport {
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(config.clients);
+    for client in 0..config.clients {
+        let backend = Arc::clone(&backend);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut generator = RequestGenerator::new(
+                config.mix.clone(),
+                config.num_vertices,
+                config.zipf_exponent,
+                config.seed.wrapping_add(client as u64 * 7919),
+            );
+            let mut overall = LatencyHistogram::new();
+            let mut per_op: HashMap<OpKind, LatencyHistogram> = HashMap::new();
+            for _ in 0..config.ops_per_client {
+                let request = generator.next_request();
+                let op_start = Instant::now();
+                execute(backend.as_ref(), &request, config.link_list_limit);
+                let latency = op_start.elapsed();
+                overall.record(latency);
+                per_op.entry(request.kind).or_default().record(latency);
+                if let Some(think) = config.think_time {
+                    std::thread::sleep(think);
+                }
+            }
+            (overall, per_op)
+        }));
+    }
+
+    let mut overall = LatencyHistogram::new();
+    let mut per_op: HashMap<OpKind, LatencyHistogram> = HashMap::new();
+    for handle in handles {
+        let (client_overall, client_per_op) = handle.join().expect("client thread panicked");
+        overall.merge(&client_overall);
+        for (kind, histogram) in client_per_op {
+            per_op.entry(kind).or_default().merge(&histogram);
+        }
+    }
+    let elapsed = started.elapsed();
+    let mut per_op: Vec<(OpKind, LatencySummary)> =
+        per_op.into_iter().map(|(k, h)| (k, h.summary())).collect();
+    per_op.sort_by_key(|(k, _)| OpKind::ALL.iter().position(|x| x == k));
+
+    WorkloadReport {
+        backend: backend.name().to_string(),
+        total_ops: config.clients as u64 * config.ops_per_client,
+        elapsed,
+        latency: overall.summary(),
+        per_op,
+    }
+}
+
+/// Pre-loads a LinkBench-style base graph (power-law, average degree ≈
+/// `avg_degree`) into a backend through its public write interface.
+/// Vertex ids `0..num_vertices` are guaranteed to exist afterwards.
+pub fn load_base_graph(
+    backend: &dyn LinkBenchBackend,
+    num_vertices: u64,
+    avg_degree: u64,
+    seed: u64,
+) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut ids = Vec::with_capacity(num_vertices as usize);
+    for i in 0..num_vertices {
+        let id = backend.add_node(format!("node-{i}").as_bytes());
+        ids.push(id);
+    }
+    let dist = crate::linkbench::AccessDistribution::new(num_vertices, 0.8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..num_vertices * avg_degree {
+        let src = ids[dist.sample(&mut rng) as usize];
+        let dst = ids[dist.sample(&mut rng) as usize];
+        backend.add_link(src, dst, b"base-edge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{LiveGraphBackend, SortedStoreBackend};
+    use livegraph_baselines::BTreeEdgeStore;
+    use livegraph_core::{LiveGraph, LiveGraphOptions};
+
+    fn small_config(mix: OpMix) -> DriverConfig {
+        DriverConfig {
+            clients: 2,
+            ops_per_client: 500,
+            mix,
+            num_vertices: 256,
+            zipf_exponent: 0.8,
+            think_time: None,
+            link_list_limit: 100,
+            seed: 11,
+        }
+    }
+
+    fn livegraph_backend() -> Arc<LiveGraphBackend> {
+        let graph = LiveGraph::open(
+            LiveGraphOptions::in_memory()
+                .with_capacity(1 << 24)
+                .with_max_vertices(1 << 14),
+        )
+        .unwrap();
+        Arc::new(LiveGraphBackend::new(graph))
+    }
+
+    #[test]
+    fn driver_runs_dflt_mix_on_livegraph() {
+        let backend = livegraph_backend();
+        load_base_graph(backend.as_ref(), 256, 2, 3);
+        let report = run_workload(backend.clone(), &small_config(OpMix::dflt()));
+        assert_eq!(report.total_ops, 1000);
+        assert!(report.throughput() > 0.0);
+        assert!(report.latency.count == 1000);
+        assert!(!report.per_op.is_empty());
+        assert!(!report.summary_line().is_empty());
+        // Edges were actually inserted during the run.
+        assert!(backend.graph().stats().edge_insert_count > 0);
+    }
+
+    #[test]
+    fn driver_runs_tao_mix_on_btree_baseline() {
+        let backend = Arc::new(SortedStoreBackend::new(BTreeEdgeStore::new(), "btree", 0));
+        load_base_graph(backend.as_ref(), 128, 2, 3);
+        let report = run_workload(backend, &small_config(OpMix::tao()));
+        assert_eq!(report.total_ops, 1000);
+        // TAO is read-mostly: write op kinds should be rare or absent.
+        let writes: u64 = report
+            .per_op
+            .iter()
+            .filter(|(k, _)| !k.is_read())
+            .map(|(_, s)| s.count)
+            .sum();
+        assert!(writes < 50, "TAO mix must be read-dominated, got {writes} writes");
+    }
+
+    #[test]
+    fn think_time_limits_throughput() {
+        let backend = livegraph_backend();
+        load_base_graph(backend.as_ref(), 64, 1, 3);
+        let mut config = small_config(OpMix::tao());
+        config.ops_per_client = 50;
+        config.think_time = Some(Duration::from_micros(200));
+        let report = run_workload(backend, &config);
+        // 100 ops with ≥200µs think time each (2 clients) → ≥ 10ms wall time.
+        assert!(report.elapsed >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn load_base_graph_creates_vertices_and_edges() {
+        let backend = livegraph_backend();
+        load_base_graph(backend.as_ref(), 100, 4, 9);
+        assert_eq!(backend.graph().vertex_count(), 100);
+        let stats = backend.graph().stats();
+        assert!(stats.edge_insert_count > 100);
+    }
+}

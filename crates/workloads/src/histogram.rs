@@ -1,0 +1,218 @@
+//! Log-bucketed latency histogram.
+//!
+//! The paper reports mean, p99 and p999 latencies (Tables 3–6 and 9). A
+//! fixed-size logarithmic histogram gives those percentiles with bounded
+//! error and can be merged across worker threads without synchronisation on
+//! the hot path.
+
+use std::time::Duration;
+
+/// Number of buckets: covers 1 ns .. ~17 s with ~4.6% relative resolution.
+const BUCKETS: usize = 512;
+const BUCKETS_PER_OCTAVE: usize = 16;
+
+/// A mergeable latency histogram with logarithmic buckets.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    fn bucket_for(nanos: u64) -> usize {
+        if nanos == 0 {
+            return 0;
+        }
+        let log2 = 63 - nanos.leading_zeros() as usize;
+        let frac = ((nanos >> log2.saturating_sub(4)) & 0xF) as usize;
+        (log2 * BUCKETS_PER_OCTAVE + frac).min(BUCKETS - 1)
+    }
+
+    /// Representative (upper-bound) latency of a bucket in nanoseconds.
+    fn bucket_value(bucket: usize) -> u64 {
+        let log2 = bucket / BUCKETS_PER_OCTAVE;
+        let frac = (bucket % BUCKETS_PER_OCTAVE) as u64;
+        if log2 == 0 {
+            return frac.max(1);
+        }
+        (1u64 << log2) + (frac << log2.saturating_sub(4))
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket_for(nanos)] += 1;
+        self.total += 1;
+        self.sum_nanos += nanos as u128;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Latency at the given percentile (0.0–100.0).
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Duration::from_nanos(Self::bucket_value(bucket).min(self.max_nanos));
+            }
+        }
+        self.max()
+    }
+
+    /// Convenience summary of the percentiles the paper reports.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.total,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+            max: self.max(),
+        }
+    }
+}
+
+/// Mean / tail latency summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Formats the summary in milliseconds like the paper's tables.
+    pub fn to_millis_row(&self) -> String {
+        format!(
+            "mean {:.4} ms | p99 {:.4} ms | p999 {:.4} ms",
+            self.mean.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.p999.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles_of_uniform_samples() {
+        let mut h = LatencyHistogram::new();
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 1000);
+        let mean = h.mean().as_micros();
+        assert!((490..=510).contains(&mean), "mean ≈ 500µs, got {mean}");
+        let p50 = h.percentile(50.0).as_micros() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.1, "p50 ≈ 500µs, got {p50}");
+        let p99 = h.percentile(99.0).as_micros() as f64;
+        assert!((p99 - 990.0).abs() / 990.0 < 0.1, "p99 ≈ 990µs, got {p99}");
+        assert!(h.percentile(99.9) <= h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_micros(1000));
+        assert!(a.percentile(99.0) >= Duration::from_micros(900));
+    }
+
+    #[test]
+    fn heavy_tail_is_visible_in_p999_but_not_p50() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..9990 {
+            h.record(Duration::from_micros(5));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(50));
+        }
+        let s = h.summary();
+        assert!(s.p50 < Duration::from_micros(10));
+        assert!(s.p999 >= Duration::from_millis(10));
+        assert!(!s.to_millis_row().is_empty());
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotonic() {
+        let mut last = 0;
+        for nanos in [1u64, 5, 17, 100, 1_000, 10_000, 1_000_000, 50_000_000] {
+            let b = LatencyHistogram::bucket_for(nanos);
+            assert!(b >= last, "buckets must not decrease");
+            last = b;
+        }
+    }
+}

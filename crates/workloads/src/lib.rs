@@ -1,0 +1,31 @@
+//! Workload generators and benchmark drivers for the LiveGraph reproduction.
+//!
+//! The paper's evaluation (§7) rests on three workload families, all of
+//! which are implemented here from scratch so the experiments run offline:
+//!
+//! * [`kronecker`] — Kronecker/R-MAT graphs for the Figure 1 adjacency-list
+//!   micro-benchmark;
+//! * [`linkbench`] / [`driver`] / [`backends`] — a LinkBench-style social
+//!   graph workload (Facebook's TAO and DFLT mixes, power-law access skew)
+//!   with a closed-loop multi-threaded driver and latency histograms
+//!   (Tables 3–6, Figures 5–8);
+//! * [`snb`] — an LDBC SNB-lite interactive workload (complex reads, short
+//!   reads, updates over a social-network schema) with LiveGraph and
+//!   sorted-edge-table backends (Tables 7–9).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backends;
+pub mod driver;
+pub mod histogram;
+pub mod kronecker;
+pub mod linkbench;
+pub mod snb;
+
+pub use backends::{LinkBenchBackend, LiveGraphBackend, SortedStoreBackend};
+pub use driver::{load_base_graph, run_workload, DriverConfig, WorkloadReport};
+pub use histogram::{LatencyHistogram, LatencySummary};
+pub use kronecker::{generate_kronecker, KroneckerConfig};
+pub use linkbench::{OpKind, OpMix};
+pub use snb::{generate_snb, run_snb, SnbConfig, SnbMix, SnbRunConfig};

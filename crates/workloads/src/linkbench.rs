@@ -1,0 +1,302 @@
+//! LinkBench-style workload definition (Tables 3–6, Figures 5–8).
+//!
+//! Facebook's LinkBench models the social-graph traffic behind TAO: a mix
+//! of point reads/writes on nodes (objects) and links (associations), with
+//! adjacency-list reads (`get_link_list`) dominating. The paper evaluates
+//! two mixes:
+//!
+//! * **DFLT** — LinkBench's default mix, 69% reads / 31% writes;
+//! * **TAO**  — the read-mostly production mix from the TAO paper, 99.8%
+//!   reads.
+//!
+//! Keys are drawn from a Zipf-like power-law distribution so that hot
+//! vertices dominate, matching both LinkBench's access pattern and the
+//! degree skew of the underlying graph.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::Zipf;
+
+/// The operation types of the LinkBench workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Read a node's properties.
+    GetNode,
+    /// Overwrite a node's properties.
+    UpdateNode,
+    /// Create a new node.
+    AddNode,
+    /// Read one link (edge) between two nodes.
+    GetLink,
+    /// Scan the most recent links of a node (adjacency list read).
+    GetLinkList,
+    /// Count the links of a node.
+    CountLinks,
+    /// Insert (upsert) a link.
+    AddLink,
+    /// Delete a link.
+    DeleteLink,
+    /// Update a link's properties.
+    UpdateLink,
+}
+
+impl OpKind {
+    /// True for operations that only read.
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            OpKind::GetNode | OpKind::GetLink | OpKind::GetLinkList | OpKind::CountLinks
+        )
+    }
+
+    /// All operation kinds, in a stable order.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::GetNode,
+        OpKind::UpdateNode,
+        OpKind::AddNode,
+        OpKind::GetLink,
+        OpKind::GetLinkList,
+        OpKind::CountLinks,
+        OpKind::AddLink,
+        OpKind::DeleteLink,
+        OpKind::UpdateLink,
+    ];
+
+    /// Short name for benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::GetNode => "get_node",
+            OpKind::UpdateNode => "update_node",
+            OpKind::AddNode => "add_node",
+            OpKind::GetLink => "get_link",
+            OpKind::GetLinkList => "get_link_list",
+            OpKind::CountLinks => "count_links",
+            OpKind::AddLink => "add_link",
+            OpKind::DeleteLink => "delete_link",
+            OpKind::UpdateLink => "update_link",
+        }
+    }
+}
+
+/// A probability mix over [`OpKind`]s.
+#[derive(Debug, Clone)]
+pub struct OpMix {
+    weights: [(OpKind, f64); 9],
+}
+
+impl OpMix {
+    fn normalised(raw: [(OpKind, f64); 9]) -> Self {
+        let total: f64 = raw.iter().map(|(_, w)| w).sum();
+        let mut weights = raw;
+        for (_, w) in &mut weights {
+            *w /= total;
+        }
+        Self { weights }
+    }
+
+    /// LinkBench's default mix (≈ 69% reads / 31% writes), the paper's DFLT.
+    pub fn dflt() -> Self {
+        Self::normalised([
+            (OpKind::GetNode, 12.9),
+            (OpKind::UpdateNode, 7.4),
+            (OpKind::AddNode, 2.6),
+            (OpKind::GetLink, 0.5),
+            (OpKind::GetLinkList, 50.7),
+            (OpKind::CountLinks, 4.9),
+            (OpKind::AddLink, 9.0),
+            (OpKind::DeleteLink, 3.0),
+            (OpKind::UpdateLink, 8.0),
+        ])
+    }
+
+    /// The read-mostly TAO mix (99.8% reads).
+    pub fn tao() -> Self {
+        Self::normalised([
+            (OpKind::GetNode, 28.9),
+            (OpKind::UpdateNode, 0.04),
+            (OpKind::AddNode, 0.03),
+            (OpKind::GetLink, 15.7),
+            (OpKind::GetLinkList, 40.9),
+            (OpKind::CountLinks, 14.3),
+            (OpKind::AddLink, 0.08),
+            (OpKind::DeleteLink, 0.02),
+            (OpKind::UpdateLink, 0.03),
+        ])
+    }
+
+    /// A mix with the given overall write ratio (Figure 8's sweep). Reads
+    /// keep the DFLT proportions among themselves, writes likewise.
+    pub fn with_write_ratio(write_ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&write_ratio));
+        let dflt = Self::dflt();
+        let read_total: f64 = dflt
+            .weights
+            .iter()
+            .filter(|(k, _)| k.is_read())
+            .map(|(_, w)| w)
+            .sum();
+        let write_total: f64 = 1.0 - read_total;
+        let mut weights = dflt.weights;
+        for (k, w) in &mut weights {
+            if k.is_read() {
+                *w = if read_total > 0.0 {
+                    *w / read_total * (1.0 - write_ratio)
+                } else {
+                    0.0
+                };
+            } else {
+                *w = *w / write_total * write_ratio;
+            }
+        }
+        Self { weights }
+    }
+
+    /// Fraction of write operations in this mix.
+    pub fn write_ratio(&self) -> f64 {
+        self.weights
+            .iter()
+            .filter(|(k, _)| !k.is_read())
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// Samples an operation kind.
+    pub fn sample(&self, rng: &mut StdRng) -> OpKind {
+        let mut r: f64 = rng.gen();
+        for &(kind, weight) in &self.weights {
+            if r < weight {
+                return kind;
+            }
+            r -= weight;
+        }
+        self.weights[self.weights.len() - 1].0
+    }
+}
+
+/// Generates the vertex ids LinkBench operations target: a Zipf-like
+/// power-law over the id space, so a small set of hot vertices absorbs most
+/// of the traffic.
+pub struct AccessDistribution {
+    zipf: Zipf<f64>,
+    num_vertices: u64,
+}
+
+impl AccessDistribution {
+    /// Creates a power-law access distribution over `num_vertices` ids with
+    /// the given exponent (LinkBench uses ≈ 0.6–1.0; we default to 0.8).
+    pub fn new(num_vertices: u64, exponent: f64) -> Self {
+        Self {
+            zipf: Zipf::new(num_vertices.max(1), exponent).expect("valid zipf parameters"),
+            num_vertices: num_vertices.max(1),
+        }
+    }
+
+    /// Samples a vertex id in `[0, num_vertices)`.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        // Zipf yields ranks in [1, n]; spread them over the id space with a
+        // multiplicative hash so hot ids are not all clustered at 0..k.
+        let rank = self.zipf.sample(rng) as u64 - 1;
+        // splitmix-style spread, stable across runs.
+        let mut x = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 31;
+        x % self.num_vertices
+    }
+}
+
+/// One generated LinkBench request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Operation type.
+    pub kind: OpKind,
+    /// Primary vertex the operation targets.
+    pub src: u64,
+    /// Secondary vertex (link destination), when applicable.
+    pub dst: u64,
+}
+
+/// Deterministic request generator (one per client thread).
+pub struct RequestGenerator {
+    mix: OpMix,
+    access: AccessDistribution,
+    rng: StdRng,
+}
+
+impl RequestGenerator {
+    /// Creates a generator over `num_vertices` ids with the given mix.
+    pub fn new(mix: OpMix, num_vertices: u64, zipf_exponent: f64, seed: u64) -> Self {
+        use rand::SeedableRng;
+        Self {
+            mix,
+            access: AccessDistribution::new(num_vertices, zipf_exponent),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates the next request.
+    pub fn next_request(&mut self) -> Request {
+        let kind = self.mix.sample(&mut self.rng);
+        let src = self.access.sample(&mut self.rng);
+        let dst = self.access.sample(&mut self.rng);
+        Request { kind, src, dst }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_mix(mix: &OpMix, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(1);
+        let writes = (0..n).filter(|_| !mix.sample(&mut rng).is_read()).count();
+        writes as f64 / n as f64
+    }
+
+    #[test]
+    fn dflt_mix_is_about_31_percent_writes() {
+        let ratio = sample_mix(&OpMix::dflt(), 200_000);
+        assert!((ratio - 0.31).abs() < 0.02, "DFLT write ratio ≈ 0.31, got {ratio}");
+        assert!((OpMix::dflt().write_ratio() - 0.31).abs() < 0.01);
+    }
+
+    #[test]
+    fn tao_mix_is_read_mostly() {
+        let ratio = sample_mix(&OpMix::tao(), 200_000);
+        assert!(ratio < 0.01, "TAO write ratio ≈ 0.002, got {ratio}");
+    }
+
+    #[test]
+    fn write_ratio_sweep_hits_requested_ratios() {
+        for target in [0.25, 0.5, 0.75, 1.0] {
+            let mix = OpMix::with_write_ratio(target);
+            assert!((mix.write_ratio() - target).abs() < 1e-9);
+            let measured = sample_mix(&mix, 100_000);
+            assert!((measured - target).abs() < 0.02, "target {target}, got {measured}");
+        }
+    }
+
+    #[test]
+    fn access_distribution_is_skewed_and_in_range() {
+        let dist = AccessDistribution::new(10_000, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let v = dist.sample(&mut rng);
+            assert!(v < 10_000);
+            *counts.entry(v).or_insert(0u64) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max > 50, "hot keys must receive many accesses (max {max})");
+        assert!(counts.len() > 1_000, "but the tail must still be touched");
+    }
+
+    #[test]
+    fn request_generator_is_deterministic_per_seed() {
+        let mut a = RequestGenerator::new(OpMix::dflt(), 1000, 0.8, 7);
+        let mut b = RequestGenerator::new(OpMix::dflt(), 1000, 0.8, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+}

@@ -1,0 +1,834 @@
+//! LDBC SNB-lite: a reduced Social Network Benchmark interactive workload
+//! (Tables 7–9 of the paper).
+//!
+//! The full LDBC SNB schema has 11 entities and 20 relations; its
+//! interactive workload mixes *complex reads* (multi-hop traversals,
+//! shortest paths), *short reads* (neighbourhood lookups) and *updates*.
+//! This module reproduces the parts of that workload the paper's analysis
+//! leans on, over a reduced schema:
+//!
+//! * **Person** vertices with a name property and power-law `KNOWS` edges;
+//! * **Post** vertices with content, connected by `POSTED` (person → post)
+//!   and `LIKES` (person → post) edges.
+//!
+//! Queries (mirroring the paper's case studies in Table 9):
+//!
+//! * *Complex read 1* — friends up to 3 hops away whose name starts with a
+//!   given prefix (touches many vertices; 3-hop traversal + property filter);
+//! * *Complex read 13* — pairwise shortest path between two persons over
+//!   `KNOWS`;
+//! * *Short read 2* — most recent posts of a person, including the post
+//!   payload;
+//! * *Updates* — add a post, add a like, add a friendship (multi-object
+//!   writes).
+//!
+//! The official mix (7.26% complex / 63.82% short / 28.91% updates) and the
+//! complex-only mix are both provided. Backends: the LiveGraph engine and an
+//! "edge table" execution over a single sorted B-tree collection, standing
+//! in for the relational/sorted-store systems of the paper (Virtuoso,
+//! PostgreSQL, DBMS T), which cannot be redistributed or rebuilt here.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use livegraph_core::{Error, LiveGraph};
+
+use crate::histogram::{LatencyHistogram, LatencySummary};
+
+/// Edge label for person–knows–person.
+pub const KNOWS: u16 = 0;
+/// Edge label for person–posted–post.
+pub const POSTED: u16 = 1;
+/// Edge label for person–likes–post.
+pub const LIKES: u16 = 2;
+
+// ---------------------------------------------------------------------------
+// Dataset
+// ---------------------------------------------------------------------------
+
+/// Configuration of the SNB-lite data generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SnbConfig {
+    /// Number of person vertices.
+    pub persons: u64,
+    /// Average number of `KNOWS` edges per person (undirected).
+    pub avg_friends: u64,
+    /// Average number of posts per person.
+    pub posts_per_person: u64,
+    /// Average number of likes per person.
+    pub likes_per_person: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SnbConfig {
+    fn default() -> Self {
+        Self {
+            persons: 1_000,
+            avg_friends: 20,
+            posts_per_person: 10,
+            likes_per_person: 10,
+            seed: 42,
+        }
+    }
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger", "Frances", "Grace", "Hedy", "John",
+    "Katherine", "Leslie", "Margaret", "Niklaus", "Radia", "Tim",
+];
+
+/// A generated SNB-lite dataset.
+#[derive(Debug, Clone)]
+pub struct SnbDataset {
+    /// Configuration used to generate it.
+    pub config: SnbConfig,
+    /// Person names, indexed by person id.
+    pub person_names: Vec<String>,
+    /// Undirected friendship pairs (each stored once, `a < b`).
+    pub knows: Vec<(u64, u64)>,
+    /// Posts: `(post_vertex_id, creator_person, content)`.
+    pub posts: Vec<(u64, u64, String)>,
+    /// Likes: `(person, post_vertex_id)`.
+    pub likes: Vec<(u64, u64)>,
+}
+
+impl SnbDataset {
+    /// First vertex id used for posts (persons occupy `0..persons`).
+    pub fn post_base(&self) -> u64 {
+        self.config.persons
+    }
+
+    /// Total number of vertices (persons + posts).
+    pub fn num_vertices(&self) -> u64 {
+        self.config.persons + self.posts.len() as u64
+    }
+}
+
+/// Generates an SNB-lite dataset: power-law friendships, per-person posts
+/// and likes on other people's posts.
+pub fn generate_snb(config: SnbConfig) -> SnbDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let persons = config.persons;
+    let person_names: Vec<String> = (0..persons)
+        .map(|i| {
+            format!(
+                "{} {}",
+                FIRST_NAMES[(i as usize) % FIRST_NAMES.len()],
+                i / FIRST_NAMES.len() as u64
+            )
+        })
+        .collect();
+
+    // Preferential-attachment-flavoured friendships: sample one endpoint
+    // uniformly, the other with a power-law skew.
+    let skew = crate::linkbench::AccessDistribution::new(persons, 0.7);
+    let mut knows_set: HashSet<(u64, u64)> = HashSet::new();
+    let target = persons * config.avg_friends / 2;
+    while (knows_set.len() as u64) < target {
+        let a = rng.gen_range(0..persons);
+        let b = skew.sample(&mut rng);
+        if a == b {
+            continue;
+        }
+        knows_set.insert((a.min(b), a.max(b)));
+    }
+    let knows: Vec<(u64, u64)> = knows_set.into_iter().collect();
+
+    let mut posts = Vec::new();
+    let mut next_post = persons;
+    for person in 0..persons {
+        let n = 1 + (rng.gen_range(0..config.posts_per_person.max(1) * 2));
+        for k in 0..n {
+            posts.push((
+                next_post,
+                person,
+                format!("post {k} by person {person}: lorem ipsum dolor sit amet"),
+            ));
+            next_post += 1;
+        }
+    }
+
+    let mut likes = Vec::new();
+    for person in 0..persons {
+        for _ in 0..config.likes_per_person {
+            let post = posts[rng.gen_range(0..posts.len())].0;
+            likes.push((person, post));
+        }
+    }
+
+    SnbDataset {
+        config,
+        person_names,
+        knows,
+        posts,
+        likes,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend trait
+// ---------------------------------------------------------------------------
+
+/// Interface the SNB-lite driver requires from a storage system.
+pub trait SnbBackend: Send + Sync {
+    /// Bulk-loads the dataset (called once before the measured run).
+    fn load(&self, dataset: &SnbDataset);
+
+    /// Complex read 1: number of persons within 3 `KNOWS` hops of `person`
+    /// whose name starts with `prefix`.
+    fn complex1_friends_of_friends(&self, person: u64, prefix: &str) -> usize;
+
+    /// Complex read 13: length of the shortest `KNOWS` path between two
+    /// persons, if one exists.
+    fn complex13_shortest_path(&self, a: u64, b: u64) -> Option<u64>;
+
+    /// Short read 2: scans the most recent `limit` posts of `person` and
+    /// returns the total content bytes read.
+    fn short2_recent_posts(&self, person: u64, limit: usize) -> usize;
+
+    /// Update: person publishes a new post; returns the post's vertex id.
+    fn update_add_post(&self, person: u64, content: &str) -> u64;
+
+    /// Update: `person` likes `post`.
+    fn update_add_like(&self, person: u64, post: u64);
+
+    /// Update: two persons become friends (both directions).
+    fn update_add_friendship(&self, a: u64, b: u64);
+
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// LiveGraph backend
+// ---------------------------------------------------------------------------
+
+/// SNB-lite backend running on the LiveGraph engine.
+pub struct LiveGraphSnb {
+    graph: LiveGraph,
+}
+
+impl LiveGraphSnb {
+    /// Wraps an existing LiveGraph instance.
+    pub fn new(graph: LiveGraph) -> Self {
+        Self { graph }
+    }
+
+    /// Access to the underlying graph.
+    pub fn graph(&self) -> &LiveGraph {
+        &self.graph
+    }
+
+    fn retry<T>(&self, mut f: impl FnMut(&mut livegraph_core::WriteTxn<'_>) -> livegraph_core::Result<T>) -> T {
+        loop {
+            let mut txn = self.graph.begin_write().expect("begin_write");
+            match f(&mut txn) {
+                Ok(value) => match txn.commit() {
+                    Ok(_) => return value,
+                    Err(Error::WriteConflict { .. }) => continue,
+                    Err(e) => panic!("commit failed: {e}"),
+                },
+                Err(Error::WriteConflict { .. }) => continue,
+                Err(e) => panic!("snb write failed: {e}"),
+            }
+        }
+    }
+}
+
+impl SnbBackend for LiveGraphSnb {
+    fn load(&self, dataset: &SnbDataset) {
+        // Persons.
+        let mut txn = self.graph.begin_write().expect("begin_write");
+        for (id, name) in dataset.person_names.iter().enumerate() {
+            txn.create_vertex_with_id(id as u64, name.as_bytes()).expect("create person");
+        }
+        txn.commit().expect("commit persons");
+        // Posts + POSTED edges, chunked to keep transactions bounded.
+        for chunk in dataset.posts.chunks(4096) {
+            let mut txn = self.graph.begin_write().expect("begin_write");
+            for (post, creator, content) in chunk {
+                txn.create_vertex_with_id(*post, content.as_bytes()).expect("create post");
+                txn.put_edge(*creator, POSTED, *post, b"").expect("posted edge");
+            }
+            txn.commit().expect("commit posts");
+        }
+        // Friendships (both directions) and likes.
+        for chunk in dataset.knows.chunks(4096) {
+            let mut txn = self.graph.begin_write().expect("begin_write");
+            for &(a, b) in chunk {
+                txn.put_edge(a, KNOWS, b, b"").expect("knows");
+                txn.put_edge(b, KNOWS, a, b"").expect("knows");
+            }
+            txn.commit().expect("commit knows");
+        }
+        for chunk in dataset.likes.chunks(4096) {
+            let mut txn = self.graph.begin_write().expect("begin_write");
+            for &(person, post) in chunk {
+                txn.put_edge(person, LIKES, post, b"").expect("likes");
+            }
+            txn.commit().expect("commit likes");
+        }
+    }
+
+    fn complex1_friends_of_friends(&self, person: u64, prefix: &str) -> usize {
+        let txn = self.graph.begin_read().expect("begin_read");
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut frontier = vec![person];
+        visited.insert(person);
+        let mut matches = 0;
+        for _hop in 0..3 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for edge in txn.edges(v, KNOWS) {
+                    if visited.insert(edge.dst) {
+                        if txn
+                            .get_vertex(edge.dst)
+                            .map(|props| props.starts_with(prefix.as_bytes()))
+                            .unwrap_or(false)
+                        {
+                            matches += 1;
+                        }
+                        next.push(edge.dst);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        matches
+    }
+
+    fn complex13_shortest_path(&self, a: u64, b: u64) -> Option<u64> {
+        let txn = self.graph.begin_read().expect("begin_read");
+        if a == b {
+            return Some(0);
+        }
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(a);
+        queue.push_back((a, 0u64));
+        while let Some((v, dist)) = queue.pop_front() {
+            for edge in txn.edges(v, KNOWS) {
+                if edge.dst == b {
+                    return Some(dist + 1);
+                }
+                if visited.insert(edge.dst) {
+                    queue.push_back((edge.dst, dist + 1));
+                }
+            }
+        }
+        None
+    }
+
+    fn short2_recent_posts(&self, person: u64, limit: usize) -> usize {
+        let txn = self.graph.begin_read().expect("begin_read");
+        let mut bytes = 0;
+        for edge in txn.edges(person, POSTED).take(limit) {
+            if let Some(content) = txn.get_vertex(edge.dst) {
+                bytes += content.len();
+            }
+        }
+        bytes
+    }
+
+    fn update_add_post(&self, person: u64, content: &str) -> u64 {
+        self.retry(|txn| {
+            let post = txn.create_vertex(content.as_bytes())?;
+            txn.put_edge(person, POSTED, post, b"")?;
+            Ok(post)
+        })
+    }
+
+    fn update_add_like(&self, person: u64, post: u64) {
+        self.retry(|txn| match txn.put_edge(person, LIKES, post, b"") {
+            Ok(_) => Ok(()),
+            Err(Error::VertexNotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        });
+    }
+
+    fn update_add_friendship(&self, a: u64, b: u64) {
+        self.retry(|txn| {
+            txn.put_edge(a, KNOWS, b, b"")?;
+            txn.put_edge(b, KNOWS, a, b"")?;
+            Ok(())
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "livegraph"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-table backend (sorted-store / relational execution stand-in)
+// ---------------------------------------------------------------------------
+
+/// SNB-lite backend executing over a single sorted edge table — the way a
+/// relational or sorted key-value system (PostgreSQL, Virtuoso, LMDB-style
+/// stores) evaluates these queries: every adjacency access is a range scan
+/// over `(label, src, *)` in one global B-tree, and writers serialise behind
+/// a table-level latch.
+pub struct EdgeTableSnb {
+    edges: RwLock<BTreeMap<(u16, u64, u64), ()>>,
+    nodes: RwLock<HashMap<u64, Vec<u8>>>,
+    next_vertex: AtomicU64,
+}
+
+impl Default for EdgeTableSnb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EdgeTableSnb {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        Self {
+            edges: RwLock::new(BTreeMap::new()),
+            nodes: RwLock::new(HashMap::new()),
+            next_vertex: AtomicU64::new(0),
+        }
+    }
+
+    fn neighbors(&self, label: u16, src: u64) -> Vec<u64> {
+        self.edges
+            .read()
+            .range((label, src, 0)..=(label, src, u64::MAX))
+            .map(|(&(_, _, dst), _)| dst)
+            .collect()
+    }
+}
+
+impl SnbBackend for EdgeTableSnb {
+    fn load(&self, dataset: &SnbDataset) {
+        let mut nodes = self.nodes.write();
+        let mut edges = self.edges.write();
+        for (id, name) in dataset.person_names.iter().enumerate() {
+            nodes.insert(id as u64, name.as_bytes().to_vec());
+        }
+        for (post, creator, content) in &dataset.posts {
+            nodes.insert(*post, content.as_bytes().to_vec());
+            edges.insert((POSTED, *creator, *post), ());
+        }
+        for &(a, b) in &dataset.knows {
+            edges.insert((KNOWS, a, b), ());
+            edges.insert((KNOWS, b, a), ());
+        }
+        for &(person, post) in &dataset.likes {
+            edges.insert((LIKES, person, post), ());
+        }
+        self.next_vertex
+            .store(dataset.num_vertices(), Ordering::Relaxed);
+    }
+
+    fn complex1_friends_of_friends(&self, person: u64, prefix: &str) -> usize {
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut frontier = vec![person];
+        visited.insert(person);
+        let mut matches = 0;
+        let nodes = self.nodes.read();
+        for _hop in 0..3 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for dst in self.neighbors(KNOWS, v) {
+                    if visited.insert(dst) {
+                        if nodes
+                            .get(&dst)
+                            .map(|props| props.starts_with(prefix.as_bytes()))
+                            .unwrap_or(false)
+                        {
+                            matches += 1;
+                        }
+                        next.push(dst);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        matches
+    }
+
+    fn complex13_shortest_path(&self, a: u64, b: u64) -> Option<u64> {
+        if a == b {
+            return Some(0);
+        }
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(a);
+        queue.push_back((a, 0u64));
+        while let Some((v, dist)) = queue.pop_front() {
+            for dst in self.neighbors(KNOWS, v) {
+                if dst == b {
+                    return Some(dist + 1);
+                }
+                if visited.insert(dst) {
+                    queue.push_back((dst, dist + 1));
+                }
+            }
+        }
+        None
+    }
+
+    fn short2_recent_posts(&self, person: u64, limit: usize) -> usize {
+        let nodes = self.nodes.read();
+        self.neighbors(POSTED, person)
+            .iter()
+            .rev() // newest ids last in the sorted table
+            .take(limit)
+            .filter_map(|post| nodes.get(post).map(|c| c.len()))
+            .sum()
+    }
+
+    fn update_add_post(&self, person: u64, content: &str) -> u64 {
+        let post = self.next_vertex.fetch_add(1, Ordering::Relaxed);
+        self.nodes.write().insert(post, content.as_bytes().to_vec());
+        self.edges.write().insert((POSTED, person, post), ());
+        post
+    }
+
+    fn update_add_like(&self, person: u64, post: u64) {
+        self.edges.write().insert((LIKES, person, post), ());
+    }
+
+    fn update_add_friendship(&self, a: u64, b: u64) {
+        let mut edges = self.edges.write();
+        edges.insert((KNOWS, a, b), ());
+        edges.insert((KNOWS, b, a), ());
+    }
+
+    fn name(&self) -> &'static str {
+        "edge-table"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// SNB request categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnbQuery {
+    /// Complex read 1 (3-hop friends with name filter).
+    Complex1,
+    /// Complex read 13 (pairwise shortest path).
+    Complex13,
+    /// Short read 2 (recent posts).
+    Short2,
+    /// Update: add post.
+    UpdatePost,
+    /// Update: add like.
+    UpdateLike,
+    /// Update: add friendship.
+    UpdateFriendship,
+}
+
+impl SnbQuery {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SnbQuery::Complex1 => "complex_read_1",
+            SnbQuery::Complex13 => "complex_read_13",
+            SnbQuery::Short2 => "short_read_2",
+            SnbQuery::UpdatePost => "update_post",
+            SnbQuery::UpdateLike => "update_like",
+            SnbQuery::UpdateFriendship => "update_friendship",
+        }
+    }
+}
+
+/// The request mix of an SNB run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnbMix {
+    /// Only complex reads (the paper's "Complex-Only" rows).
+    ComplexOnly,
+    /// The official interactive mix: 7.26% complex, 63.82% short, 28.91%
+    /// updates (the paper's "Overall" rows).
+    Overall,
+}
+
+impl SnbMix {
+    fn sample(self, rng: &mut StdRng) -> SnbQuery {
+        match self {
+            SnbMix::ComplexOnly => {
+                if rng.gen_bool(0.5) {
+                    SnbQuery::Complex1
+                } else {
+                    SnbQuery::Complex13
+                }
+            }
+            SnbMix::Overall => {
+                let r: f64 = rng.gen();
+                if r < 0.0726 {
+                    if rng.gen_bool(0.5) {
+                        SnbQuery::Complex1
+                    } else {
+                        SnbQuery::Complex13
+                    }
+                } else if r < 0.0726 + 0.6382 {
+                    SnbQuery::Short2
+                } else {
+                    match rng.gen_range(0..3) {
+                        0 => SnbQuery::UpdatePost,
+                        1 => SnbQuery::UpdateLike,
+                        _ => SnbQuery::UpdateFriendship,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of an SNB-lite run.
+#[derive(Debug, Clone, Copy)]
+pub struct SnbRunConfig {
+    /// Client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub ops_per_client: u64,
+    /// Request mix.
+    pub mix: SnbMix,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Result of an SNB-lite run.
+pub struct SnbReport {
+    /// Backend name.
+    pub backend: String,
+    /// Mix used.
+    pub mix: SnbMix,
+    /// Total requests.
+    pub total_ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: std::time::Duration,
+    /// Overall latency summary.
+    pub latency: LatencySummary,
+    /// Per-query latency summaries.
+    pub per_query: Vec<(SnbQuery, LatencySummary)>,
+}
+
+impl SnbReport {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the SNB-lite workload against a loaded backend.
+pub fn run_snb(
+    backend: Arc<dyn SnbBackend>,
+    dataset: &SnbDataset,
+    config: SnbRunConfig,
+) -> SnbReport {
+    let persons = dataset.config.persons;
+    let post_count = dataset.posts.len() as u64;
+    let post_base = dataset.post_base();
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..config.clients {
+        let backend = Arc::clone(&backend);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(config.seed + client as u64 * 31);
+            let mut overall = LatencyHistogram::new();
+            let mut per_query: HashMap<SnbQuery, LatencyHistogram> = HashMap::new();
+            for _ in 0..config.ops_per_client {
+                let query = config.mix.sample(&mut rng);
+                let p1 = rng.gen_range(0..persons);
+                let p2 = rng.gen_range(0..persons);
+                let post = post_base + rng.gen_range(0..post_count.max(1));
+                let prefix = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+                let start = Instant::now();
+                match query {
+                    SnbQuery::Complex1 => {
+                        backend.complex1_friends_of_friends(p1, prefix);
+                    }
+                    SnbQuery::Complex13 => {
+                        backend.complex13_shortest_path(p1, p2);
+                    }
+                    SnbQuery::Short2 => {
+                        backend.short2_recent_posts(p1, 10);
+                    }
+                    SnbQuery::UpdatePost => {
+                        backend.update_add_post(p1, "a freshly published post body");
+                    }
+                    SnbQuery::UpdateLike => {
+                        backend.update_add_like(p1, post);
+                    }
+                    SnbQuery::UpdateFriendship => {
+                        backend.update_add_friendship(p1, p2);
+                    }
+                }
+                let latency = start.elapsed();
+                overall.record(latency);
+                per_query.entry(query).or_default().record(latency);
+            }
+            (overall, per_query)
+        }));
+    }
+    let mut overall = LatencyHistogram::new();
+    let mut per_query: HashMap<SnbQuery, LatencyHistogram> = HashMap::new();
+    for handle in handles {
+        let (o, p) = handle.join().expect("snb client panicked");
+        overall.merge(&o);
+        for (q, h) in p {
+            per_query.entry(q).or_default().merge(&h);
+        }
+    }
+    let elapsed = started.elapsed();
+    SnbReport {
+        backend: backend.name().to_string(),
+        mix: config.mix,
+        total_ops: config.clients as u64 * config.ops_per_client,
+        elapsed,
+        latency: overall.summary(),
+        per_query: per_query.into_iter().map(|(q, h)| (q, h.summary())).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_core::LiveGraphOptions;
+
+    fn tiny_dataset() -> SnbDataset {
+        generate_snb(SnbConfig {
+            persons: 60,
+            avg_friends: 6,
+            posts_per_person: 3,
+            likes_per_person: 3,
+            seed: 5,
+        })
+    }
+
+    fn livegraph_backend() -> LiveGraphSnb {
+        LiveGraphSnb::new(
+            LiveGraph::open(
+                LiveGraphOptions::in_memory()
+                    .with_capacity(1 << 24)
+                    .with_max_vertices(1 << 14),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn generator_produces_consistent_dataset() {
+        let d = tiny_dataset();
+        assert_eq!(d.person_names.len(), 60);
+        assert!(!d.knows.is_empty());
+        assert!(d.posts.iter().all(|&(post, creator, _)| post >= 60 && creator < 60));
+        assert!(d.likes.iter().all(|&(p, post)| p < 60 && post >= 60));
+        // Deterministic for a fixed seed.
+        let d2 = tiny_dataset();
+        assert_eq!(d.knows.len(), d2.knows.len());
+        assert_eq!(d.posts.len(), d2.posts.len());
+    }
+
+    #[test]
+    fn both_backends_agree_on_query_results() {
+        let dataset = tiny_dataset();
+        let lg = livegraph_backend();
+        lg.load(&dataset);
+        let et = EdgeTableSnb::new();
+        et.load(&dataset);
+
+        for person in [0u64, 7, 13, 42] {
+            for prefix in ["Ada", "Grace"] {
+                assert_eq!(
+                    lg.complex1_friends_of_friends(person, prefix),
+                    et.complex1_friends_of_friends(person, prefix),
+                    "complex1({person}, {prefix})"
+                );
+            }
+            assert_eq!(
+                lg.short2_recent_posts(person, 10),
+                et.short2_recent_posts(person, 10),
+                "short2({person})"
+            );
+        }
+        for (a, b) in [(0u64, 1u64), (3, 40), (10, 10), (5, 59)] {
+            assert_eq!(
+                lg.complex13_shortest_path(a, b),
+                et.complex13_shortest_path(a, b),
+                "psp({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_are_visible_to_subsequent_queries() {
+        let dataset = tiny_dataset();
+        let lg = livegraph_backend();
+        lg.load(&dataset);
+
+        let before = lg.short2_recent_posts(3, 100);
+        let post = lg.update_add_post(3, "hello world");
+        assert!(post >= dataset.post_base());
+        let after = lg.short2_recent_posts(3, 100);
+        assert!(after > before, "new post must appear in short read 2");
+
+        assert_eq!(lg.complex13_shortest_path(0, 1).is_some(), true_or_connect(&lg, 0, 1));
+        lg.update_add_friendship(0, 1);
+        assert_eq!(lg.complex13_shortest_path(0, 1), Some(1));
+
+        lg.update_add_like(5, post);
+    }
+
+    fn true_or_connect(lg: &LiveGraphSnb, a: u64, b: u64) -> bool {
+        lg.complex13_shortest_path(a, b).is_some()
+    }
+
+    #[test]
+    fn snb_driver_runs_both_mixes() {
+        let dataset = tiny_dataset();
+        let backend = Arc::new(EdgeTableSnb::new());
+        backend.load(&dataset);
+        for mix in [SnbMix::ComplexOnly, SnbMix::Overall] {
+            let report = run_snb(
+                Arc::clone(&backend) as Arc<dyn SnbBackend>,
+                &dataset,
+                SnbRunConfig {
+                    clients: 2,
+                    ops_per_client: 100,
+                    mix,
+                    seed: 3,
+                },
+            );
+            assert_eq!(report.total_ops, 200);
+            assert!(report.throughput() > 0.0);
+            assert!(!report.per_query.is_empty());
+        }
+    }
+
+    #[test]
+    fn overall_mix_contains_all_three_categories() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts: HashMap<SnbQuery, u64> = HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(SnbMix::Overall.sample(&mut rng)).or_default() += 1;
+        }
+        let complex = counts.get(&SnbQuery::Complex1).unwrap_or(&0)
+            + counts.get(&SnbQuery::Complex13).unwrap_or(&0);
+        let short = *counts.get(&SnbQuery::Short2).unwrap_or(&0);
+        let updates: u64 = counts
+            .iter()
+            .filter(|(q, _)| {
+                matches!(
+                    q,
+                    SnbQuery::UpdatePost | SnbQuery::UpdateLike | SnbQuery::UpdateFriendship
+                )
+            })
+            .map(|(_, c)| c)
+            .sum();
+        assert!((complex as f64 / 10_000.0 - 0.0726).abs() < 0.02);
+        assert!((short as f64 / 10_000.0 - 0.6382).abs() < 0.02);
+        assert!((updates as f64 / 10_000.0 - 0.2891).abs() < 0.02);
+    }
+}

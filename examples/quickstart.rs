@@ -1,0 +1,56 @@
+//! Quickstart: open a LiveGraph, run write and read transactions, and scan
+//! adjacency lists.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use livegraph::core::{LiveGraph, LiveGraphOptions, DEFAULT_LABEL};
+
+fn main() -> livegraph::core::Result<()> {
+    // A purely in-memory graph. Use `LiveGraphOptions::durable(dir)` to get
+    // a write-ahead log and checkpoint/recovery.
+    let graph = LiveGraph::open(LiveGraphOptions::in_memory())?;
+
+    // --- Write transaction -------------------------------------------------
+    let mut txn = graph.begin_write()?;
+    let alice = txn.create_vertex(b"{\"name\":\"alice\"}")?;
+    let bob = txn.create_vertex(b"{\"name\":\"bob\"}")?;
+    let carol = txn.create_vertex(b"{\"name\":\"carol\"}")?;
+    txn.put_edge(alice, DEFAULT_LABEL, bob, b"{\"since\":2019}")?;
+    txn.put_edge(alice, DEFAULT_LABEL, carol, b"{\"since\":2021}")?;
+    txn.put_edge(bob, DEFAULT_LABEL, carol, b"{\"since\":2022}")?;
+    let epoch = txn.commit()?;
+    println!("committed initial graph at epoch {epoch}");
+
+    // --- Read transaction: purely sequential adjacency list scans ----------
+    let read = graph.begin_read()?;
+    println!("alice's vertex: {:?}", String::from_utf8_lossy(read.get_vertex(alice).unwrap()));
+    for edge in read.edges(alice, DEFAULT_LABEL) {
+        println!(
+            "  alice -> {} (props {}, committed at {})",
+            edge.dst,
+            String::from_utf8_lossy(edge.properties),
+            edge.created_at
+        );
+    }
+
+    // --- Snapshot isolation -------------------------------------------------
+    // The old read transaction keeps seeing its snapshot even after updates.
+    let mut update = graph.begin_write()?;
+    update.delete_edge(alice, DEFAULT_LABEL, bob)?;
+    update.commit()?;
+    println!(
+        "old snapshot still sees {} edges from alice; a new one sees {}",
+        read.degree(alice, DEFAULT_LABEL),
+        graph.begin_read()?.degree(alice, DEFAULT_LABEL),
+    );
+
+    // --- Engine statistics ---------------------------------------------------
+    let stats = graph.stats();
+    println!(
+        "vertices: {}, committed edge inserts: {}, block store occupancy: {:.1}%",
+        stats.vertex_count,
+        stats.edge_insert_count,
+        stats.blocks.occupancy() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! A social-network workload: concurrent clients inserting follows/posts
+//! while readers answer "who should I follow?" style queries — the
+//! transactional side of the paper (LinkBench/TAO-like usage).
+//!
+//! Run with: `cargo run --example social_network`
+
+use std::sync::Arc;
+
+use livegraph::core::{Error, LiveGraph, LiveGraphOptions};
+
+/// Edge labels for the social schema.
+const FOLLOWS: u16 = 0;
+const POSTED: u16 = 1;
+const LIKES: u16 = 2;
+
+fn main() -> livegraph::core::Result<()> {
+    let graph = Arc::new(LiveGraph::open(
+        LiveGraphOptions::in_memory().with_max_vertices(1 << 20),
+    )?);
+
+    // Seed users.
+    let users = 2_000u64;
+    let mut txn = graph.begin_write()?;
+    for u in 0..users {
+        txn.create_vertex_with_id(u, format!("user-{u}").as_bytes())?;
+    }
+    txn.commit()?;
+
+    // Concurrent activity: 4 writer threads follow/post/like, 2 reader
+    // threads compute follow recommendations from 2-hop neighbourhoods.
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let graph = Arc::clone(&graph);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..2_000u64 {
+                let a = (t * 2_000 + i * 7) % users;
+                let b = (a + 1 + i % 97) % users;
+                loop {
+                    let mut txn = graph.begin_write().expect("begin_write");
+                    let result = (|| {
+                        txn.put_edge(a, FOLLOWS, b, b"")?;
+                        let post = txn.create_vertex(format!("post by {a}").as_bytes())?;
+                        txn.put_edge(a, POSTED, post, b"")?;
+                        txn.put_edge(b, LIKES, post, b"")?;
+                        Ok::<_, Error>(())
+                    })();
+                    match result.and_then(|()| txn.commit().map(|_| ())) {
+                        Ok(()) => break,
+                        Err(Error::WriteConflict { .. }) => continue,
+                        Err(e) => panic!("writer failed: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let graph = Arc::clone(&graph);
+        handles.push(std::thread::spawn(move || {
+            let mut recommended = 0usize;
+            for u in (0..users).step_by(37) {
+                let read = graph.begin_read().expect("begin_read");
+                // Friends-of-friends the user does not follow yet.
+                let follows: Vec<u64> = read.edges(u, FOLLOWS).map(|e| e.dst).collect();
+                let mut candidates = std::collections::HashSet::new();
+                for &f in &follows {
+                    for edge in read.edges(f, FOLLOWS) {
+                        if edge.dst != u && !follows.contains(&edge.dst) {
+                            candidates.insert(edge.dst);
+                        }
+                    }
+                }
+                recommended += candidates.len();
+            }
+            println!("reader thread computed {recommended} follow recommendations");
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join().expect("thread panicked");
+    }
+
+    let read = graph.begin_read()?;
+    let sample_user = 42;
+    println!(
+        "user {} follows {} accounts and posted {} times",
+        sample_user,
+        read.degree(sample_user, FOLLOWS),
+        read.degree(sample_user, POSTED)
+    );
+    let stats = graph.stats();
+    println!(
+        "graph now has {} vertices, {} committed edge inserts, GRE={}",
+        stats.vertex_count, stats.edge_insert_count, stats.read_epoch
+    );
+    Ok(())
+}

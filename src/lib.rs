@@ -1,0 +1,35 @@
+//! # LiveGraph (reproduction)
+//!
+//! Facade crate for the LiveGraph reproduction workspace. It re-exports the
+//! individual crates under short module names so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`] — the LiveGraph engine (Transactional Edge Log, MVCC
+//!   transactions, WAL, compaction, checkpointing);
+//! * [`storage`] — the power-of-two block store;
+//! * [`baselines`] — CSR, B+-tree, LSM and linked-list baselines;
+//! * [`analytics`] — PageRank, connected components, BFS, ETL;
+//! * [`workloads`] — Kronecker, LinkBench-style and SNB-lite workloads.
+//!
+//! ```
+//! use livegraph::core::{LiveGraph, LiveGraphOptions, DEFAULT_LABEL};
+//!
+//! let graph = LiveGraph::open(LiveGraphOptions::in_memory()).unwrap();
+//! let mut txn = graph.begin_write().unwrap();
+//! let a = txn.create_vertex(b"a").unwrap();
+//! let b = txn.create_vertex(b"b").unwrap();
+//! txn.put_edge(a, DEFAULT_LABEL, b, b"hello").unwrap();
+//! txn.commit().unwrap();
+//! assert_eq!(graph.begin_read().unwrap().degree(a, DEFAULT_LABEL), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use livegraph_analytics as analytics;
+pub use livegraph_baselines as baselines;
+pub use livegraph_core as core;
+pub use livegraph_storage as storage;
+pub use livegraph_workloads as workloads;
+
+/// Convenience re-export of the engine type most users start from.
+pub use livegraph_core::{LiveGraph, LiveGraphOptions};

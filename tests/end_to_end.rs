@@ -1,0 +1,180 @@
+//! End-to-end integration tests spanning all crates: workload drivers over
+//! the engine, analytics on live snapshots, durability across restarts, and
+//! cross-checks between LiveGraph and the baseline stores.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use livegraph::analytics::{connected_components, pagerank, snapshot_to_csr, LiveSnapshot, PageRankOptions};
+use livegraph::baselines::{AdjacencyStore, BTreeEdgeStore};
+use livegraph::core::{LiveGraph, LiveGraphOptions, SyncMode, DEFAULT_LABEL};
+use livegraph::workloads::kronecker::{generate_kronecker, KroneckerConfig};
+use livegraph::workloads::snb::{generate_snb, EdgeTableSnb, LiveGraphSnb, SnbBackend, SnbConfig};
+use livegraph::workloads::{load_base_graph, run_workload, DriverConfig, LiveGraphBackend, OpMix};
+
+fn graph(max_vertices: usize) -> LiveGraph {
+    LiveGraph::open(
+        LiveGraphOptions::in_memory()
+            .with_capacity(1 << 26)
+            .with_max_vertices(max_vertices),
+    )
+    .unwrap()
+}
+
+#[test]
+fn kronecker_graph_roundtrips_through_livegraph_and_btree() {
+    let config = KroneckerConfig::new(10);
+    let edges = generate_kronecker(&config);
+    let n = config.num_vertices();
+
+    let g = graph(n as usize * 2);
+    let mut txn = g.begin_write().unwrap();
+    txn.create_vertex_with_id(n - 1, b"").unwrap();
+    txn.commit().unwrap();
+    let mut btree = BTreeEdgeStore::new();
+    for chunk in edges.chunks(4096) {
+        let mut txn = g.begin_write().unwrap();
+        for &(s, d) in chunk {
+            txn.put_edge(s, DEFAULT_LABEL, d, b"").unwrap();
+            btree.insert_edge(s, d);
+        }
+        txn.commit().unwrap();
+    }
+
+    // Both stores must agree on every adjacency list (sets: LiveGraph
+    // upserts duplicates, the B-tree key space deduplicates them too).
+    let read = g.begin_read().unwrap();
+    for v in (0..n).step_by(17) {
+        let live: HashSet<u64> = read.edges(v, DEFAULT_LABEL).map(|e| e.dst).collect();
+        let mut base = HashSet::new();
+        btree.scan_neighbors(v, &mut |d| {
+            base.insert(d);
+        });
+        assert_eq!(live, base, "adjacency of vertex {v}");
+    }
+}
+
+#[test]
+fn linkbench_driver_preserves_engine_invariants() {
+    let backend = Arc::new(LiveGraphBackend::new(graph(1 << 14)));
+    load_base_graph(backend.as_ref(), 500, 3, 5);
+    let config = DriverConfig {
+        clients: 4,
+        ops_per_client: 2_000,
+        mix: OpMix::dflt(),
+        num_vertices: 500,
+        zipf_exponent: 0.8,
+        think_time: None,
+        link_list_limit: 100,
+        seed: 9,
+    };
+    let report = run_workload(backend.clone(), &config);
+    assert_eq!(report.total_ops, 8_000);
+    assert!(report.throughput() > 0.0);
+
+    // After the mixed read/write run the engine must still be consistent:
+    // a full compaction pass and a fresh scan of every vertex must succeed.
+    backend.graph().compact();
+    backend.graph().compact();
+    let read = backend.graph().begin_read().unwrap();
+    let mut total_edges = 0usize;
+    for v in 0..read.vertex_count() {
+        total_edges += read.degree(v, DEFAULT_LABEL);
+    }
+    assert!(total_edges > 0);
+}
+
+#[test]
+fn analytics_agree_between_in_situ_and_etl_paths() {
+    let config = KroneckerConfig::new(9);
+    let edges = generate_kronecker(&config);
+    let n = config.num_vertices();
+    let g = graph(n as usize * 2);
+    let mut txn = g.begin_write().unwrap();
+    txn.create_vertex_with_id(n - 1, b"").unwrap();
+    for &(s, d) in &edges {
+        txn.put_edge(s, DEFAULT_LABEL, d, b"").unwrap();
+    }
+    txn.commit().unwrap();
+
+    let read = g.begin_read().unwrap();
+    let snapshot = LiveSnapshot::new(&read, DEFAULT_LABEL);
+    let csr = snapshot_to_csr(&snapshot);
+
+    let pr_live = pagerank(&snapshot, PageRankOptions { iterations: 10, damping: 0.85, threads: 2 });
+    let pr_csr = pagerank(&csr, PageRankOptions { iterations: 10, damping: 0.85, threads: 2 });
+    for (a, b) in pr_live.iter().zip(&pr_csr) {
+        assert!((a - b).abs() < 1e-9);
+    }
+    assert_eq!(connected_components(&snapshot, 2), connected_components(&csr, 2));
+}
+
+#[test]
+fn snb_backends_agree_after_updates() {
+    let dataset = generate_snb(SnbConfig {
+        persons: 80,
+        avg_friends: 8,
+        posts_per_person: 3,
+        likes_per_person: 2,
+        seed: 3,
+    });
+    let lg = LiveGraphSnb::new(graph(1 << 14));
+    lg.load(&dataset);
+    let et = EdgeTableSnb::new();
+    et.load(&dataset);
+
+    // Apply the same updates to both backends.
+    lg.update_add_friendship(1, 2);
+    et.update_add_friendship(1, 2);
+    let post_lg = lg.update_add_post(5, "same content");
+    let post_et = et.update_add_post(5, "same content");
+    assert_eq!(post_lg, post_et, "post ids must line up across backends");
+
+    for person in [0u64, 1, 5, 33] {
+        assert_eq!(
+            lg.short2_recent_posts(person, 5),
+            et.short2_recent_posts(person, 5)
+        );
+        assert_eq!(
+            lg.complex1_friends_of_friends(person, "Ada"),
+            et.complex1_friends_of_friends(person, "Ada")
+        );
+    }
+    assert_eq!(lg.complex13_shortest_path(1, 2), Some(1));
+    assert_eq!(et.complex13_shortest_path(1, 2), Some(1));
+}
+
+#[test]
+fn durable_graph_survives_restart_mid_workload() {
+    let dir = tempfile::tempdir().unwrap();
+    let options = || {
+        LiveGraphOptions::durable(dir.path())
+            .with_capacity(1 << 24)
+            .with_max_vertices(1 << 12)
+            .with_sync_mode(SyncMode::NoSync)
+    };
+    let hub;
+    let expected_edges;
+    {
+        let g = LiveGraph::open(options()).unwrap();
+        let mut txn = g.begin_write().unwrap();
+        hub = txn.create_vertex(b"hub").unwrap();
+        for i in 0..50u64 {
+            let v = txn.create_vertex(format!("{i}").as_bytes()).unwrap();
+            txn.put_edge(hub, DEFAULT_LABEL, v, b"").unwrap();
+        }
+        txn.commit().unwrap();
+        g.checkpoint().unwrap();
+        // More work after the checkpoint, including deletes.
+        let mut txn = g.begin_write().unwrap();
+        for i in 1..=10u64 {
+            txn.delete_edge(hub, DEFAULT_LABEL, hub + i).unwrap();
+        }
+        txn.commit().unwrap();
+        expected_edges = g.begin_read().unwrap().degree(hub, DEFAULT_LABEL);
+    }
+    let g = LiveGraph::open(options()).unwrap();
+    let read = g.begin_read().unwrap();
+    assert_eq!(read.degree(hub, DEFAULT_LABEL), expected_edges);
+    assert_eq!(read.get_vertex(hub), Some(&b"hub"[..]));
+}

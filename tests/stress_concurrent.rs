@@ -1,0 +1,261 @@
+//! Multi-threaded stress tests: atomicity, snapshot stability and liveness
+//! under concurrent writers, readers and compaction.
+//!
+//! These are the workloads where the co-design of the TEL layout and the
+//! concurrency control (§5) has to hold up: every reader must observe each
+//! transaction either entirely or not at all, long-running readers must keep
+//! a frozen view, and compaction running in the background must never change
+//! what any snapshot can see.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use livegraph::core::{Error, LiveGraph, LiveGraphOptions};
+
+fn graph() -> Arc<LiveGraph> {
+    Arc::new(
+        LiveGraph::open(
+            LiveGraphOptions::in_memory()
+                .with_capacity(1 << 26)
+                .with_max_vertices(1 << 16)
+                .with_compaction_interval(64),
+        )
+        .unwrap(),
+    )
+}
+
+/// Every transaction writes the same value to labels 0 and 1 of its hub.
+/// Any snapshot must therefore observe equal degrees on both labels —
+/// a cheap, always-checkable atomicity invariant.
+#[test]
+fn readers_never_observe_half_a_transaction() {
+    let g = graph();
+    let writers = 4usize;
+    let txns_per_writer = 200u64;
+
+    let mut setup = g.begin_write().unwrap();
+    let hubs: Vec<u64> = (0..writers).map(|i| setup.create_vertex(format!("hub{i}").as_bytes()).unwrap()).collect();
+    let targets: Vec<u64> = (0..txns_per_writer)
+        .map(|i| setup.create_vertex(format!("t{i}").as_bytes()).unwrap())
+        .collect();
+    setup.commit().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let violations = Arc::new(AtomicU64::new(0));
+
+    let mut reader_handles = Vec::new();
+    for _ in 0..3 {
+        let g = Arc::clone(&g);
+        let stop = Arc::clone(&stop);
+        let violations = Arc::clone(&violations);
+        let hubs = hubs.clone();
+        reader_handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let read = g.begin_read().unwrap();
+                for &hub in &hubs {
+                    let d0 = read.degree(hub, 0);
+                    let d1 = read.degree(hub, 1);
+                    if d0 != d1 {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    let mut writer_handles = Vec::new();
+    for (w, &hub) in hubs.iter().enumerate() {
+        let g = Arc::clone(&g);
+        let targets = targets.clone();
+        writer_handles.push(std::thread::spawn(move || {
+            for (i, &t) in targets.iter().enumerate() {
+                loop {
+                    let mut txn = g.begin_write().unwrap();
+                    let payload = format!("w{w}-{i}");
+                    let r = txn
+                        .put_edge(hub, 0, t, payload.as_bytes())
+                        .and_then(|_| txn.put_edge(hub, 1, t, payload.as_bytes()));
+                    match r {
+                        Ok(_) => match txn.commit() {
+                            Ok(_) => break,
+                            Err(_) => continue,
+                        },
+                        Err(Error::WriteConflict { .. }) => continue,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+
+    for h in writer_handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in reader_handles {
+        h.join().unwrap();
+    }
+    assert_eq!(violations.load(Ordering::Relaxed), 0, "atomicity violated");
+
+    let read = g.begin_read().unwrap();
+    for &hub in &hubs {
+        assert_eq!(read.degree(hub, 0) as u64, txns_per_writer);
+        assert_eq!(read.degree(hub, 1) as u64, txns_per_writer);
+    }
+}
+
+/// A long-running reader pinned before any writes must keep seeing the empty
+/// adjacency lists while writers and explicit compaction churn the store.
+#[test]
+fn pinned_snapshot_survives_concurrent_writes_and_compaction() {
+    let g = graph();
+    let mut setup = g.begin_write().unwrap();
+    let hub = setup.create_vertex(b"hub").unwrap();
+    let targets: Vec<u64> = (0..512).map(|i| setup.create_vertex(format!("{i}").as_bytes()).unwrap()).collect();
+    setup.commit().unwrap();
+
+    let pinned = g.begin_read().unwrap();
+    assert_eq!(pinned.degree(hub, 0), 0);
+
+    std::thread::scope(|scope| {
+        let g2 = Arc::clone(&g);
+        let writer = scope.spawn(move || {
+            for (i, &t) in targets.iter().enumerate() {
+                let mut txn = g2.begin_write().unwrap();
+                txn.put_edge(hub, 0, t, format!("{i}").as_bytes()).unwrap();
+                if i % 3 == 0 {
+                    txn.put_vertex(hub, format!("hub-{i}").as_bytes()).unwrap();
+                }
+                txn.commit().unwrap();
+            }
+        });
+        let g3 = Arc::clone(&g);
+        let compactor = scope.spawn(move || {
+            for _ in 0..50 {
+                g3.compact();
+                std::thread::yield_now();
+            }
+        });
+        // Interleave snapshot checks with the churn.
+        for _ in 0..200 {
+            assert_eq!(pinned.degree(hub, 0), 0, "pinned snapshot must stay empty");
+            assert_eq!(pinned.get_vertex(hub), Some(&b"hub"[..]));
+        }
+        writer.join().unwrap();
+        compactor.join().unwrap();
+    });
+
+    assert_eq!(pinned.degree(hub, 0), 0);
+    drop(pinned);
+    let fresh = g.begin_read().unwrap();
+    assert_eq!(fresh.degree(hub, 0), 512);
+}
+
+/// Concurrent deletions and insertions on disjoint vertices, with background
+/// compaction recycling ids: the final state must account for every vertex
+/// exactly once.
+#[test]
+fn concurrent_deletes_inserts_and_compaction_do_not_corrupt_state() {
+    let g = graph();
+    let per_thread = 64u64;
+    let threads = 4u64;
+
+    let mut setup = g.begin_write().unwrap();
+    let target = setup.create_vertex(b"target").unwrap();
+    let mut victims = Vec::new();
+    for i in 0..threads * per_thread {
+        victims.push(setup.create_vertex(format!("v{i}").as_bytes()).unwrap());
+    }
+    setup.commit().unwrap();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let g = Arc::clone(&g);
+            let chunk: Vec<u64> = victims
+                [(t * per_thread) as usize..((t + 1) * per_thread) as usize]
+                .to_vec();
+            scope.spawn(move || {
+                for &v in &chunk {
+                    // Give each victim an edge, then delete every other one.
+                    let mut txn = g.begin_write().unwrap();
+                    txn.put_edge(v, 0, target, b"e").unwrap();
+                    txn.commit().unwrap();
+                    if v % 2 == 0 {
+                        let mut del = g.begin_write().unwrap();
+                        del.delete_vertex(v).unwrap();
+                        del.commit().unwrap();
+                    }
+                }
+            });
+        }
+        let g = Arc::clone(&g);
+        scope.spawn(move || {
+            for _ in 0..30 {
+                g.compact();
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    g.compact();
+    let read = g.begin_read().unwrap();
+    let mut alive = 0u64;
+    for &v in &victims {
+        match read.get_vertex(v) {
+            Some(_) => {
+                alive += 1;
+                assert_eq!(read.degree(v, 0), 1, "surviving vertex keeps its edge");
+            }
+            None => {
+                assert_eq!(read.degree(v, 0), 0, "deleted vertex must have no edges");
+            }
+        }
+    }
+    assert_eq!(alive, threads * per_thread / 2);
+}
+
+/// Write skew on disjoint vertices is allowed under snapshot isolation, but
+/// lost updates on the *same* vertex are not: with first-updater-wins, every
+/// successful increment must be reflected in the final payload.
+#[test]
+fn no_lost_updates_on_a_single_vertex_counter() {
+    let g = graph();
+    let mut setup = g.begin_write().unwrap();
+    let counter = setup.create_vertex(&0u64.to_le_bytes()).unwrap();
+    setup.commit().unwrap();
+
+    let successes = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let g = Arc::clone(&g);
+            let successes = Arc::clone(&successes);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    loop {
+                        let mut txn = g.begin_write().unwrap();
+                        let current = match txn.get_vertex(counter) {
+                            Some(bytes) => u64::from_le_bytes(bytes.try_into().unwrap()),
+                            None => panic!("counter vanished"),
+                        };
+                        match txn
+                            .put_vertex(counter, &(current + 1).to_le_bytes())
+                            .and_then(|_| txn.commit())
+                        {
+                            Ok(_) => {
+                                successes.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(Error::WriteConflict { .. }) => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let read = g.begin_read().unwrap();
+    let value = u64::from_le_bytes(read.get_vertex(counter).unwrap().try_into().unwrap());
+    assert_eq!(value, successes.load(Ordering::Relaxed), "increments lost or duplicated");
+    assert_eq!(value, 200);
+}

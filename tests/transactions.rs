@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: snapshot isolation guarantees of the
+//! engine exercised through the facade crate, including the anomaly
+//! checklist from the paper's correctness argument (§5).
+
+use livegraph::core::{Error, LiveGraph, LiveGraphOptions, DEFAULT_LABEL};
+
+fn graph() -> LiveGraph {
+    LiveGraph::open(
+        LiveGraphOptions::in_memory()
+            .with_capacity(1 << 24)
+            .with_max_vertices(1 << 14),
+    )
+    .unwrap()
+}
+
+#[test]
+fn no_dirty_reads() {
+    let g = graph();
+    let mut setup = g.begin_write().unwrap();
+    let a = setup.create_vertex(b"v1").unwrap();
+    let b = setup.create_vertex(b"x").unwrap();
+    setup.commit().unwrap();
+
+    let mut writer = g.begin_write().unwrap();
+    writer.put_vertex(a, b"v2").unwrap();
+    writer.put_edge(a, DEFAULT_LABEL, b, b"uncommitted").unwrap();
+
+    // A concurrent reader must not observe any uncommitted state.
+    let reader = g.begin_read().unwrap();
+    assert_eq!(reader.get_vertex(a), Some(&b"v1"[..]));
+    assert_eq!(reader.degree(a, DEFAULT_LABEL), 0);
+    writer.abort();
+    let reader2 = g.begin_read().unwrap();
+    assert_eq!(reader2.get_vertex(a), Some(&b"v1"[..]));
+}
+
+#[test]
+fn no_read_skew_across_two_objects() {
+    let g = graph();
+    let mut setup = g.begin_write().unwrap();
+    let x = setup.create_vertex(b"x0").unwrap();
+    let y = setup.create_vertex(b"y0").unwrap();
+    setup.commit().unwrap();
+
+    // Reader observes x before B commits, and y after.
+    let reader = g.begin_read().unwrap();
+    assert_eq!(reader.get_vertex(x), Some(&b"x0"[..]));
+
+    let mut b_txn = g.begin_write().unwrap();
+    b_txn.put_vertex(x, b"x1").unwrap();
+    b_txn.put_vertex(y, b"y1").unwrap();
+    b_txn.commit().unwrap();
+
+    // Snapshot isolation: the reader must still see y0, never y1.
+    assert_eq!(reader.get_vertex(y), Some(&b"y0"[..]));
+    // A fresh reader sees both updates.
+    let fresh = g.begin_read().unwrap();
+    assert_eq!(fresh.get_vertex(x), Some(&b"x1"[..]));
+    assert_eq!(fresh.get_vertex(y), Some(&b"y1"[..]));
+}
+
+#[test]
+fn no_phantom_reads_on_adjacency_predicates() {
+    let g = graph();
+    let mut setup = g.begin_write().unwrap();
+    let hub = setup.create_vertex(b"hub").unwrap();
+    let mut spokes = Vec::new();
+    for i in 0..10u64 {
+        spokes.push(setup.create_vertex(format!("{i}").as_bytes()).unwrap());
+    }
+    for &s in &spokes[..5] {
+        setup.put_edge(hub, DEFAULT_LABEL, s, b"").unwrap();
+    }
+    setup.commit().unwrap();
+
+    let reader = g.begin_read().unwrap();
+    let first: Vec<u64> = reader.edges(hub, DEFAULT_LABEL).map(|e| e.dst).collect();
+
+    // Another transaction inserts and deletes edges satisfying the same
+    // "all edges of hub" predicate.
+    let mut other = g.begin_write().unwrap();
+    other.put_edge(hub, DEFAULT_LABEL, spokes[7], b"").unwrap();
+    other.delete_edge(hub, DEFAULT_LABEL, spokes[0]).unwrap();
+    other.commit().unwrap();
+
+    let second: Vec<u64> = reader.edges(hub, DEFAULT_LABEL).map(|e| e.dst).collect();
+    assert_eq!(first, second, "re-evaluating the predicate must give the same result");
+}
+
+#[test]
+fn lost_updates_are_prevented_by_first_updater_wins() {
+    let g = graph();
+    let mut setup = g.begin_write().unwrap();
+    let account = setup.create_vertex(b"balance=100").unwrap();
+    setup.commit().unwrap();
+
+    let mut t1 = g.begin_write().unwrap();
+    let mut t2 = g.begin_write().unwrap();
+    t1.put_vertex(account, b"balance=150").unwrap();
+    t1.commit().unwrap();
+    // t2 started before t1 committed and writes the same vertex: it must
+    // observe a write-write conflict rather than silently overwriting.
+    let result = t2.put_vertex(account, b"balance=50");
+    assert!(matches!(result, Err(Error::WriteConflict { .. })));
+}
+
+#[test]
+fn write_snapshot_reads_its_own_multi_label_changes() {
+    let g = graph();
+    let mut txn = g.begin_write().unwrap();
+    let a = txn.create_vertex(b"a").unwrap();
+    let b = txn.create_vertex(b"b").unwrap();
+    txn.put_edge(a, 0, b, b"friend").unwrap();
+    txn.put_edge(a, 1, b, b"colleague").unwrap();
+    txn.delete_edge(a, 0, b).unwrap();
+    assert_eq!(txn.degree(a, 0), 0, "own delete visible");
+    assert_eq!(txn.degree(a, 1), 1, "other label untouched");
+    txn.commit().unwrap();
+    let r = g.begin_read().unwrap();
+    assert_eq!(r.degree(a, 0), 0);
+    assert_eq!(r.get_edge(a, 1, b), Some(&b"colleague"[..]));
+}
+
+#[test]
+fn long_running_reader_with_concurrent_writers_and_compaction() {
+    let g = graph();
+    let mut setup = g.begin_write().unwrap();
+    let hub = setup.create_vertex(b"hub").unwrap();
+    let mut others = Vec::new();
+    for i in 0..100u64 {
+        others.push(setup.create_vertex(format!("{i}").as_bytes()).unwrap());
+    }
+    for &o in &others {
+        setup.put_edge(hub, DEFAULT_LABEL, o, b"v1").unwrap();
+    }
+    setup.commit().unwrap();
+
+    let long_reader = g.begin_read().unwrap();
+    // Concurrent churn: update all edges and delete half of them.
+    for (i, &o) in others.iter().enumerate() {
+        let mut txn = g.begin_write().unwrap();
+        if i % 2 == 0 {
+            txn.delete_edge(hub, DEFAULT_LABEL, o).unwrap();
+        } else {
+            txn.put_edge(hub, DEFAULT_LABEL, o, b"v2").unwrap();
+        }
+        txn.commit().unwrap();
+    }
+    g.compact();
+
+    // The long-running reader still sees the original 100 edges with v1.
+    assert_eq!(long_reader.degree(hub, DEFAULT_LABEL), 100);
+    assert_eq!(
+        long_reader.get_edge(hub, DEFAULT_LABEL, others[1]),
+        Some(&b"v1"[..])
+    );
+    drop(long_reader);
+    g.compact();
+    let fresh = g.begin_read().unwrap();
+    assert_eq!(fresh.degree(hub, DEFAULT_LABEL), 50);
+    assert_eq!(fresh.get_edge(hub, DEFAULT_LABEL, others[1]), Some(&b"v2"[..]));
+}
