@@ -15,6 +15,10 @@
 //!   configurable number of worker threads.
 //! * [`etl::snapshot_to_csr`] — the export step whose cost the paper
 //!   measures in Table 10.
+//!
+//! The workspace-level architecture map — TEL block layout, the commit
+//! path, and the crate dependency graph — lives in `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

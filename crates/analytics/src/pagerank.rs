@@ -67,13 +67,13 @@ pub fn pagerank<S: GraphSnapshot + ?Sized>(snapshot: &S, options: PageRankOption
                 let start = t * chunk;
                 let end = ((t + 1) * chunk).min(n);
                 scope.spawn(move || {
-                    for v in start..end {
+                    for (v, &rank) in ranks.iter().enumerate().take(end).skip(start) {
                         let degree = snapshot.out_degree(v as u64);
                         if degree == 0 {
-                            atomic_add_f64(dangling, ranks[v]);
+                            atomic_add_f64(dangling, rank);
                             continue;
                         }
-                        let share = ranks[v] / degree as f64;
+                        let share = rank / degree as f64;
                         snapshot.for_each_neighbor(v as u64, &mut |d| {
                             atomic_add_f64(&next[d as usize], share);
                         });

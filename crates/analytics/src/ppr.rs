@@ -54,8 +54,7 @@ pub fn personalized_pagerank<S: GraphSnapshot + ?Sized>(
     for _ in 0..options.iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
         let mut dangling = 0.0;
-        for v in 0..n {
-            let rank = ranks[v];
+        for (v, &rank) in ranks.iter().enumerate() {
             if rank == 0.0 {
                 continue;
             }

@@ -173,7 +173,7 @@ mod tests {
         // degree 8, 1 of degree 16.
         let mut edges = Vec::new();
         let mut next = 0u64;
-        let mut add_group = |count: u64, degree: u64, edges: &mut Vec<(u64, u64)>, next: &mut u64| {
+        let add_group = |count: u64, degree: u64, edges: &mut Vec<(u64, u64)>, next: &mut u64| {
             for _ in 0..count {
                 let v = *next;
                 *next += 1;

@@ -19,6 +19,10 @@
 //! characteristics the paper attributes to each structure (logarithmic
 //! seeks, merge-during-scan for the LSM, pointer chasing for linked lists,
 //! contiguous scans for CSR).
+//!
+//! The workspace-level architecture map — TEL block layout, the commit
+//! path, and the crate dependency graph — lives in `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

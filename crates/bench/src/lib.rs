@@ -6,6 +6,10 @@
 //! `LIVEGRAPH_RESULTS_DIR` environment variable). Experiment sizes default
 //! to values that finish in seconds on a laptop; set `LIVEGRAPH_SCALE=paper`
 //! to run closer to the paper's sizes.
+//!
+//! The workspace-level architecture map — TEL block layout, the commit
+//! path, and the crate dependency graph — lives in `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn conversions_preserve_sources() {
-        let e: Error = io::Error::new(io::ErrorKind::Other, "disk gone").into();
+        let e: Error = io::Error::other("disk gone").into();
         assert!(std::error::Error::source(&e).is_some());
         let s: Error = livegraph_storage::StorageError::OutOfSpace {
             requested: 1,

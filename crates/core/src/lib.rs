@@ -11,7 +11,7 @@
 //!   power-of-two block holding the adjacency list as a log of fixed-size,
 //!   cache-aligned entries with embedded creation/invalidation timestamps,
 //!   plus a blocked Bloom filter for amortised-O(1) edge insertion;
-//! * the **MVCC transaction protocol** ([`txn`], commit, epochs):
+//! * the **MVCC transaction protocol** (`txn`, commit, epochs):
 //!   snapshot isolation driven by two global epoch counters and per-vertex
 //!   futex-style locks, with group commit to a write-ahead log and an apply
 //!   phase that publishes timestamps in place — no auxiliary version store,
@@ -41,6 +41,10 @@
 //!     println!("alice -> {} ({:?})", edge.dst, edge.properties);
 //! }
 //! ```
+//!
+//! The workspace-level architecture map — TEL block layout, the commit
+//! path, and the crate dependency graph — lives in `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

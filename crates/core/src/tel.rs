@@ -190,7 +190,7 @@ impl<'a> TelRef<'a> {
         unsafe {
             (self.ptr.add(OFF_SRC) as *mut u64).write(src);
             (self.ptr.add(OFF_LABEL) as *mut u64).write(label as u64);
-            (self.ptr.add(OFF_ORDER) as *mut u8).write(order);
+            self.ptr.add(OFF_ORDER).write(order);
             (self.ptr.add(OFF_PREV) as *mut u64).write(prev);
         }
         self.commit_ts_atomic().store(0, Ordering::Release);

@@ -69,8 +69,8 @@ impl<'a> VertexBlockRef<'a> {
         unsafe {
             (self.ptr.add(OFF_PREV) as *mut u64).write(prev);
             (self.ptr.add(OFF_LEN) as *mut u32).write(data.len() as u32);
-            (self.ptr.add(OFF_ORDER) as *mut u8).write(order);
-            (self.ptr.add(OFF_DELETED) as *mut u8).write(0);
+            self.ptr.add(OFF_ORDER).write(order);
+            self.ptr.add(OFF_DELETED).write(0);
             (self.ptr.add(OFF_ID) as *mut u64).write(vertex);
             if !data.is_empty() {
                 std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.add(VERTEX_HEADER_SIZE), data.len());

@@ -95,7 +95,7 @@ impl ColdAccessSimulator {
     /// (the benchmark drivers do) or merely account for it.
     pub fn access(&self, offset: u64, len: u64) -> Duration {
         let first = offset / self.page_size;
-        let last = offset.saturating_add(len.saturating_sub(1).max(0)) / self.page_size;
+        let last = offset.saturating_add(len.saturating_sub(1)) / self.page_size;
         let mut stall = Duration::ZERO;
         for page in first..=last {
             self.accesses.fetch_add(1, Ordering::Relaxed);

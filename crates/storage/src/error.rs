@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn io_error_source_is_preserved() {
-        let e: StorageError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: StorageError = io::Error::other("boom").into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("boom"));
     }

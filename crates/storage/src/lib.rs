@@ -26,6 +26,10 @@
 //! The TEL itself (layout, timestamps, Bloom filter) lives in
 //! `livegraph-core`; this crate is deliberately unaware of what the blocks
 //! contain.
+//!
+//! The workspace-level architecture map — TEL block layout, the commit
+//! path, and the crate dependency graph — lives in `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -114,6 +114,7 @@ impl PageCache {
             .read(true)
             .write(true)
             .create(true)
+            .truncate(false)
             .open(path)
             .map_err(StorageError::Io)?;
         let frames = (0..options.frames)
@@ -352,7 +353,7 @@ mod tests {
         let (cache, _dir) = cache(2);
         // Dirty three distinct pages through a 2-frame pool.
         for p in 0..3u64 {
-            cache.write_page(p, &vec![p as u8 + 1; 128]).unwrap();
+            cache.write_page(p, &[p as u8 + 1; 128]).unwrap();
         }
         let stats = cache.stats();
         assert!(stats.evictions >= 1);
@@ -378,8 +379,8 @@ mod tests {
                 },
             )
             .unwrap();
-            cache.write_page(0, &vec![9u8; 128]).unwrap();
-            cache.write_page(5, &vec![7u8; 128]).unwrap();
+            cache.write_page(0, &[9u8; 128]).unwrap();
+            cache.write_page(5, &[7u8; 128]).unwrap();
             cache.flush_all().unwrap();
         }
         // A brand-new cache over the same file sees the data.

@@ -78,7 +78,7 @@ mod tests {
         #[test]
         fn order_is_minimal_and_sufficient(bytes in 0usize..(1 << 30)) {
             let order = order_for_size(bytes);
-            prop_assert!(size_for_order(order) >= bytes.max(MIN_BLOCK_SIZE).next_power_of_two() / 2 + 1 || size_for_order(order) >= bytes);
+            prop_assert!(size_for_order(order) > bytes.max(MIN_BLOCK_SIZE).next_power_of_two() / 2 || size_for_order(order) >= bytes);
             prop_assert!(size_for_order(order) >= bytes);
             if order > 0 {
                 prop_assert!(size_for_order(order - 1) < bytes);

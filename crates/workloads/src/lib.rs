@@ -12,6 +12,10 @@
 //! * [`snb`] — an LDBC SNB-lite interactive workload (complex reads, short
 //!   reads, updates over a social-network schema) with LiveGraph and
 //!   sorted-edge-table backends (Tables 7–9).
+//!
+//! The workspace-level architecture map — TEL block layout, the commit
+//! path, and the crate dependency graph — lives in `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

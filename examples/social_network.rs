@@ -75,7 +75,7 @@ fn main() -> livegraph::core::Result<()> {
         }));
     }
     for handle in handles {
-        let _ = handle.join().expect("thread panicked");
+        handle.join().expect("thread panicked");
     }
 
     let read = graph.begin_read()?;

@@ -22,6 +22,10 @@
 //! txn.commit().unwrap();
 //! assert_eq!(graph.begin_read().unwrap().degree(a, DEFAULT_LABEL), 1);
 //! ```
+//!
+//! The workspace-level architecture map — TEL block layout, the commit
+//! path, and the crate dependency graph — lives in `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,57 @@
+//! Smoke test for the documented front door.
+//!
+//! Exercises exactly the path the README quickstart and
+//! `examples/quickstart.rs` advertise — open → write transaction →
+//! `put_edge` → commit → read degree — so CI proves the documentation's
+//! first-contact experience keeps working.
+
+use livegraph::core::{LiveGraph, LiveGraphOptions, DEFAULT_LABEL};
+
+#[test]
+fn quickstart_open_write_commit_read_degree() {
+    let graph = LiveGraph::open(LiveGraphOptions::in_memory()).unwrap();
+
+    let mut txn = graph.begin_write().unwrap();
+    let alice = txn.create_vertex(b"{\"name\":\"alice\"}").unwrap();
+    let bob = txn.create_vertex(b"{\"name\":\"bob\"}").unwrap();
+    let carol = txn.create_vertex(b"{\"name\":\"carol\"}").unwrap();
+    txn.put_edge(alice, DEFAULT_LABEL, bob, b"{\"since\":2019}").unwrap();
+    txn.put_edge(alice, DEFAULT_LABEL, carol, b"{\"since\":2021}").unwrap();
+    txn.put_edge(bob, DEFAULT_LABEL, carol, b"{\"since\":2022}").unwrap();
+    txn.commit().unwrap();
+
+    let read = graph.begin_read().unwrap();
+    assert_eq!(read.degree(alice, DEFAULT_LABEL), 2);
+    assert_eq!(read.degree(bob, DEFAULT_LABEL), 1);
+    assert_eq!(read.degree(carol, DEFAULT_LABEL), 0);
+    assert_eq!(
+        read.get_vertex(alice).map(<[u8]>::to_vec),
+        Some(b"{\"name\":\"alice\"}".to_vec())
+    );
+
+    // The adjacency scan sees both edges with their payloads.
+    let mut neighbours: Vec<(u64, Vec<u8>)> = read
+        .edges(alice, DEFAULT_LABEL)
+        .map(|e| (e.dst, e.properties.to_vec()))
+        .collect();
+    neighbours.sort();
+    assert_eq!(
+        neighbours,
+        vec![
+            (bob, b"{\"since\":2019}".to_vec()),
+            (carol, b"{\"since\":2021}".to_vec()),
+        ]
+    );
+
+    // Snapshot isolation, exactly as the quickstart demonstrates: a pinned
+    // snapshot keeps its view while later commits move the fresh view.
+    let mut update = graph.begin_write().unwrap();
+    update.delete_edge(alice, DEFAULT_LABEL, bob).unwrap();
+    update.commit().unwrap();
+    assert_eq!(read.degree(alice, DEFAULT_LABEL), 2, "pinned snapshot moved");
+    assert_eq!(
+        graph.begin_read().unwrap().degree(alice, DEFAULT_LABEL),
+        1,
+        "fresh snapshot missed the committed delete"
+    );
+}

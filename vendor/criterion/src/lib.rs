@@ -1,0 +1,369 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! Exposes the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `Throughput`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple wall-clock harness: each benchmark is warmed up briefly, then
+//! timed over a fixed budget, and mean time per iteration (plus derived
+//! throughput) is printed to stdout. No statistics, plots or baselines; the
+//! point is that `cargo bench` runs and reports honest numbers offline.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured closure processes this many logical elements.
+    Elements(u64),
+    /// The measured closure processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        Self {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Conversion accepted by `bench_function`/`bench_with_input` ids.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measurement: Duration,
+    result: Option<MeasuredTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasuredTime {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run for ~10% of the budget (at least once) so one-time
+        // setup cost (page faults, lazy init) stays out of the measurement.
+        let warmup_budget = self.measurement / 10;
+        let warmup_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement {
+                self.result = Some(MeasuredTime {
+                    mean: elapsed / u32::try_from(iters).unwrap_or(u32::MAX).max(1),
+                    iters,
+                });
+                return;
+            }
+        }
+    }
+
+    /// Times `routine` with per-iteration setup excluded from the budget
+    /// accounting (setup time is still wall-clock-included per call, as with
+    /// criterion's `BatchSize::PerIteration`).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                self.result = Some(MeasuredTime {
+                    mean: spent / u32::try_from(iters).unwrap_or(u32::MAX).max(1),
+                    iters,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Batch sizing hint, accepted for API compatibility.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum BatchSize {
+    /// One setup per measured call.
+    #[default]
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped override of the measurement budget; never leaks into
+    /// sibling groups, matching real criterion's per-group semantics.
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count. The stub harness uses a time budget
+    /// instead; the call is accepted so criterion-tuned benches compile.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrinks or grows the per-benchmark measurement budget for this group.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measurement = Some(budget);
+        self
+    }
+
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            measurement: self.measurement.unwrap_or(self.criterion.measurement),
+            result: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, bencher.result, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            measurement: self.measurement.unwrap_or(self.criterion.measurement),
+            result: None,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id, bencher.result, self.throughput);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, result: Option<MeasuredTime>, tp: Option<Throughput>) {
+    match result {
+        Some(m) => {
+            let per_iter = m.mean.as_secs_f64();
+            let mut line = format!(
+                "{group}/{id}: {} per iter ({} iters)",
+                format_duration(per_iter),
+                m.iters
+            );
+            if per_iter > 0.0 {
+                match tp {
+                    Some(Throughput::Elements(n)) => {
+                        line.push_str(&format!(", {:.3} Melem/s", n as f64 / per_iter / 1e6));
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        line.push_str(&format!(", {:.3} MiB/s", n as f64 / per_iter / (1 << 20) as f64));
+                    }
+                    None => {}
+                }
+            }
+            println!("{line}");
+        }
+        None => println!("{group}/{id}: no measurement recorded"),
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Benchmark driver, configured per `criterion_group!`.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short budget: these stub benches exist to be runnable and honest,
+        // not to drive statistical comparisons.
+        Self {
+            measurement: Duration::from_millis(
+                std::env::var("CRITERION_STUB_MEASUREMENT_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(300),
+            ),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.measurement = budget;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            measurement: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_mean() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(1));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.finish();
+        assert!(ran > 0, "benchmark closure never ran");
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("scan", 64).to_string(), "scan/64");
+        assert_eq!(BenchmarkId::from_parameter("csr").to_string(), "csr");
+    }
+}

@@ -1,0 +1,45 @@
+//! Minimal vendored stand-in for the `libc` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the handful of symbols the workspace actually uses are declared here
+//! directly against the system C library. Only Linux is supported, which is
+//! the only platform the paper reproduction targets.
+
+#![allow(non_camel_case_types)]
+
+/// Equivalent to C's `void` when used behind a pointer.
+pub use core::ffi::c_void;
+
+/// C `int`.
+pub type c_int = i32;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `off_t` (64-bit on x86_64 Linux).
+pub type off_t = i64;
+
+/// `madvise(2)` advice: the application does not expect to access the pages
+/// soon; anonymous pages may be dropped and will read back zero-filled.
+pub const MADV_DONTNEED: c_int = 4;
+/// `madvise(2)` advice: expect sequential page references.
+pub const MADV_SEQUENTIAL: c_int = 2;
+/// `madvise(2)` advice: expect random page references.
+pub const MADV_RANDOM: c_int = 1;
+
+extern "C" {
+    /// Give advice about use of memory. See `madvise(2)`.
+    pub fn madvise(addr: *mut c_void, length: size_t, advice: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn madvise_dontneed_on_heap_page_is_harmless_to_call_with_error() {
+        // An unaligned/bogus address must make madvise report an error rather
+        // than crash, proving the FFI binding is wired to the real symbol.
+        let bogus = std::ptr::dangling_mut::<c_void>();
+        let rc = unsafe { madvise(bogus.wrapping_add(1), 4096, MADV_DONTNEED) };
+        assert_eq!(rc, -1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Minimal vendored stand-in for the `memmap2` crate.
+//!
+//! Provides the one type the workspace uses — [`MmapMut`] — implemented
+//! directly over `mmap(2)`/`munmap(2)`/`msync(2)`. Only the constructors and
+//! accessors the storage crate calls are provided. Linux/x86_64 only, like
+//! the rest of the offline vendor set.
+
+use std::fs::File;
+use std::io;
+use std::ops::{Deref, DerefMut};
+use std::os::unix::io::AsRawFd;
+
+mod sys {
+    pub use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const MAP_SHARED: i32 = 0x01;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MAP_ANONYMOUS: i32 = 0x20;
+    pub const MS_SYNC: i32 = 4;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+        pub fn msync(addr: *mut c_void, length: usize, flags: i32) -> i32;
+    }
+}
+
+const MAP_FAILED: *mut sys::c_void = usize::MAX as *mut sys::c_void;
+
+/// A mutable memory map, either anonymous or shared with a file.
+///
+/// Dereferences to `[u8]`. The mapping is released with `munmap` on drop.
+pub struct MmapMut {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is an owned region of plain bytes; aliasing discipline
+// is the caller's responsibility exactly as with the real memmap2 crate.
+unsafe impl Send for MmapMut {}
+unsafe impl Sync for MmapMut {}
+
+impl MmapMut {
+    /// Creates a zero-initialised anonymous private mapping of `len` bytes.
+    pub fn map_anon(len: usize) -> io::Result<Self> {
+        if len == 0 {
+            return Ok(Self {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        // SAFETY: requesting a fresh anonymous mapping; the kernel picks the
+        // address and the region is exclusively owned by the returned value.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr == MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    /// Maps `file` read-write and shared, for its current length.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee the file is not truncated or concurrently
+    /// modified in ways that violate the aliasing the mapping assumes, as
+    /// with `memmap2::MmapMut::map_mut`.
+    pub unsafe fn map_mut(file: &File) -> io::Result<Self> {
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(Self {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ | sys::PROT_WRITE,
+            sys::MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr == MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pointer to the first byte of the mapping.
+    #[inline]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Mutable pointer to the first byte of the mapping.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Synchronously flushes dirty pages to the backing file.
+    pub fn flush(&self) -> io::Result<()> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        // SAFETY: the range is exactly the owned mapping.
+        let rc = unsafe { sys::msync(self.ptr as *mut sys::c_void, self.len, sys::MS_SYNC) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+impl Drop for MmapMut {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: releasing the mapping acquired in the constructor.
+            unsafe { sys::munmap(self.ptr as *mut sys::c_void, self.len) };
+        }
+    }
+}
+
+impl Deref for MmapMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: the mapping is valid for `len` bytes for the lifetime of
+        // `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl DerefMut for MmapMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as above, with exclusive access through `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl std::fmt::Debug for MmapMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapMut").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn anon_map_is_zeroed_and_writable() {
+        let mut m = MmapMut::map_anon(8192).unwrap();
+        assert_eq!(m.len(), 8192);
+        assert!(m.iter().all(|&b| b == 0));
+        m[4096] = 0xCD;
+        assert_eq!(m[4096], 0xCD);
+    }
+
+    #[test]
+    fn file_map_writes_reach_the_file_after_flush() {
+        let dir = std::env::temp_dir().join(format!("memmap2-stub-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[0u8; 4096]).unwrap();
+        let mut m = unsafe { MmapMut::map_mut(&f) }.unwrap();
+        m[7] = 0x7E;
+        m.flush().unwrap();
+        drop(m);
+        assert_eq!(std::fs::read(&path).unwrap()[7], 0x7E);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! [`strategy::Strategy`] with `prop_map`, [`prop_oneof!`], `any::<T>()`,
+//! ranges and tuples as strategies, and [`collection::vec`].
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! build:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs verbatim
+//!   instead of a minimised counterexample.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the test
+//!   function's name, so CI runs are reproducible; set `PROPTEST_SEED` to an
+//!   integer to explore a different stream locally.
+//! * `prop_assert!`/`prop_assert_eq!` panic like `assert!` rather than
+//!   returning `TestCaseError`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests over generated inputs.
+///
+/// Supported grammar (the subset of real proptest this workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn name(input in strategy, more in other_strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@with $config:expr;) => {};
+    (@with $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            $crate::test_runner::run(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                let case = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                $crate::test_runner::check_case(case, move || $body);
+            });
+        }
+        $crate::proptest!(@with $config; $($rest)*);
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::arm($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+        Rect(u8, u8),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u16..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_respects_size_bounds(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn oneof_and_prop_map_cover_all_arms(shape in prop_oneof![
+            Just(Shape::Dot),
+            any::<u8>().prop_map(Shape::Line),
+            (any::<u8>(), any::<u8>()).prop_map(|(w, h)| Shape::Rect(w, h)),
+        ]) {
+            match shape {
+                Shape::Dot | Shape::Line(_) | Shape::Rect(_, _) => {}
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_header_is_accepted(b in any::<bool>()) {
+            let as_int = u8::from(b);
+            prop_assert!(as_int <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_runs_generate_identical_values() {
+        use crate::strategy::Strategy;
+        let strategy = crate::collection::vec(0u64..1000, 5..20);
+        let mut a_rng = crate::test_runner::new_rng("det");
+        let mut b_rng = crate::test_runner::new_rng("det");
+        for _ in 0..10 {
+            assert_eq!(strategy.generate(&mut a_rng), strategy.generate(&mut b_rng));
+        }
+    }
+}

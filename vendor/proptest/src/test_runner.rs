@@ -1,0 +1,64 @@
+//! The case-running machinery behind the [`proptest!`](crate::proptest) macro.
+
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration, named `ProptestConfig` in the prelude.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; this stub never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; rejection is per-`prop_filter`.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Seeds a deterministic RNG for a named test, honouring `PROPTEST_SEED`.
+pub fn new_rng(test_name: &str) -> TestRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x4c69_7665_4772_6170); // "LiveGrap"
+    TestRng::seed_from_u64(base ^ fnv1a(test_name))
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `case` once per configured case with a deterministic RNG.
+pub fn run<F: FnMut(&mut TestRng)>(config: &Config, test_name: &str, mut case: F) {
+    let mut rng = new_rng(test_name);
+    for _ in 0..config.cases {
+        case(&mut rng);
+    }
+}
+
+/// Executes one generated case, reporting the inputs if the body panics.
+///
+/// There is no shrinking: the printed inputs are the exact generated values.
+pub fn check_case<F: FnOnce()>(case_description: String, body: F) {
+    if let Err(panic) = catch_unwind(AssertUnwindSafe(body)) {
+        eprintln!("proptest stub: failing case (no shrinking): {case_description}");
+        resume_unwind(panic);
+    }
+}

@@ -1,0 +1,168 @@
+//! Uniform sampling over ranges.
+
+use super::Distribution;
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that [`crate::Rng::gen_range`] can sample uniformly.
+///
+/// Integer sampling uses Lemire's widening-multiply rejection method, so
+/// results are unbiased for every range width.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from the half-open range `[low, high)`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Uniform sample from the closed range `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Ranges accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Uniform draw of `x` in `[0, bound)` without modulo bias (Lemire).
+#[inline]
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let lo = m as u64;
+        if lo >= bound || lo >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty as $wide:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                low.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )+};
+}
+
+uniform_int!(
+    u8 as u64,
+    u16 as u64,
+    u32 as u64,
+    u64 as u64,
+    usize as u64,
+    i8 as u64,
+    i16 as u64,
+    i32 as u64,
+    i64 as u64,
+    isize as u64,
+);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        low + unit * (high - low)
+    }
+
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+/// A reusable uniform distribution over a fixed range.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over the half-open range `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new: empty range");
+        Self { low, high }
+    }
+
+    /// Uniform over the closed range `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive: empty range");
+        Self { low, high }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.low, self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn bounded_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..7)] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / n as f64;
+            assert!((p - 1.0 / 7.0).abs() < 0.01, "bucket probability {p}");
+        }
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

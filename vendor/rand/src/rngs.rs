@@ -1,0 +1,69 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Unlike the real `rand::rngs::StdRng` (ChaCha12) this is not a
+/// cryptographic generator, but it passes the statistical bar for workload
+/// generation and is much faster. Seeding is deterministic, so benchmark and
+/// test runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Alias kept for API compatibility: the small generator is the same one.
+pub type SmallRng = StdRng;
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference design).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state is the one fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        Self { s }
+    }
+}

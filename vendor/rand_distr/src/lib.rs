@@ -1,0 +1,182 @@
+//! Minimal vendored stand-in for the `rand_distr` crate.
+//!
+//! Provides the one distribution this workspace samples from: [`Zipf`],
+//! implemented with rejection-inversion (Hörmann & Derflinger's method, the
+//! same algorithm the real crate and Apache Commons use), so construction is
+//! O(1) regardless of the element count and sampling needs no per-element
+//! tables.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Error returned by [`Zipf::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// The number of elements must be at least 1.
+    NumElementsTooSmall,
+    /// The exponent must be finite and non-negative.
+    InvalidExponent,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NumElementsTooSmall => write!(f, "zipf: need at least one element"),
+            ZipfError::InvalidExponent => write!(f, "zipf: exponent must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`.
+///
+/// Samples are returned as `F` (only `f64` is provided) holding an integer
+/// rank in `[1, n]`, matching `rand_distr::Zipf`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf<F> {
+    n: f64,
+    s: f64,
+    /// `H(n + 1/2)` — upper end of the inversion domain.
+    h_sup: f64,
+    /// `H(1/2)` — lower end of the inversion domain.
+    h_inf: f64,
+    /// Acceptance shortcut threshold: `1 - H_inv(H(3/2) - 1)`.
+    shortcut: f64,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `num_elements` ranks with the given
+    /// exponent.
+    pub fn new(num_elements: u64, exponent: f64) -> Result<Self, ZipfError> {
+        if num_elements < 1 {
+            return Err(ZipfError::NumElementsTooSmall);
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(ZipfError::InvalidExponent);
+        }
+        let s = exponent;
+        let n = num_elements as f64;
+        let h = |x: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-12 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+            }
+        };
+        let h_inv = |y: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-12 {
+                y.exp()
+            } else {
+                (1.0 + y * (1.0 - s)).powf(1.0 / (1.0 - s))
+            }
+        };
+        Ok(Self {
+            n,
+            s,
+            h_sup: h(n + 0.5),
+            h_inf: h(0.5),
+            shortcut: 1.0 - h_inv(h(1.5) - 1.0),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    #[inline]
+    fn h(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.s) - 1.0) / (1.0 - self.s)
+        }
+    }
+
+    #[inline]
+    fn h_inv(&self, y: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-12 {
+            y.exp()
+        } else {
+            (1.0 + y * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.n <= 1.0 {
+            return 1.0;
+        }
+        loop {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let u = self.h_inf + unit * (self.h_sup - self.h_inf);
+            let x = self.h_inv(u);
+            let k = x.round().clamp(1.0, self.n);
+            // Fast acceptance band around the inversion point, then the exact
+            // rejection test.
+            if (k - x).abs() <= self.shortcut || u >= self.h(k + 0.5) - k.powf(-self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, 0.0).is_ok());
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(100, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = zipf.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v) && v.fract() == 0.0, "bad sample {v}");
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates_with_positive_exponent() {
+        let zipf = Zipf::new(1_000, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| zipf.sample(&mut rng) == 1.0).count();
+        // With s=1 and n=1000, P(1) = 1/H(1000) ≈ 0.134.
+        let p = ones as f64 / n as f64;
+        assert!((p - 0.134).abs() < 0.02, "P(rank 1) ≈ 0.134, got {p}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let zipf = Zipf::new(8, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 80_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            counts[zipf.sample(&mut rng) as usize - 1] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / n as f64;
+            assert!((p - 0.125).abs() < 0.01, "bucket probability {p}");
+        }
+    }
+
+    #[test]
+    fn single_element_always_returns_one() {
+        let zipf = Zipf::new(1, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1.0);
+        }
+    }
+}

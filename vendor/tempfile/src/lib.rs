@@ -1,0 +1,88 @@
+//! Minimal vendored stand-in for the `tempfile` crate.
+//!
+//! Provides [`tempdir`]/[`TempDir`], the only API this workspace's tests
+//! use. Directory names combine the process id, a process-wide counter and
+//! the creation time, and creation retries on collision, so concurrently
+//! running test binaries never share a directory.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, deleted (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Path of the temporary directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the handle without deleting the directory, returning its path.
+    pub fn keep(self) -> PathBuf {
+        let mut this = std::mem::ManuallyDrop::new(self);
+        std::mem::take(&mut this.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        self.path()
+    }
+}
+
+/// Creates a fresh temporary directory under [`std::env::temp_dir`].
+pub fn tempdir() -> io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    for _ in 0..1024 {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".tmp-lg-{}-{nanos:08x}-{id}", std::process::id()));
+        match std::fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::AlreadyExists,
+        "could not create a unique temporary directory",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_exists_and_is_removed_on_drop() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f.txt"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn tempdirs_are_unique() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
