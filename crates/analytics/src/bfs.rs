@@ -19,10 +19,12 @@ pub fn bfs<S: GraphSnapshot + ?Sized>(snapshot: &S, root: u64) -> Vec<i64> {
     queue.push_back(root);
     while let Some(v) = queue.pop_front() {
         let next_level = levels[v as usize] + 1;
-        snapshot.for_each_neighbor(v, &mut |d| {
-            if levels[d as usize] < 0 {
-                levels[d as usize] = next_level;
-                queue.push_back(d);
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| {
+            for &d in chunk {
+                if levels[d as usize] < 0 {
+                    levels[d as usize] = next_level;
+                    queue.push_back(d);
+                }
             }
         });
     }
@@ -50,13 +52,15 @@ pub fn shortest_path_length<S: GraphSnapshot + ?Sized>(
     while let Some(v) = queue.pop_front() {
         let next_level = levels[v as usize] + 1;
         let mut found = false;
-        snapshot.for_each_neighbor(v, &mut |d| {
-            if levels[d as usize] < 0 {
-                levels[d as usize] = next_level;
-                if d == dst {
-                    found = true;
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| {
+            for &d in chunk {
+                if levels[d as usize] < 0 {
+                    levels[d as usize] = next_level;
+                    if d == dst {
+                        found = true;
+                    }
+                    queue.push_back(d);
                 }
-                queue.push_back(d);
             }
         });
         if found {

@@ -38,10 +38,12 @@ pub fn label_propagation<S: GraphSnapshot + ?Sized>(
     // Undirected adjacency, deduplicated once up front.
     let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
     for v in 0..n as u64 {
-        snapshot.for_each_neighbor(v, &mut |u| {
-            if (u as usize) < n && u != v {
-                adj[v as usize].push(u);
-                adj[u as usize].push(v);
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| {
+            for &u in chunk {
+                if (u as usize) < n && u != v {
+                    adj[v as usize].push(u);
+                    adj[u as usize].push(v);
+                }
             }
         });
     }

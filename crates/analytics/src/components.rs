@@ -42,11 +42,13 @@ pub fn connected_components<S: GraphSnapshot + ?Sized>(snapshot: &S, threads: us
                 scope.spawn(move || {
                     for v in start..end {
                         let lv = labels[v].load(Ordering::Relaxed);
-                        snapshot.for_each_neighbor(v as u64, &mut |d| {
-                            let ld = labels[d as usize].load(Ordering::Relaxed);
-                            let m = lv.min(ld);
-                            if atomic_min(&labels[d as usize], m) | atomic_min(&labels[v], m) {
-                                changed.store(true, Ordering::Relaxed);
+                        snapshot.for_each_neighbor_chunk(v as u64, &mut |chunk| {
+                            for &d in chunk {
+                                let ld = labels[d as usize].load(Ordering::Relaxed);
+                                let m = lv.min(ld);
+                                if atomic_min(&labels[d as usize], m) | atomic_min(&labels[v], m) {
+                                    changed.store(true, Ordering::Relaxed);
+                                }
                             }
                         });
                     }

@@ -17,7 +17,7 @@ pub fn snapshot_to_csr<S: GraphSnapshot + ?Sized>(snapshot: &S) -> CsrGraph {
     let mut adjacency: Vec<Vec<u64>> = Vec::with_capacity(n as usize);
     for v in 0..n {
         let mut list = Vec::with_capacity(snapshot.out_degree(v) as usize);
-        snapshot.for_each_neighbor(v, &mut |d| list.push(d));
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| list.extend_from_slice(chunk));
         adjacency.push(list);
     }
     CsrGraph::from_adjacency(&adjacency)

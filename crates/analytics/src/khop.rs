@@ -38,10 +38,12 @@ pub fn k_hop_with_distances<S: GraphSnapshot + ?Sized>(
         if d == k {
             continue;
         }
-        snapshot.for_each_neighbor(v, &mut |u| {
-            if (u as usize) < n && dist[u as usize] == u64::MAX {
-                dist[u as usize] = d + 1;
-                queue.push_back(u);
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| {
+            for &u in chunk {
+                if (u as usize) < n && dist[u as usize] == u64::MAX {
+                    dist[u as usize] = d + 1;
+                    queue.push_back(u);
+                }
             }
         });
     }

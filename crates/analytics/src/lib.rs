@@ -42,7 +42,7 @@ pub use etl::snapshot_to_csr;
 pub use khop::{k_hop_neighborhood, k_hop_with_distances};
 pub use pagerank::{pagerank, PageRankOptions};
 pub use ppr::{personalized_pagerank, top_k_recommendations, PersonalizedPageRankOptions};
-pub use snapshot::{GraphSnapshot, LiveSnapshot};
+pub use snapshot::{GraphSnapshot, LiveSnapshot, NEIGHBOR_CHUNK};
 pub use sssp::{sssp, weighted_distance};
 pub use stats::{degree_histogram, degree_stats, power_law_exponent, DegreeStats};
 pub use triangles::{count_triangles, global_clustering_coefficient};

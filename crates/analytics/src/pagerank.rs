@@ -74,8 +74,10 @@ pub fn pagerank<S: GraphSnapshot + ?Sized>(snapshot: &S, options: PageRankOption
                             continue;
                         }
                         let share = rank / degree as f64;
-                        snapshot.for_each_neighbor(v as u64, &mut |d| {
-                            atomic_add_f64(&next[d as usize], share);
+                        snapshot.for_each_neighbor_chunk(v as u64, &mut |chunk| {
+                            for &d in chunk {
+                                atomic_add_f64(&next[d as usize], share);
+                            }
                         });
                     }
                 });

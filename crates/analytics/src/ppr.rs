@@ -64,8 +64,10 @@ pub fn personalized_pagerank<S: GraphSnapshot + ?Sized>(
                 continue;
             }
             let share = rank / degree as f64;
-            snapshot.for_each_neighbor(v as u64, &mut |d| {
-                next[d as usize] += share;
+            snapshot.for_each_neighbor_chunk(v as u64, &mut |chunk| {
+                for &d in chunk {
+                    next[d as usize] += share;
+                }
             });
         }
         for v in 0..n {

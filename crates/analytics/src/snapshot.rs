@@ -3,11 +3,24 @@
 use livegraph_baselines::CsrGraph;
 use livegraph_core::{Label, ReadTxn};
 
+/// Chunk granularity of the *buffered* default
+/// [`GraphSnapshot::for_each_neighbor_chunk`] implementation (matches the
+/// engine's [`livegraph_core::NEIGHBOR_CHUNK`]). This is an amortisation
+/// floor, **not** an upper bound on chunk length: snapshots with contiguous
+/// adjacency (CSR) deliver a whole neighbour list as one chunk. Consumers
+/// must treat chunks as arbitrary-length non-empty slices.
+pub const NEIGHBOR_CHUNK: usize = livegraph_core::NEIGHBOR_CHUNK;
+
 /// A read-only, consistent view of a graph's topology.
 ///
 /// Kernels only need vertex counts, out-degrees and sequential neighbour
 /// iteration; both LiveGraph read transactions and CSR graphs provide these.
 /// Implementations must be safe to query from multiple threads.
+///
+/// Kernels should prefer [`GraphSnapshot::for_each_neighbor_chunk`]: the
+/// trait object boundary costs one indirect call per *chunk* of up to
+/// [`NEIGHBOR_CHUNK`] neighbours instead of one per neighbour, which is what
+/// lets the engine's zero-check sealed scans pay off end-to-end.
 pub trait GraphSnapshot: Sync {
     /// Number of vertices (vertex ids are `0..num_vertices()`).
     fn num_vertices(&self) -> u64;
@@ -15,12 +28,37 @@ pub trait GraphSnapshot: Sync {
     /// Out-degree of `v`.
     fn out_degree(&self, v: u64) -> u64 {
         let mut n = 0;
-        self.for_each_neighbor(v, &mut |_| n += 1);
+        self.for_each_neighbor_chunk(v, &mut |chunk| n += chunk.len() as u64);
         n
     }
 
     /// Invokes `f` for every out-neighbour of `v`.
     fn for_each_neighbor(&self, v: u64, f: &mut dyn FnMut(u64));
+
+    /// Invokes `f` with dense runs of out-neighbours of `v`. Chunks are
+    /// non-empty slices of *any* length: the buffered default flushes every
+    /// [`NEIGHBOR_CHUNK`] vertices, while contiguous-adjacency
+    /// implementations (CSR) may deliver the whole list in one call — do
+    /// not size fixed buffers by [`NEIGHBOR_CHUNK`].
+    ///
+    /// The default buffers [`GraphSnapshot::for_each_neighbor`] through a
+    /// stack array; implementations with contiguous adjacency (CSR) or a
+    /// native chunked scan (LiveGraph) override it.
+    fn for_each_neighbor_chunk(&self, v: u64, f: &mut dyn FnMut(&[u64])) {
+        let mut buf = [0u64; NEIGHBOR_CHUNK];
+        let mut len = 0usize;
+        self.for_each_neighbor(v, &mut |d| {
+            buf[len] = d;
+            len += 1;
+            if len == NEIGHBOR_CHUNK {
+                f(&buf);
+                len = 0;
+            }
+        });
+        if len > 0 {
+            f(&buf[..len]);
+        }
+    }
 
     /// Total number of directed edges (default: sum of out-degrees).
     fn num_edges(&self) -> u64 {
@@ -40,6 +78,13 @@ impl GraphSnapshot for CsrGraph {
     fn for_each_neighbor(&self, v: u64, f: &mut dyn FnMut(u64)) {
         for &d in self.neighbors(v) {
             f(d);
+        }
+    }
+
+    fn for_each_neighbor_chunk(&self, v: u64, f: &mut dyn FnMut(&[u64])) {
+        let neighbors = self.neighbors(v);
+        if !neighbors.is_empty() {
+            f(neighbors);
         }
     }
 
@@ -69,11 +114,17 @@ impl GraphSnapshot for LiveSnapshot<'_, '_> {
     }
 
     fn for_each_neighbor(&self, v: u64, f: &mut dyn FnMut(u64)) {
-        for edge in self.txn.edges(v, self.label) {
-            f(edge.dst);
-        }
+        self.txn.for_each_neighbor(v, self.label, f);
     }
 
+    fn for_each_neighbor_chunk(&self, v: u64, f: &mut dyn FnMut(&[u64])) {
+        // Monomorphized down to the sealed TEL streaming scan; `f` is only
+        // invoked once per chunk, so the dyn boundary cost is amortised.
+        self.txn.for_each_neighbor_chunk(v, self.label, |chunk| f(chunk));
+    }
+
+    /// O(1) for sealed TELs: committed log size minus the header's
+    /// committed-invalidation count (see `livegraph_core::tel`).
     fn out_degree(&self, v: u64) -> u64 {
         self.txn.degree(v, self.label) as u64
     }
@@ -93,6 +144,47 @@ mod tests {
         let mut seen = Vec::new();
         snap.for_each_neighbor(0, &mut |d| seen.push(d));
         assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn csr_chunk_visitor_delivers_the_whole_list_at_once() {
+        let csr = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 0)]);
+        let snap: &dyn GraphSnapshot = &csr;
+        let mut chunks = Vec::new();
+        snap.for_each_neighbor_chunk(0, &mut |c| chunks.push(c.to_vec()));
+        assert_eq!(chunks, vec![vec![1, 2, 3]], "CSR is one contiguous chunk");
+        let mut none = 0;
+        snap.for_each_neighbor_chunk(1, &mut |_| none += 1);
+        assert_eq!(none, 0, "empty lists produce no chunk callback");
+    }
+
+    #[test]
+    fn default_chunk_visitor_buffers_and_flushes_the_tail() {
+        // A snapshot that only implements the per-element visitor.
+        struct Fan(u64);
+        impl GraphSnapshot for Fan {
+            fn num_vertices(&self) -> u64 {
+                self.0 + 1
+            }
+            fn for_each_neighbor(&self, v: u64, f: &mut dyn FnMut(u64)) {
+                if v == 0 {
+                    for d in 1..=self.0 {
+                        f(d);
+                    }
+                }
+            }
+        }
+        let n = NEIGHBOR_CHUNK as u64 + 5;
+        let fan = Fan(n);
+        let mut sizes = Vec::new();
+        let mut seen = Vec::new();
+        fan.for_each_neighbor_chunk(0, &mut |c| {
+            sizes.push(c.len());
+            seen.extend_from_slice(c);
+        });
+        assert_eq!(sizes, vec![NEIGHBOR_CHUNK, 5]);
+        assert_eq!(seen, (1..=n).collect::<Vec<_>>());
+        assert_eq!(fan.out_degree(0), n, "default out_degree rides the chunks");
     }
 
     #[test]

@@ -66,16 +66,18 @@ where
         if d > dist[v as usize] {
             continue; // stale heap entry
         }
-        snapshot.for_each_neighbor(v, &mut |u| {
-            let w = weight(v, u);
-            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
-            let candidate = d + w;
-            if candidate < dist[u as usize] {
-                dist[u as usize] = candidate;
-                heap.push(HeapEntry {
-                    dist: candidate,
-                    vertex: u,
-                });
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| {
+            for &u in chunk {
+                let w = weight(v, u);
+                debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+                let candidate = d + w;
+                if candidate < dist[u as usize] {
+                    dist[u as usize] = candidate;
+                    heap.push(HeapEntry {
+                        dist: candidate,
+                        vertex: u,
+                    });
+                }
             }
         });
     }
@@ -110,14 +112,16 @@ where
         if d > dist[v as usize] {
             continue;
         }
-        snapshot.for_each_neighbor(v, &mut |u| {
-            let candidate = d + weight(v, u);
-            if candidate < dist[u as usize] {
-                dist[u as usize] = candidate;
-                heap.push(HeapEntry {
-                    dist: candidate,
-                    vertex: u,
-                });
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| {
+            for &u in chunk {
+                let candidate = d + weight(v, u);
+                if candidate < dist[u as usize] {
+                    dist[u as usize] = candidate;
+                    heap.push(HeapEntry {
+                        dist: candidate,
+                        vertex: u,
+                    });
+                }
             }
         });
     }

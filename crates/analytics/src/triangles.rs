@@ -18,12 +18,14 @@ pub fn count_triangles<S: GraphSnapshot + ?Sized>(snapshot: &S, threads: usize) 
     // Forward adjacency: v -> {u : u > v, (v,u) or (u,v) is an edge}.
     let mut forward: Vec<Vec<u64>> = vec![Vec::new(); n];
     for v in 0..n as u64 {
-        snapshot.for_each_neighbor(v, &mut |u| {
-            if u as usize >= n || u == v {
-                return;
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| {
+            for &u in chunk {
+                if u as usize >= n || u == v {
+                    continue;
+                }
+                let (lo, hi) = if v < u { (v, u) } else { (u, v) };
+                forward[lo as usize].push(hi);
             }
-            let (lo, hi) = if v < u { (v, u) } else { (u, v) };
-            forward[lo as usize].push(hi);
         });
     }
     for list in &mut forward {
@@ -82,12 +84,14 @@ pub fn global_clustering_coefficient<S: GraphSnapshot + ?Sized>(snapshot: &S, th
     let mut degree = vec![0u64; n];
     let mut und: Vec<Vec<u64>> = vec![Vec::new(); n];
     for v in 0..n as u64 {
-        snapshot.for_each_neighbor(v, &mut |u| {
-            if u as usize >= n || u == v {
-                return;
+        snapshot.for_each_neighbor_chunk(v, &mut |chunk| {
+            for &u in chunk {
+                if u as usize >= n || u == v {
+                    continue;
+                }
+                und[v as usize].push(u);
+                und[u as usize].push(v);
             }
-            und[v as usize].push(u);
-            und[u as usize].push(v);
         });
     }
     for (v, list) in und.iter_mut().enumerate() {

@@ -1,10 +1,13 @@
 //! Criterion version of the Figure 1 comparison: adjacency-list scans over
 //! the same Kronecker graph stored in TEL (LiveGraph), B+ tree, LSM, linked
-//! list and CSR.
+//! list and CSR — plus the sealed-vs-dirty TEL fast-path comparison
+//! (`scan_fastpath` in the bin of the same name tracks these numbers in
+//! `BENCH_scan.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use livegraph_baselines::{AdjacencyStore, BTreeEdgeStore, CsrGraph, LinkedListStore, LsmEdgeStore};
-use livegraph_bench::{load_livegraph_edges, LiveGraphAdapter};
+use livegraph_bench::{build_hub_graph, load_livegraph_edges, LiveGraphAdapter};
+use livegraph_core::DEFAULT_LABEL;
 use livegraph_workloads::kronecker::{generate_kronecker, KroneckerConfig};
 use livegraph_workloads::linkbench::AccessDistribution;
 use rand::rngs::StdRng;
@@ -50,5 +53,52 @@ fn bench_scans(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scans);
+/// Sealed zero-check streaming vs the per-entry-checked scan vs the dirty
+/// fallback, all over the same 10k-degree TEL (the `scan_fastpath` bin
+/// measures the identical shape via the shared `build_hub_graph`).
+fn bench_sealed_fastpath(c: &mut Criterion) {
+    let (graph, hub) = build_hub_graph(10_000);
+
+    let mut group = c.benchmark_group("tel_scan_fastpath_10k_degree");
+    {
+        let read = graph.begin_read().expect("begin_read");
+        group.bench_function("sealed_zero_check", |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                read.for_each_neighbor(hub, DEFAULT_LABEL, |d| sum = sum.wrapping_add(d));
+                criterion::black_box(sum)
+            });
+        });
+        group.bench_function("checked_edge_iter", |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for edge in read.edges(hub, DEFAULT_LABEL) {
+                    sum = sum.wrapping_add(edge.dst);
+                }
+                criterion::black_box(sum)
+            });
+        });
+        group.bench_function("degree_o1", |b| {
+            b.iter(|| criterion::black_box(read.degree(hub, DEFAULT_LABEL)));
+        });
+    }
+    // One committed deletion dirties the invalidation summary: the same call
+    // now transparently falls back to the checked path.
+    let mut del = graph.begin_write().expect("begin_write");
+    del.delete_edge(hub, DEFAULT_LABEL, 1).expect("delete_edge");
+    del.commit().expect("commit");
+    {
+        let read = graph.begin_read().expect("begin_read");
+        group.bench_function("dirty_fallback", |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                read.for_each_neighbor(hub, DEFAULT_LABEL, |d| sum = sum.wrapping_add(d));
+                criterion::black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_sealed_fastpath);
 criterion_main!(benches);

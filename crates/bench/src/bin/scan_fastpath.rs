@@ -1,0 +1,165 @@
+//! Sealed-scan fast-path microbenchmark.
+//!
+//! Measures the four ways the engine can walk one high-degree adjacency
+//! list, over the same committed data:
+//!
+//! * `checked`  — the per-entry-checked `EdgeIter` scan (two timestamp
+//!   loads + visibility branch + property slice per edge);
+//! * `sealed`   — `ReadTxn::for_each_neighbor` on a clean TEL: the
+//!   zero-check streaming scan (one 8-byte load per 32-byte entry);
+//! * `chunked`  — the same scan behind the `GraphSnapshot` dyn boundary via
+//!   `for_each_neighbor_chunk` (one indirect call per 64 neighbours);
+//! * `dirty`    — `for_each_neighbor` after one committed deletion, i.e.
+//!   the automatic fallback to the checked path.
+//!
+//! Writes `BENCH_scan.json` to the repository root (override with
+//! `LIVEGRAPH_BENCH_OUT`) so the scan-throughput trajectory is tracked per
+//! PR. `LIVEGRAPH_BENCH=quick` (or `LIVEGRAPH_SCALE=quick`, the default)
+//! keeps the run under a second for CI smoke checks.
+
+use std::time::Instant;
+
+use livegraph_analytics::{GraphSnapshot, LiveSnapshot};
+use livegraph_bench::{build_hub_graph, ResultTable};
+use livegraph_core::DEFAULT_LABEL;
+
+const DEGREE: u64 = 10_000;
+
+/// Times `iters` runs of `f` and returns nanoseconds per scanned edge.
+fn measure(iters: u32, edges_per_iter: u64, mut f: impl FnMut() -> u64) -> f64 {
+    // Warm up (page in the block, settle the branch predictors).
+    for _ in 0..iters / 10 + 1 {
+        criterion::black_box(f());
+    }
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for _ in 0..iters {
+        checksum = checksum.wrapping_add(f());
+    }
+    let elapsed = start.elapsed();
+    criterion::black_box(checksum);
+    elapsed.as_nanos() as f64 / (iters as u64 * edges_per_iter) as f64
+}
+
+fn main() {
+    // LIVEGRAPH_BENCH=quick|full overrides; otherwise follow LIVEGRAPH_SCALE
+    // (quick unless the paper-scale run was requested).
+    let quick = match std::env::var("LIVEGRAPH_BENCH").as_deref() {
+        Ok("quick") | Ok("QUICK") => true,
+        Ok("full") | Ok("FULL") => false,
+        _ => !matches!(std::env::var("LIVEGRAPH_SCALE").as_deref(), Ok("paper")),
+    };
+    let iters: u32 = if quick { 400 } else { 4_000 };
+
+    let (graph, hub) = build_hub_graph(DEGREE);
+
+    // --- Sealed (clean TEL, zero-check streaming) -------------------------
+    let read = graph.begin_read().expect("begin_read");
+    let sealed_before = graph.stats().scans.sealed_scans;
+    let sealed_ns = measure(iters, DEGREE, || {
+        let mut sum = 0u64;
+        read.for_each_neighbor(hub, DEFAULT_LABEL, |d| sum = sum.wrapping_add(d));
+        sum
+    });
+    assert!(
+        graph.stats().scans.sealed_scans > sealed_before,
+        "benchmark error: the clean TEL did not take the sealed path"
+    );
+
+    // --- Checked (per-entry visibility checks, same data) -----------------
+    let checked_ns = measure(iters, DEGREE, || {
+        let mut sum = 0u64;
+        for edge in read.edges(hub, DEFAULT_LABEL) {
+            sum = sum.wrapping_add(edge.dst);
+        }
+        sum
+    });
+
+    // --- Chunked through the dyn GraphSnapshot boundary -------------------
+    let snapshot = LiveSnapshot::new(&read, DEFAULT_LABEL);
+    let dyn_snapshot: &dyn GraphSnapshot = &snapshot;
+    let chunked_ns = measure(iters, DEGREE, || {
+        let mut sum = 0u64;
+        dyn_snapshot.for_each_neighbor_chunk(hub, &mut |chunk| {
+            for &d in chunk {
+                sum = sum.wrapping_add(d);
+            }
+        });
+        sum
+    });
+
+    // --- Per-element dyn dispatch (the pre-chunking analytics path) -------
+    let dyn_elem_ns = measure(iters, DEGREE, || {
+        let mut sum = 0u64;
+        dyn_snapshot.for_each_neighbor(hub, &mut |d| sum = sum.wrapping_add(d));
+        sum
+    });
+    drop(read);
+
+    // --- Dirty TEL: one committed deletion forces the checked fallback ----
+    let mut del = graph.begin_write().expect("begin_write");
+    del.delete_edge(hub, DEFAULT_LABEL, 1).expect("delete_edge");
+    del.commit().expect("commit delete");
+    let read = graph.begin_read().expect("begin_read");
+    let checked_before = graph.stats().scans.checked_scans;
+    let dirty_ns = measure(iters, DEGREE - 1, || {
+        let mut sum = 0u64;
+        read.for_each_neighbor(hub, DEFAULT_LABEL, |d| sum = sum.wrapping_add(d));
+        sum
+    });
+    assert!(
+        graph.stats().scans.checked_scans > checked_before,
+        "benchmark error: the dirty TEL did not fall back to the checked path"
+    );
+
+    // --- O(1) degree vs counting scan -------------------------------------
+    let degree_start = Instant::now();
+    let degree_calls = 1_000_000u32;
+    let mut acc = 0usize;
+    for _ in 0..degree_calls {
+        acc = acc.wrapping_add(criterion::black_box(read.degree(hub, DEFAULT_LABEL)));
+    }
+    criterion::black_box(acc);
+    let degree_ns = degree_start.elapsed().as_nanos() as f64 / degree_calls as f64;
+    drop(read);
+
+    let speedup = checked_ns / sealed_ns;
+    let mut table = ResultTable::new(
+        "Sealed-TEL scan fast path (10k-degree adjacency list)",
+        &["case", "ns/edge", "edges/s (M)", "vs checked"],
+    );
+    for (name, ns) in [
+        ("checked (EdgeIter)", checked_ns),
+        ("sealed (for_each_neighbor)", sealed_ns),
+        ("chunked (dyn, 64/call)", chunked_ns),
+        ("dyn per-element", dyn_elem_ns),
+        ("dirty fallback", dirty_ns),
+    ] {
+        table.add_row(vec![
+            name.to_string(),
+            format!("{ns:.3}"),
+            format!("{:.1}", 1e3 / ns),
+            format!("{:.2}x", checked_ns / ns),
+        ]);
+    }
+    table.finish("scan_fastpath");
+    println!("O(1) degree(): {degree_ns:.1} ns/call");
+    if speedup < 1.5 {
+        eprintln!("warning: sealed speedup {speedup:.2}x is below the 1.5x target");
+    }
+
+    let out = std::env::var("LIVEGRAPH_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".into());
+    let json = format!(
+        "{{\n  \"bench\": \"scan_fastpath\",\n  \"degree\": {DEGREE},\n  \"iters\": {iters},\n  \"checked_ns_per_edge\": {checked_ns:.4},\n  \"sealed_ns_per_edge\": {sealed_ns:.4},\n  \"chunked_dyn_ns_per_edge\": {chunked_ns:.4},\n  \"per_element_dyn_ns_per_edge\": {dyn_elem_ns:.4},\n  \"dirty_fallback_ns_per_edge\": {dirty_ns:.4},\n  \"degree_o1_ns_per_call\": {degree_ns:.1},\n  \"sealed_speedup_vs_checked\": {speedup:.2},\n  \"sealed_medges_per_sec\": {:.1}\n}}\n",
+        1e3 / sealed_ns
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("(json written to {out})"),
+        Err(e) => {
+            // CI reads this file in a follow-up step; fail here, where the
+            // cause is visible, rather than there with a bare ENOENT.
+            eprintln!("error: could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

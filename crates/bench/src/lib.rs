@@ -216,10 +216,12 @@ impl AdjacencyStore for LiveGraphAdapter {
     fn scan_neighbors(&self, src: u64, f: &mut dyn FnMut(u64)) -> usize {
         let txn = self.graph.begin_read().expect("begin_read");
         let mut n = 0;
-        for edge in txn.edges(src, DEFAULT_LABEL) {
-            f(edge.dst);
+        // Sealed zero-check streaming when the TEL has no committed
+        // invalidations; per-entry-checked scan otherwise.
+        txn.for_each_neighbor(src, DEFAULT_LABEL, |d| {
+            f(d);
             n += 1;
-        }
+        });
         n
     }
 
@@ -230,6 +232,27 @@ impl AdjacencyStore for LiveGraphAdapter {
     fn name(&self) -> &'static str {
         "livegraph-tel"
     }
+}
+
+/// Builds a graph with one hub vertex of out-degree `degree` (edges to
+/// vertices `1..=degree`, committed in 4096-edge batches) and returns
+/// `(graph, hub id)`. Shared by the sealed-scan fast-path measurements
+/// (`benches/adjacency_scan.rs` and the `scan_fastpath` bin) so both run
+/// against identically shaped data.
+pub fn build_hub_graph(degree: u64) -> (LiveGraph, u64) {
+    let graph = bench_graph(((degree + 1024) as usize).next_power_of_two());
+    let mut txn = graph.begin_write().expect("begin_write");
+    let hub = txn.create_vertex(b"hub").expect("create hub");
+    txn.create_vertex_with_id(degree + 8, b"").expect("reserve ids");
+    txn.commit().expect("commit setup");
+    for chunk_start in (1..=degree).step_by(4096) {
+        let mut txn = graph.begin_write().expect("begin_write");
+        for dst in chunk_start..(chunk_start + 4096).min(degree + 1) {
+            txn.put_edge(hub, DEFAULT_LABEL, dst, b"").expect("put_edge");
+        }
+        txn.commit().expect("commit edges");
+    }
+    (graph, hub)
 }
 
 /// Bulk-loads an edge list into a LiveGraph in batched transactions and

@@ -234,6 +234,20 @@ fn compact_vertex(graph: &GraphInner, vertex: VertexId, safe: Timestamp) -> bool
             new_tel.set_commit_ts(tel.commit_ts());
             new_tel.set_log_size(new_log);
             new_tel.set_prop_size(new_prop);
+            // Rebuild the invalidation summary over the surviving entries:
+            // only invalidations still needed by history/time-travel readers
+            // (inv > safe) were kept, so a fully compacted TEL re-seals and
+            // regains the zero-check scan fast path.
+            let mut kept_inv = 0u32;
+            let mut kept_max = 0i64;
+            for e in new_tel.scan(new_log) {
+                let inv = e.invalidation_ts();
+                if inv != NULL_TS && inv > 0 {
+                    kept_inv += 1;
+                    kept_max = kept_max.max(inv);
+                }
+            }
+            new_tel.set_invalidation_summary(kept_inv, kept_max);
             let updated = li.update(label, new_ptr);
             debug_assert!(updated);
             state.retire(graph.epochs.gre(), tel_ptr, tel.order());

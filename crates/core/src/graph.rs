@@ -134,6 +134,89 @@ impl LiveGraphOptions {
     }
 }
 
+/// Counters describing how adjacency reads were served (sealed fast path
+/// vs. checked scans, and the effort of Bloom-assisted point lookups).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Neighbourhood scans served by the zero-check sealed fast path.
+    pub sealed_scans: u64,
+    /// Neighbourhood scans that fell back to the per-entry checked path
+    /// (dirty TEL, uncovered commit, or a writer transaction reading).
+    pub checked_scans: u64,
+    /// `get_edge` point lookups issued through the public API.
+    pub edge_lookups: u64,
+    /// Log entries examined by those lookups (0 for a Bloom negative).
+    pub edge_lookup_entries_scanned: u64,
+    /// Lookups short-circuited by a definite Bloom-filter miss.
+    pub edge_lookup_bloom_negatives: u64,
+}
+
+/// One worker's scan counters, padded to a cache line so the per-scan
+/// increment on the hot path never contends with other workers.
+#[repr(align(64))]
+#[derive(Default)]
+struct WorkerScanCounters {
+    sealed: AtomicU64,
+    checked: AtomicU64,
+}
+
+/// Internal atomic mirror of [`ScanStats`]. Scan counts are sharded per
+/// worker slot (they fire once per adjacency scan, i.e. once per vertex per
+/// analytics iteration across all threads); the point-lookup counters fire
+/// once per `get_edge` — which does orders of magnitude more work than one
+/// increment — and stay shared.
+pub(crate) struct ScanCounters {
+    per_worker: Vec<WorkerScanCounters>,
+    edge_lookups: AtomicU64,
+    edge_lookup_entries_scanned: AtomicU64,
+    edge_lookup_bloom_negatives: AtomicU64,
+}
+
+impl ScanCounters {
+    fn new(max_workers: usize) -> Self {
+        Self {
+            per_worker: (0..max_workers).map(|_| WorkerScanCounters::default()).collect(),
+            edge_lookups: AtomicU64::new(0),
+            edge_lookup_entries_scanned: AtomicU64::new(0),
+            edge_lookup_bloom_negatives: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_scan(&self, worker: usize, sealed: bool) {
+        let slot = &self.per_worker[worker];
+        if sealed {
+            slot.sealed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            slot.checked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_lookup(&self, probe: crate::tel::EdgeProbe) {
+        self.edge_lookups.fetch_add(1, Ordering::Relaxed);
+        if probe.bloom_negative {
+            self.edge_lookup_bloom_negatives.fetch_add(1, Ordering::Relaxed);
+        }
+        self.edge_lookup_entries_scanned
+            .fetch_add(probe.entries_scanned as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ScanStats {
+        let (mut sealed, mut checked) = (0u64, 0u64);
+        for w in &self.per_worker {
+            sealed += w.sealed.load(Ordering::Relaxed);
+            checked += w.checked.load(Ordering::Relaxed);
+        }
+        ScanStats {
+            sealed_scans: sealed,
+            checked_scans: checked,
+            edge_lookups: self.edge_lookups.load(Ordering::Relaxed),
+            edge_lookup_entries_scanned: self.edge_lookup_entries_scanned.load(Ordering::Relaxed),
+            edge_lookup_bloom_negatives: self.edge_lookup_bloom_negatives.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Aggregated engine statistics (memory consumption, compaction, WAL).
 #[derive(Debug, Clone)]
 pub struct GraphStats {
@@ -146,6 +229,8 @@ pub struct GraphStats {
     pub blocks: BlockStoreStats,
     /// Compaction statistics.
     pub compaction: CompactionStats,
+    /// Adjacency-scan and point-lookup path statistics.
+    pub scans: ScanStats,
     /// Bytes written to the WAL so far.
     pub wal_bytes: u64,
     /// Current global read epoch.
@@ -168,6 +253,7 @@ pub(crate) struct GraphInner {
     pub(crate) compaction: CompactionState,
     pub(crate) next_vertex: AtomicU64,
     pub(crate) edge_insert_count: AtomicU64,
+    pub(crate) scan_counters: ScanCounters,
     /// Ids of deleted vertices reclaimed by compaction, available for reuse
     /// by [`crate::WriteTxn::create_vertex`].
     pub(crate) free_vertex_ids: parking_lot::Mutex<Vec<VertexId>>,
@@ -357,19 +443,10 @@ impl GraphInner {
     }
 
     /// The labels for which `vertex` has a (possibly empty) TEL.
+    /// ([`crate::txn::LabelIter`] is the single source of truth for the
+    /// label-index walk; this is its collecting convenience.)
     pub(crate) fn labels_of(&self, vertex: VertexId) -> Vec<Label> {
-        if !self.vertex_exists(vertex) {
-            return Vec::new();
-        }
-        let li_ptr = self.edge_index.get(vertex);
-        if li_ptr == NULL_BLOCK {
-            return Vec::new();
-        }
-        let li = self.label_index_ref(li_ptr);
-        li.iter()
-            .filter(|&(_, tel)| tel != NULL_BLOCK)
-            .map(|(label, _)| label)
-            .collect()
+        crate::txn::LabelIter::new(self, vertex).collect()
     }
 
     /// Pops a recycled vertex id, if one is available.
@@ -461,6 +538,7 @@ impl LiveGraph {
             compaction: CompactionState::new(options.max_workers),
             next_vertex: AtomicU64::new(0),
             edge_insert_count: AtomicU64::new(0),
+            scan_counters: ScanCounters::new(options.max_workers),
             free_vertex_ids: parking_lot::Mutex::new(Vec::new()),
             recovery_mode: AtomicBool::new(false),
             store,
@@ -526,6 +604,7 @@ impl LiveGraph {
             edge_insert_count: self.inner.edge_insert_count.load(Ordering::Relaxed),
             blocks: self.inner.store.stats(),
             compaction: self.inner.compaction.stats(),
+            scans: self.inner.scan_counters.snapshot(),
             wal_bytes: self.inner.commit.wal_bytes(),
             read_epoch: self.inner.epochs.gre(),
             write_epoch: self.inner.epochs.gwe(),

@@ -68,7 +68,7 @@ pub mod wal;
 pub use compaction::CompactionStats;
 pub use error::{Error, Result};
 pub use props::{PropBuilder, PropError, PropMap, PropValue};
-pub use graph::{GraphStats, LiveGraph, LiveGraphOptions};
-pub use txn::{Edge, EdgeIter, ReadTxn, VertexIter, WriteTxn};
+pub use graph::{GraphStats, LiveGraph, LiveGraphOptions, ScanStats};
+pub use txn::{Edge, EdgeIter, LabelIter, ReadTxn, VertexIter, WriteTxn, NEIGHBOR_CHUNK};
 pub use types::{Label, Timestamp, TxnId, VertexId, DEFAULT_LABEL};
 pub use wal::SyncMode;

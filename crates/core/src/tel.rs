@@ -30,7 +30,7 @@
 //! its transaction-private extended sizes.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 
 use livegraph_storage::BlockPtr;
 
@@ -52,6 +52,12 @@ const OFF_LOG_SIZE: usize = 24;
 const OFF_PROP_SIZE: usize = 32;
 const OFF_PREV: usize = 40;
 const OFF_ORDER: usize = 48;
+// Invalidation summary (carved out of the formerly reserved bytes 49..64):
+// the number of *committed* invalidations inside the committed log, and the
+// largest commit epoch that invalidated an entry. See the "seal protocol"
+// section of docs/ARCHITECTURE.md for the update/read ordering rules.
+const OFF_INV_COUNT: usize = 52;
+const OFF_MAX_INV: usize = 56;
 
 /// Visibility check used by every adjacency-list scan (§5).
 ///
@@ -76,6 +82,15 @@ pub fn entry_visible(creation: Timestamp, invalidation: Timestamp, tre: Timestam
     } else {
         tid != 0 && creation == -tid && invalidation != -tid
     }
+}
+
+/// How a [`TelRef::find_edge_probed`] point lookup was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeProbe {
+    /// The Bloom filter proved the destination absent; no entry was read.
+    pub bloom_negative: bool,
+    /// Number of log entries examined by the scan (0 on a Bloom negative).
+    pub entries_scanned: usize,
 }
 
 /// An unowned, lifetime-tagged view over one edge log entry.
@@ -196,6 +211,7 @@ impl<'a> TelRef<'a> {
         self.commit_ts_atomic().store(0, Ordering::Release);
         self.log_size_atomic().store(0, Ordering::Release);
         self.prop_size_atomic().store(0, Ordering::Release);
+        self.set_invalidation_summary(0, 0);
     }
 
     /// Block size in bytes.
@@ -290,6 +306,95 @@ impl<'a> TelRef<'a> {
     #[inline]
     pub fn set_prop_size(&self, bytes: u64) {
         self.prop_size_atomic().store(bytes, Ordering::Release);
+    }
+
+    #[inline]
+    fn inv_count_atomic(&self) -> &AtomicU32 {
+        // SAFETY: offset 52 is 4-byte aligned inside the 64-byte header.
+        unsafe { &*(self.ptr.add(OFF_INV_COUNT) as *const AtomicU32) }
+    }
+
+    #[inline]
+    fn max_inv_atomic(&self) -> &AtomicI64 {
+        unsafe { &*(self.ptr.add(OFF_MAX_INV) as *const AtomicI64) }
+    }
+
+    /// Number of committed (positive-epoch) invalidations inside the
+    /// committed log. `0` means the committed log is *sealed*: every entry
+    /// in it is visible to any reader whose epoch covers the commit
+    /// timestamp, so scans may skip per-entry visibility checks.
+    #[inline]
+    pub fn invalidated_count(&self) -> u32 {
+        self.inv_count_atomic().load(Ordering::Acquire)
+    }
+
+    /// Largest commit epoch that invalidated an entry of this TEL (0 if
+    /// none). Purely informational: compaction heuristics and debugging.
+    #[inline]
+    pub fn max_invalidation_ts(&self) -> Timestamp {
+        self.max_inv_atomic().load(Ordering::Acquire)
+    }
+
+    /// Overwrites the invalidation summary. Only valid while no concurrent
+    /// writer can touch the TEL (init, block upgrade, compaction rewrite —
+    /// all run under the vertex lock or on private blocks).
+    #[inline]
+    pub fn set_invalidation_summary(&self, count: u32, max_ts: Timestamp) {
+        self.inv_count_atomic().store(count, Ordering::Release);
+        self.max_inv_atomic().store(max_ts, Ordering::Release);
+    }
+
+    /// Records `count` freshly committed invalidations at `epoch` (apply
+    /// phase). Must be called *after* the new `CT`/`LS` have been published:
+    /// readers load the summary first and the commit timestamp last, so an
+    /// inflated summary is detected via `CT > TRE` and falls back to the
+    /// checked scan, while a stale summary is impossible for epochs the
+    /// reader's snapshot covers.
+    #[inline]
+    pub fn add_invalidations(&self, count: u32, epoch: Timestamp) {
+        if count == 0 {
+            return;
+        }
+        self.max_inv_atomic().fetch_max(epoch, Ordering::AcqRel);
+        self.inv_count_atomic().fetch_add(count, Ordering::AcqRel);
+    }
+
+    /// Seal check for a read-only snapshot at epoch `tre`: returns the
+    /// committed log size if **every** entry in it is visible at `tre`
+    /// without per-entry checks, i.e. the last commit is covered by the
+    /// snapshot (`CT <= tre`) and no committed invalidation exists.
+    ///
+    /// Load order matters (summary, then `LS`, then `CT`): the apply phase
+    /// stores `CT` first and the summary last, so if any of the earlier
+    /// loads observed a concurrent in-flight commit, the final `CT` load is
+    /// guaranteed to observe that commit's epoch too — which is `> tre` for
+    /// any commit not already covered by the snapshot — and we fall back.
+    #[inline]
+    pub fn sealed_log(&self, tre: Timestamp) -> Option<u64> {
+        let inv = self.invalidated_count();
+        let log = self.log_size();
+        let ct = self.commit_ts();
+        if ct <= tre && inv == 0 {
+            Some(log)
+        } else {
+            None
+        }
+    }
+
+    /// O(1) visible-edge count for a read-only snapshot at `tre`, available
+    /// whenever the last commit is covered by the snapshot (the summary
+    /// counts exactly the invisible entries then). Returns `None` when the
+    /// TEL has newer commits and the caller must count via a checked scan.
+    #[inline]
+    pub fn sealed_visible_count(&self, tre: Timestamp) -> Option<usize> {
+        let inv = self.invalidated_count();
+        let log = self.log_size();
+        let ct = self.commit_ts();
+        if ct <= tre {
+            Some(Self::entry_count(log).saturating_sub(inv as usize))
+        } else {
+            None
+        }
     }
 
     /// Offset where the property region starts (after header and Bloom
@@ -394,6 +499,36 @@ impl<'a> TelRef<'a> {
         }
     }
 
+    /// Streams the destination vertex of every entry in a **sealed** log,
+    /// newest first, with no per-entry visibility checks: one plain 8-byte
+    /// load per 32-byte entry at monotonically increasing addresses — the
+    /// purest form of the paper's sequential scan.
+    ///
+    /// Callers must have established the seal via [`TelRef::sealed_log`]
+    /// (or otherwise know every entry in `log_bytes` is visible). Reading
+    /// only the `dst` word is data-race-free even while concurrent writers
+    /// place `-TID` invalidation marks: those touch the timestamp words
+    /// only, and appends land strictly past the committed log size.
+    #[inline]
+    pub fn for_each_dst_sealed(&self, log_bytes: u64, mut f: impl FnMut(VertexId)) {
+        let count = Self::entry_count(log_bytes);
+        if count == 0 {
+            return;
+        }
+        let start = self.size - count * EDGE_ENTRY_SIZE;
+        debug_assert!(start >= self.data_start());
+        // SAFETY: `[start, size)` lies inside the block; entries are 8-byte
+        // aligned and their dst word is immutable once committed.
+        unsafe {
+            let mut p = self.ptr.add(start);
+            let end = self.ptr.add(self.size);
+            while p < end {
+                f((p as *const u64).read());
+                p = p.add(EDGE_ENTRY_SIZE);
+            }
+        }
+    }
+
     /// Scans for the newest entry for `dst` that is visible at `(tre, tid)`.
     ///
     /// Consults the Bloom filter first: a definite miss avoids the scan
@@ -405,11 +540,39 @@ impl<'a> TelRef<'a> {
         tre: Timestamp,
         tid: TxnId,
     ) -> Option<EdgeEntryRef<'a>> {
+        self.find_edge_probed(log_bytes, dst, tre, tid).0
+    }
+
+    /// Like [`TelRef::find_edge`], additionally reporting how the lookup was
+    /// resolved so callers can maintain scan statistics.
+    pub fn find_edge_probed(
+        &self,
+        log_bytes: u64,
+        dst: VertexId,
+        tre: Timestamp,
+        tid: TxnId,
+    ) -> (Option<EdgeEntryRef<'a>>, EdgeProbe) {
         if !self.bloom().may_contain(dst) {
-            return None;
+            return (
+                None,
+                EdgeProbe {
+                    bloom_negative: true,
+                    entries_scanned: 0,
+                },
+            );
         }
-        self.scan(log_bytes)
-            .find(|e| e.dst() == dst && e.visible(tre, tid))
+        let mut scanned = 0usize;
+        let hit = self.scan(log_bytes).find(|e| {
+            scanned += 1;
+            e.dst() == dst && e.visible(tre, tid)
+        });
+        (
+            hit,
+            EdgeProbe {
+                bloom_negative: false,
+                entries_scanned: scanned,
+            },
+        )
     }
 
     /// Returns the property bytes referenced by an entry.
@@ -693,6 +856,98 @@ mod tests {
         let (new_log, _) = tel.copy_into(l2, &target, |e| e.invalidation_ts() == NULL_TS);
         let kept: Vec<u64> = target.scan(new_log).map(|e| e.dst()).collect();
         assert_eq!(kept, vec![2]);
+    }
+
+    #[test]
+    fn invalidation_summary_roundtrips_and_accumulates() {
+        let block = TestBlock::new(256);
+        let tel = new_tel(&block, 1);
+        assert_eq!(tel.invalidated_count(), 0);
+        assert_eq!(tel.max_invalidation_ts(), 0);
+        tel.add_invalidations(0, 99);
+        assert_eq!((tel.invalidated_count(), tel.max_invalidation_ts()), (0, 0));
+        tel.add_invalidations(2, 7);
+        tel.add_invalidations(1, 5);
+        assert_eq!(tel.invalidated_count(), 3);
+        assert_eq!(tel.max_invalidation_ts(), 7, "max epoch wins");
+        tel.set_invalidation_summary(1, 4);
+        assert_eq!((tel.invalidated_count(), tel.max_invalidation_ts()), (1, 4));
+        tel.init(1, 0, 2, 0);
+        assert_eq!((tel.invalidated_count(), tel.max_invalidation_ts()), (0, 0));
+    }
+
+    #[test]
+    fn sealed_log_requires_clean_summary_and_covered_commit() {
+        let block = TestBlock::new(512);
+        let tel = new_tel(&block, 1);
+        let mut log = 0;
+        let mut prop = 0;
+        for dst in 0..4u64 {
+            let (l, p) = tel.append(log, prop, dst, 3, &[]).unwrap();
+            log = l;
+            prop = p;
+        }
+        tel.set_commit_ts(3);
+        tel.set_log_size(log);
+        assert_eq!(tel.sealed_log(5), Some(log));
+        assert_eq!(tel.sealed_log(3), Some(log));
+        assert_eq!(tel.sealed_log(2), None, "snapshot predates the commit");
+        tel.add_invalidations(1, 3);
+        assert_eq!(tel.sealed_log(5), None, "dirty TEL must fall back");
+        assert_eq!(tel.sealed_visible_count(5), Some(3), "count stays O(1)");
+        assert_eq!(tel.sealed_visible_count(2), None);
+    }
+
+    #[test]
+    fn sealed_scan_matches_checked_scan_on_clean_logs() {
+        let block = TestBlock::new(4096);
+        let tel = new_tel(&block, 1);
+        let mut log = 0;
+        let mut prop = 0;
+        for dst in 0..40u64 {
+            let (l, p) = tel.append(log, prop, dst, 2, &[]).unwrap();
+            log = l;
+            prop = p;
+        }
+        let checked: Vec<u64> = tel
+            .scan(log)
+            .filter(|e| e.visible(10, 0))
+            .map(|e| e.dst())
+            .collect();
+        let mut sealed = Vec::new();
+        tel.for_each_dst_sealed(log, |d| sealed.push(d));
+        assert_eq!(sealed, checked, "same order (newest first), same set");
+        let mut empty = Vec::new();
+        tel.for_each_dst_sealed(0, |d| empty.push(d));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn find_edge_probed_reports_bloom_negatives_and_scan_effort() {
+        let block = TestBlock::new(4096);
+        let tel = new_tel(&block, 1);
+        let mut log = 0;
+        let mut prop = 0;
+        for dst in 0..30u64 {
+            let (l, p) = tel.append(log, prop, dst, 1, &[]).unwrap();
+            log = l;
+            prop = p;
+        }
+        let (hit, probe) = tel.find_edge_probed(log, 29, 5, 0);
+        assert!(hit.is_some());
+        assert!(!probe.bloom_negative);
+        assert_eq!(probe.entries_scanned, 1, "newest entry found first");
+        let (miss, probe) = tel.find_edge_probed(log, 0, 5, 0);
+        assert!(miss.is_some());
+        assert_eq!(probe.entries_scanned, 30, "oldest entry found last");
+        // A definite Bloom miss never reads an entry.
+        let absent = (1_000..2_000u64)
+            .find(|d| !tel.bloom().may_contain(*d))
+            .expect("some value must be a definite miss");
+        let (none, probe) = tel.find_edge_probed(log, absent, 5, 0);
+        assert!(none.is_none());
+        assert!(probe.bloom_negative);
+        assert_eq!(probe.entries_scanned, 0);
     }
 
     #[test]

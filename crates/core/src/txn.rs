@@ -163,8 +163,15 @@ impl<'g> ReadTxn<'g> {
     }
 
     /// The labels under which `vertex` has (or ever had) adjacency lists, in
-    /// creation order.
-    pub fn labels(&self, vertex: VertexId) -> Vec<Label> {
+    /// creation order. Allocation-free; collect into a `Vec` if you need to
+    /// sort or retain the labels.
+    pub fn labels(&self, vertex: VertexId) -> LabelIter<'_> {
+        LabelIter::new(self.graph, vertex)
+    }
+
+    /// The labels as an owned `Vec`.
+    #[deprecated(since = "0.1.0", note = "use the allocation-free `labels` iterator")]
+    pub fn labels_vec(&self, vertex: VertexId) -> Vec<Label> {
         self.graph.labels_of(vertex)
     }
 
@@ -180,23 +187,100 @@ impl<'g> ReadTxn<'g> {
         }
     }
 
+    /// Invokes `f` with the destination of every visible edge of
+    /// `(vertex, label)`, newest first.
+    ///
+    /// This is the monomorphized scan entry point for analytics: on a
+    /// *sealed* TEL — last commit covered by this snapshot and no committed
+    /// invalidations — it streams raw entries with **no per-entry visibility
+    /// checks** ([`crate::tel::TelRef::for_each_dst_sealed`]); otherwise it
+    /// falls back to the ordinary checked scan. Both paths are purely
+    /// sequential within one block.
+    #[inline]
+    pub fn for_each_neighbor<F: FnMut(VertexId)>(&self, vertex: VertexId, label: Label, mut f: F) {
+        let Some(ptr) = self.graph.find_tel(vertex, label) else {
+            return;
+        };
+        let tel = self.graph.tel_ref_auto(ptr);
+        if let Some(log) = tel.sealed_log(self.tre) {
+            self.graph.scan_counters.record_scan(self.worker, true);
+            tel.for_each_dst_sealed(log, f);
+        } else {
+            self.graph.scan_counters.record_scan(self.worker, false);
+            let log = tel.log_size();
+            checked_for_each_dst(&tel, log, self.tre, 0, &mut f);
+        }
+    }
+
+    /// Like [`ReadTxn::for_each_neighbor`], but delivers destinations in
+    /// dense chunks of up to [`NEIGHBOR_CHUNK`] vertices, so callers behind
+    /// a dynamic-dispatch boundary pay one indirect call per chunk instead
+    /// of one per neighbour.
+    pub fn for_each_neighbor_chunk<F: FnMut(&[VertexId])>(
+        &self,
+        vertex: VertexId,
+        label: Label,
+        mut f: F,
+    ) {
+        let mut buf = [0u64; NEIGHBOR_CHUNK];
+        let mut len = 0usize;
+        self.for_each_neighbor(vertex, label, |d| {
+            buf[len] = d;
+            len += 1;
+            if len == NEIGHBOR_CHUNK {
+                f(&buf);
+                len = 0;
+            }
+        });
+        if len > 0 {
+            f(&buf[..len]);
+        }
+    }
+
     /// Scans the adjacency lists of *all* labels of `vertex`, yielding
     /// `(label, edge)` pairs label by label (newest-first within each label).
     pub fn edges_all_labels(&self, vertex: VertexId) -> impl Iterator<Item = (Label, Edge<'_>)> + '_ {
         self.labels(vertex)
-            .into_iter()
             .flat_map(move |label| self.edges(vertex, label).map(move |e| (label, e)))
     }
 
     /// Number of visible edges of `(vertex, label)`.
+    ///
+    /// O(1) whenever this snapshot covers the TEL's last commit: the
+    /// committed log size minus the committed-invalidation count from the
+    /// header summary. Only TELs modified after the snapshot was taken pay
+    /// a counting scan.
     pub fn degree(&self, vertex: VertexId, label: Label) -> usize {
-        self.edges(vertex, label).count()
+        match self.graph.find_tel(vertex, label) {
+            Some(ptr) => {
+                let tel = self.graph.tel_ref_auto(ptr);
+                match tel.sealed_visible_count(self.tre) {
+                    Some(n) => n,
+                    None => {
+                        let log = tel.log_size();
+                        tel.scan(log).filter(|e| e.visible(self.tre, 0)).count()
+                    }
+                }
+            }
+            None => 0,
+        }
+    }
+
+    /// The degree of `(vertex, label)` if it is answerable in O(1) from the
+    /// TEL header (this snapshot covers the TEL's last commit); `None` when
+    /// counting would require a scan. Lets callers gate work on the cheap
+    /// degree without ever paying for a counting scan (unlike
+    /// [`ReadTxn::degree`], which falls back to one).
+    pub fn sealed_degree(&self, vertex: VertexId, label: Label) -> Option<usize> {
+        match self.graph.find_tel(vertex, label) {
+            Some(ptr) => self.graph.tel_ref_auto(ptr).sealed_visible_count(self.tre),
+            None => Some(0),
+        }
     }
 
     /// Total number of visible edges of `vertex` across all labels.
     pub fn total_degree(&self, vertex: VertexId) -> usize {
         self.labels(vertex)
-            .into_iter()
             .map(|label| self.degree(vertex, label))
             .sum()
     }
@@ -206,8 +290,80 @@ impl<'g> ReadTxn<'g> {
         let ptr = self.graph.find_tel(src, label)?;
         let tel = self.graph.tel_ref_auto(ptr);
         let log = tel.log_size();
-        let entry = tel.find_edge(log, dst, self.tre, 0)?;
-        Some(tel.properties(&entry))
+        let (entry, probe) = tel.find_edge_probed(log, dst, self.tre, 0);
+        self.graph.scan_counters.record_lookup(probe);
+        Some(tel.properties(&entry?))
+    }
+}
+
+/// Number of destinations delivered per flush by the chunked neighbour
+/// visitors ([`ReadTxn::for_each_neighbor_chunk`]).
+pub const NEIGHBOR_CHUNK: usize = 64;
+
+/// The per-entry-checked visitor loop shared by the neighbour visitors: the
+/// fallback when a TEL is not sealed, and the only mode for writer
+/// transactions. (`EdgeIter` keeps its own loop because it additionally
+/// materialises property slices.)
+#[inline]
+fn checked_for_each_dst<F: FnMut(VertexId)>(
+    tel: &TelRef<'_>,
+    log: u64,
+    tre: Timestamp,
+    tid: TxnId,
+    f: &mut F,
+) {
+    for entry in tel.scan(log) {
+        if entry.visible(tre, tid) {
+            f(entry.dst());
+        }
+    }
+}
+
+/// Allocation-free iterator over the labels of one vertex (see
+/// [`ReadTxn::labels`]). Labels whose TEL was never created are skipped.
+pub struct LabelIter<'t> {
+    li: Option<crate::index::LabelIndexRef<'t>>,
+    next: usize,
+    count: usize,
+}
+
+impl<'t> LabelIter<'t> {
+    pub(crate) fn new(graph: &'t GraphInner, vertex: VertexId) -> Self {
+        let li = if graph.vertex_exists(vertex) {
+            let ptr = graph.edge_index.get(vertex);
+            if ptr == NULL_BLOCK {
+                None
+            } else {
+                Some(graph.label_index_ref(ptr))
+            }
+        } else {
+            None
+        };
+        // Snapshot the slot count up front: labels pushed by concurrent
+        // writers after this point are not reported, matching the behaviour
+        // of the former Vec-returning API.
+        let count = li.as_ref().map(|li| li.count()).unwrap_or(0);
+        Self { li, next: 0, count }
+    }
+}
+
+impl Iterator for LabelIter<'_> {
+    type Item = Label;
+
+    fn next(&mut self) -> Option<Label> {
+        let li = self.li.as_ref()?;
+        while self.next < self.count {
+            let idx = self.next;
+            self.next += 1;
+            if li.tel_at(idx) != NULL_BLOCK {
+                return Some(li.label_at(idx));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.count - self.next.min(self.count)))
     }
 }
 
@@ -695,10 +851,13 @@ impl<'g> WriteTxn<'g> {
         let (log, prop) = old_tel.copy_into(tw.cur_log, &new_tel, |_| true);
         debug_assert_eq!(log, tw.cur_log);
         debug_assert_eq!(prop, tw.cur_prop);
-        // The new block's *committed* view matches the original block.
+        // The new block's *committed* view matches the original block,
+        // including the committed invalidation summary (this transaction's
+        // own -TID marks are only summarised at apply time).
         new_tel.set_commit_ts(old_tel.commit_ts());
         new_tel.set_log_size(tw.base_log);
         new_tel.set_prop_size(tw.base_prop);
+        new_tel.set_invalidation_summary(old_tel.invalidated_count(), old_tel.max_invalidation_ts());
         if tw.upgraded {
             // The intermediate private block is unreachable by anyone else.
             graph.store.free(tw.tel_ptr, tw.order);
@@ -726,6 +885,28 @@ impl<'g> WriteTxn<'g> {
         }
     }
 
+    /// Invokes `f` with the destination of every visible edge of
+    /// `(vertex, label)`, newest first, including this transaction's own
+    /// uncommitted writes.
+    ///
+    /// Writer transactions always take the per-entry checked scan: their
+    /// private `-TID` stamps (hidden self-invalidations, not-yet-committed
+    /// appends) make the zero-check sealed streaming unsound for them.
+    pub fn for_each_neighbor<F: FnMut(VertexId)>(&self, vertex: VertexId, label: Label, mut f: F) {
+        let (tel, log) = if let Some(tw) = self.tel_writes.get(&(vertex, label)) {
+            (self.graph.tel_ref(tw.tel_ptr, tw.order), tw.cur_log)
+        } else {
+            let Some(ptr) = self.graph.find_tel(vertex, label) else {
+                return;
+            };
+            let tel = self.graph.tel_ref_auto(ptr);
+            let log = tel.log_size();
+            (tel, log)
+        };
+        self.graph.scan_counters.record_scan(self.worker, false);
+        checked_for_each_dst(&tel, log, self.tre, self.tid, &mut f);
+    }
+
     /// Number of visible edges of `(vertex, label)` (own writes included).
     pub fn degree(&self, vertex: VertexId, label: Label) -> usize {
         self.edges(vertex, label).count()
@@ -741,8 +922,9 @@ impl<'g> WriteTxn<'g> {
             let log = tel.log_size();
             (tel, log)
         };
-        let entry = tel.find_edge(log, dst, self.tre, self.tid)?;
-        Some(tel.properties(&entry))
+        let (entry, probe) = tel.find_edge_probed(log, dst, self.tre, self.tid);
+        self.graph.scan_counters.record_lookup(probe);
+        Some(tel.properties(&entry?))
     }
 
     // ------------------------------------------------------------------
@@ -813,6 +995,12 @@ impl<'g> WriteTxn<'g> {
             tel.set_commit_ts(epoch);
             tel.set_log_size(tw.cur_log);
             tel.set_prop_size(tw.cur_prop);
+            // Publish the invalidation summary *after* CT/LS: the seal
+            // protocol (tel.rs) has readers load the summary first and the
+            // commit timestamp last, so a reader that observes this commit's
+            // summary necessarily observes `CT = epoch > TRE` too and takes
+            // the checked path.
+            tel.add_invalidations(tw.invalidations, epoch);
             // Convert -TID → TWE, scanning newest-first and stopping once all
             // private stamps of this transaction have been found.
             let mut remaining = tw.appends + tw.invalidations;
@@ -1388,12 +1576,12 @@ mod tests {
         txn.commit().unwrap();
 
         let r = g.begin_read().unwrap();
-        let mut labels = r.labels(a);
+        let mut labels: Vec<_> = r.labels(a).collect();
         labels.sort_unstable();
         assert_eq!(labels, vec![3, 7]);
         assert_eq!(r.total_degree(a), 3);
-        assert_eq!(r.labels(b), Vec::<u16>::new());
-        assert_eq!(r.labels(9999), Vec::<u16>::new());
+        assert_eq!(r.labels(b).count(), 0);
+        assert_eq!(r.labels(9999).count(), 0);
 
         let mut all: Vec<_> = r
             .edges_all_labels(a)
@@ -1401,6 +1589,88 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, vec![(3, b), (7, b), (7, c)]);
+    }
+
+    #[test]
+    fn sealed_fast_path_is_taken_and_falls_back_when_dirty() {
+        let g = graph();
+        let mut setup = g.begin_write().unwrap();
+        let hub = setup.create_vertex(b"hub").unwrap();
+        let mut dsts = Vec::new();
+        for i in 0..50u64 {
+            dsts.push(setup.create_vertex(format!("{i}").as_bytes()).unwrap());
+        }
+        for &d in &dsts {
+            setup.put_edge(hub, 0, d, b"").unwrap();
+        }
+        setup.commit().unwrap();
+
+        // Clean committed TEL: the zero-check path serves the scan.
+        let before = g.stats().scans;
+        let r = g.begin_read().unwrap();
+        let mut via_fast = Vec::new();
+        r.for_each_neighbor(hub, 0, |d| via_fast.push(d));
+        let via_checked: Vec<_> = r.edges(hub, 0).map(|e| e.dst).collect();
+        assert_eq!(via_fast, via_checked, "fast path must agree with EdgeIter");
+        assert_eq!(r.degree(hub, 0), 50);
+        let after = g.stats().scans;
+        assert_eq!(after.sealed_scans, before.sealed_scans + 1);
+        assert_eq!(after.checked_scans, before.checked_scans);
+        drop(r);
+
+        // A committed deletion dirties the summary: scans fall back, and the
+        // O(1) degree still subtracts the invalidated entry.
+        let mut del = g.begin_write().unwrap();
+        del.delete_edge(hub, 0, dsts[7]).unwrap();
+        del.commit().unwrap();
+        let before = g.stats().scans;
+        let r = g.begin_read().unwrap();
+        let mut via_fallback = Vec::new();
+        r.for_each_neighbor(hub, 0, |d| via_fallback.push(d));
+        assert_eq!(via_fallback.len(), 49);
+        assert!(!via_fallback.contains(&dsts[7]));
+        assert_eq!(r.degree(hub, 0), 49);
+        let after = g.stats().scans;
+        assert_eq!(after.checked_scans, before.checked_scans + 1);
+        assert_eq!(after.sealed_scans, before.sealed_scans);
+
+        // A writer reading the same list always takes the checked path and
+        // sees its own private writes.
+        let mut w = g.begin_write().unwrap();
+        let extra = w.create_vertex(b"x").unwrap();
+        w.put_edge(hub, 0, extra, b"").unwrap();
+        let mut writer_view = Vec::new();
+        w.for_each_neighbor(hub, 0, |d| writer_view.push(d));
+        assert_eq!(writer_view.len(), 50, "writer sees its uncommitted edge");
+        assert_eq!(writer_view[0], extra, "newest first");
+        w.abort();
+    }
+
+    #[test]
+    fn chunked_neighbor_visitor_covers_partial_and_full_chunks() {
+        let g = graph();
+        let mut setup = g.begin_write().unwrap();
+        let hub = setup.create_vertex(b"").unwrap();
+        let n = super::NEIGHBOR_CHUNK as u64 * 2 + 17;
+        let mut dsts = Vec::new();
+        for i in 0..n {
+            dsts.push(setup.create_vertex(format!("{i}").as_bytes()).unwrap());
+        }
+        for &d in &dsts {
+            setup.put_edge(hub, 0, d, b"").unwrap();
+        }
+        setup.commit().unwrap();
+
+        let r = g.begin_read().unwrap();
+        let mut chunks = Vec::new();
+        let mut collected = Vec::new();
+        r.for_each_neighbor_chunk(hub, 0, |chunk| {
+            chunks.push(chunk.len());
+            collected.extend_from_slice(chunk);
+        });
+        let flat: Vec<_> = r.edges(hub, 0).map(|e| e.dst).collect();
+        assert_eq!(collected, flat);
+        assert_eq!(chunks, vec![super::NEIGHBOR_CHUNK, super::NEIGHBOR_CHUNK, 17]);
     }
 
     #[test]

@@ -142,7 +142,19 @@ impl LinkBenchBackend for LiveGraphBackend {
 
     fn get_link_list(&self, src: u64, limit: usize) -> usize {
         match self.graph.begin_read() {
-            Ok(txn) => txn.edges(src, DEFAULT_LABEL).take(limit).count(),
+            Ok(txn) => match txn.sealed_degree(src, DEFAULT_LABEL) {
+                // The O(1) header degree says the whole list fits the limit:
+                // stream it with the monomorphized (zero-check when sealed)
+                // scan instead of the per-entry-checked iterator. When the
+                // degree is not free, go straight to the bounded iterator —
+                // never pay a counting scan just to pick a strategy.
+                Some(degree) if degree <= limit => {
+                    let mut n = 0usize;
+                    txn.for_each_neighbor(src, DEFAULT_LABEL, |_| n += 1);
+                    n
+                }
+                _ => txn.edges(src, DEFAULT_LABEL).take(limit).count(),
+            },
             Err(_) => 0,
         }
     }

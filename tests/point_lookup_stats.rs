@@ -1,0 +1,170 @@
+//! Public-API regression tests for the Bloom-assisted `get_edge` fast path.
+//!
+//! The TEL-level behaviour (a definite Bloom miss never touches the log) was
+//! previously only covered by `tel.rs` unit tests. These tests pin it at the
+//! `ReadTxn::get_edge` level through the engine's scan statistics
+//! (`GraphStats::scans`), and verify the filter survives the two events that
+//! rebuild a TEL block: size-class upgrades and compaction rewrites.
+
+use livegraph::core::{LiveGraph, LiveGraphOptions, ScanStats, DEFAULT_LABEL};
+
+fn graph() -> LiveGraph {
+    LiveGraph::open(
+        LiveGraphOptions::in_memory()
+            .with_capacity(1 << 24)
+            .with_max_vertices(1 << 14)
+            .with_auto_compaction(false),
+    )
+    .unwrap()
+}
+
+/// Builds a hub with `n` committed out-edges and returns the spoke ids.
+fn build_hub(g: &LiveGraph, n: u64) -> (u64, Vec<u64>) {
+    let mut txn = g.begin_write().unwrap();
+    let hub = txn.create_vertex(b"hub").unwrap();
+    let mut spokes = Vec::new();
+    for i in 0..n {
+        spokes.push(txn.create_vertex(format!("s{i}").as_bytes()).unwrap());
+    }
+    txn.commit().unwrap();
+    // Insert one edge per transaction so the TEL grows through several
+    // size-class upgrades (each copy must re-seed the target's Bloom bits).
+    for &s in &spokes {
+        let mut txn = g.begin_write().unwrap();
+        txn.put_edge(hub, DEFAULT_LABEL, s, b"payload").unwrap();
+        txn.commit().unwrap();
+    }
+    (hub, spokes)
+}
+
+fn delta(before: ScanStats, after: ScanStats) -> ScanStats {
+    ScanStats {
+        sealed_scans: after.sealed_scans - before.sealed_scans,
+        checked_scans: after.checked_scans - before.checked_scans,
+        edge_lookups: after.edge_lookups - before.edge_lookups,
+        edge_lookup_entries_scanned: after.edge_lookup_entries_scanned
+            - before.edge_lookup_entries_scanned,
+        edge_lookup_bloom_negatives: after.edge_lookup_bloom_negatives
+            - before.edge_lookup_bloom_negatives,
+    }
+}
+
+/// Probes `misses` absent destinations and returns the stats delta.
+fn probe_misses(g: &LiveGraph, hub: u64, misses: u64) -> ScanStats {
+    let before = g.stats().scans;
+    let read = g.begin_read().unwrap();
+    for absent in 1_000_000..(1_000_000 + misses) {
+        assert_eq!(read.get_edge(hub, DEFAULT_LABEL, absent), None);
+    }
+    drop(read);
+    delta(before, g.stats().scans)
+}
+
+#[test]
+fn get_edge_misses_do_not_scan_the_log() {
+    let g = graph();
+    let degree = 300u64;
+    let (hub, spokes) = build_hub(&g, degree);
+
+    let misses = 256u64;
+    let d = probe_misses(&g, hub, misses);
+    assert_eq!(d.edge_lookups, misses);
+    // The Bloom filter must short-circuit (nearly) all absent keys: a 300
+    // entry log in an 16 KiB-class block carries a ~1 KiB filter, so false
+    // positives are rare. Without the filter this delta would be
+    // `misses * degree` = 76 800 scanned entries.
+    assert!(
+        d.edge_lookup_bloom_negatives >= misses * 9 / 10,
+        "expected >=90% definite Bloom misses, got {} of {misses}",
+        d.edge_lookup_bloom_negatives
+    );
+    assert!(
+        d.edge_lookup_entries_scanned <= (misses - d.edge_lookup_bloom_negatives) * degree,
+        "only Bloom false positives may scan"
+    );
+    assert!(
+        d.edge_lookup_entries_scanned < misses * degree / 10,
+        "misses must not degenerate into full scans: scanned {} entries",
+        d.edge_lookup_entries_scanned
+    );
+
+    // Hits still resolve (and are allowed to scan).
+    let read = g.begin_read().unwrap();
+    for &s in &spokes {
+        assert_eq!(read.get_edge(hub, DEFAULT_LABEL, s), Some(&b"payload"[..]));
+    }
+}
+
+#[test]
+fn bloom_filter_survives_tel_upgrades() {
+    let g = graph();
+    // 300 single-edge commits force multiple block upgrades (128 B start).
+    let (hub, spokes) = build_hub(&g, 300);
+    let stats = g.stats();
+    assert!(
+        stats.blocks.live_bytes() > 0,
+        "sanity: blocks were allocated"
+    );
+
+    // After every upgrade, the rebuilt filter still short-circuits misses...
+    let d = probe_misses(&g, hub, 200);
+    assert!(
+        d.edge_lookup_bloom_negatives >= 180,
+        "rebuilt Bloom filter lost its bits: only {} definite misses",
+        d.edge_lookup_bloom_negatives
+    );
+    // ...and never rejects a present key (no false negatives, ever).
+    let read = g.begin_read().unwrap();
+    for &s in &spokes {
+        assert!(read.get_edge(hub, DEFAULT_LABEL, s).is_some());
+    }
+}
+
+#[test]
+fn bloom_filter_survives_compaction_rewrites() {
+    let g = graph();
+    let (hub, spokes) = build_hub(&g, 200);
+
+    // Delete every other edge, then compact twice (retire + free) so the
+    // TEL is rewritten into a fresh block with a fresh Bloom filter.
+    let mut del = g.begin_write().unwrap();
+    for &s in spokes.iter().step_by(2) {
+        assert!(del.delete_edge(hub, DEFAULT_LABEL, s).unwrap());
+    }
+    del.commit().unwrap();
+    g.compact();
+    g.compact();
+    assert!(
+        g.stats().compaction.entries_dropped >= 100,
+        "sanity: compaction rewrote the TEL"
+    );
+
+    // Surviving edges resolve, deleted ones miss, absent keys still hit the
+    // Bloom fast path in the rewritten block.
+    let read = g.begin_read().unwrap();
+    for (i, &s) in spokes.iter().enumerate() {
+        let found = read.get_edge(hub, DEFAULT_LABEL, s).is_some();
+        assert_eq!(found, i % 2 == 1, "edge {i} after compaction");
+    }
+    drop(read);
+    let d = probe_misses(&g, hub, 200);
+    assert!(
+        d.edge_lookup_bloom_negatives >= 180,
+        "compacted Bloom filter lost its bits: only {} definite misses",
+        d.edge_lookup_bloom_negatives
+    );
+
+    // The compacted TEL re-sealed: dead versions are gone, so neighbourhood
+    // scans take the zero-check path again.
+    let before = g.stats().scans;
+    let read = g.begin_read().unwrap();
+    let mut n = 0;
+    read.for_each_neighbor(hub, DEFAULT_LABEL, |_| n += 1);
+    assert_eq!(n, 100);
+    let after = g.stats().scans;
+    assert_eq!(
+        after.sealed_scans,
+        before.sealed_scans + 1,
+        "fully compacted TEL must regain the sealed fast path"
+    );
+}

@@ -1,0 +1,199 @@
+//! Property test: the sealed zero-check scan fast path is observationally
+//! identical to the per-entry-checked scan.
+//!
+//! `ReadTxn::for_each_neighbor` silently switches between the zero-check
+//! streaming scan (sealed TEL: last commit covered by the snapshot, no
+//! committed invalidations) and the checked fallback. `ReadTxn::edges` always
+//! runs the checked scan, and `ReadTxn::degree` answers from the header
+//! summary in O(1) on sealed TELs. Under random interleavings of edge
+//! upserts, edge deletions and compaction passes, all three views must agree
+//! — for the current snapshot, for every historical epoch (time-travel
+//! reads), and for writer transactions with uncommitted private edits.
+
+use livegraph::core::{LiveGraph, LiveGraphOptions, ReadTxn, Timestamp, WriteTxn};
+use proptest::prelude::*;
+
+const VERTICES: u64 = 10;
+const LABELS: u16 = 2;
+
+#[derive(Debug, Clone)]
+enum Op {
+    PutEdge { src: u64, label: u16, dst: u64 },
+    DeleteEdge { src: u64, label: u16, dst: u64 },
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored prop_oneof! draws arms uniformly; repeating the put/delete
+    // arms weights the mix towards mutations over compaction passes.
+    prop_oneof![
+        (0..VERTICES, 0..LABELS, 0..VERTICES)
+            .prop_map(|(src, label, dst)| Op::PutEdge { src, label, dst }),
+        (0..VERTICES, 0..LABELS, 0..VERTICES)
+            .prop_map(|(src, label, dst)| Op::PutEdge { src, label, dst }),
+        (0..VERTICES, 0..LABELS, 0..VERTICES)
+            .prop_map(|(src, label, dst)| Op::PutEdge { src, label, dst }),
+        (0..VERTICES, 0..LABELS, 0..VERTICES)
+            .prop_map(|(src, label, dst)| Op::DeleteEdge { src, label, dst }),
+        (0..VERTICES, 0..LABELS, 0..VERTICES)
+            .prop_map(|(src, label, dst)| Op::DeleteEdge { src, label, dst }),
+        Just(Op::Compact),
+    ]
+}
+
+fn graph_under_test() -> LiveGraph {
+    LiveGraph::open(
+        LiveGraphOptions::in_memory()
+            .with_capacity(1 << 24)
+            .with_max_vertices(1 << 12)
+            .with_auto_compaction(false)
+            // Keep every version so time-travel reads stay answerable at all
+            // recorded epochs even across explicit compaction passes.
+            .with_history_retention(1 << 40),
+    )
+    .unwrap()
+}
+
+/// The checked reference view: dsts via the `EdgeIter` scan, newest first.
+fn checked_dsts(read: &ReadTxn<'_>, v: u64, label: u16) -> Vec<u64> {
+    read.edges(v, label).map(|e| e.dst).collect()
+}
+
+/// Asserts fast path ≡ checked path (and the O(1) degree) on one snapshot.
+fn assert_read_equivalence(read: &ReadTxn<'_>, context: &str) {
+    for v in 0..VERTICES {
+        for label in 0..LABELS {
+            let checked = checked_dsts(read, v, label);
+            let mut fast = Vec::new();
+            read.for_each_neighbor(v, label, |d| fast.push(d));
+            assert_eq!(
+                fast, checked,
+                "{context}: fast-path scan of ({v}, {label}) diverged"
+            );
+            let mut chunked = Vec::new();
+            read.for_each_neighbor_chunk(v, label, |chunk| chunked.extend_from_slice(chunk));
+            assert_eq!(
+                chunked, checked,
+                "{context}: chunked scan of ({v}, {label}) diverged"
+            );
+            assert_eq!(
+                read.degree(v, label),
+                checked.len(),
+                "{context}: degree of ({v}, {label}) diverged"
+            );
+        }
+    }
+}
+
+/// Asserts the writer-side visitor (always checked, sees private edits)
+/// matches the writer's own `EdgeIter` view.
+fn assert_write_equivalence(txn: &WriteTxn<'_>, context: &str) {
+    for v in 0..VERTICES {
+        for label in 0..LABELS {
+            let checked: Vec<u64> = txn.edges(v, label).map(|e| e.dst).collect();
+            let mut fast = Vec::new();
+            txn.for_each_neighbor(v, label, |d| fast.push(d));
+            assert_eq!(
+                fast, checked,
+                "{context}: writer scan of ({v}, {label}) diverged"
+            );
+        }
+    }
+}
+
+fn setup(graph: &LiveGraph) {
+    let mut txn = graph.begin_write().unwrap();
+    for v in 0..VERTICES {
+        let id = txn.create_vertex(&[v as u8]).unwrap();
+        assert_eq!(id, v);
+    }
+    txn.commit().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fast_path_scan_matches_checked_scan_at_every_epoch(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let graph = graph_under_test();
+        setup(&graph);
+        let mut epochs: Vec<Timestamp> = Vec::new();
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::PutEdge { src, label, dst } => {
+                    let mut txn = graph.begin_write().unwrap();
+                    txn.put_edge(*src, *label, *dst, &[i as u8]).unwrap();
+                    epochs.push(txn.commit().unwrap());
+                }
+                Op::DeleteEdge { src, label, dst } => {
+                    let mut txn = graph.begin_write().unwrap();
+                    txn.delete_edge(*src, *label, *dst).unwrap();
+                    epochs.push(txn.commit().unwrap());
+                }
+                Op::Compact => {
+                    // Two passes: retire, then free (needs no active readers).
+                    graph.compact();
+                    graph.compact();
+                }
+            }
+            // Fresh snapshot after every step.
+            let read = graph.begin_read().unwrap();
+            assert_read_equivalence(&read, &format!("step {i}"));
+        }
+
+        // Every historical epoch must agree too (the fast path must refuse
+        // TELs whose last commit the time-travel snapshot does not cover).
+        for &epoch in &epochs {
+            let read = graph.begin_read_at(epoch).unwrap();
+            assert_read_equivalence(&read, &format!("epoch {epoch}"));
+        }
+    }
+
+    #[test]
+    fn writer_transactions_always_see_their_private_writes(
+        committed in proptest::collection::vec(op_strategy(), 1..30),
+        pending in proptest::collection::vec(op_strategy(), 1..10)
+    ) {
+        let graph = graph_under_test();
+        setup(&graph);
+        for op in &committed {
+            match op {
+                Op::PutEdge { src, label, dst } => {
+                    let mut txn = graph.begin_write().unwrap();
+                    txn.put_edge(*src, *label, *dst, b"c").unwrap();
+                    txn.commit().unwrap();
+                }
+                Op::DeleteEdge { src, label, dst } => {
+                    let mut txn = graph.begin_write().unwrap();
+                    txn.delete_edge(*src, *label, *dst).unwrap();
+                    txn.commit().unwrap();
+                }
+                Op::Compact => graph.compact(),
+            }
+        }
+
+        // Apply the pending ops inside ONE uncommitted transaction, checking
+        // the writer-side visitor after each private mutation.
+        let mut txn = graph.begin_write().unwrap();
+        for (i, op) in pending.iter().enumerate() {
+            match op {
+                Op::PutEdge { src, label, dst } => {
+                    txn.put_edge(*src, *label, *dst, b"p").unwrap();
+                }
+                Op::DeleteEdge { src, label, dst } => {
+                    txn.delete_edge(*src, *label, *dst).unwrap();
+                }
+                Op::Compact => continue,
+            }
+            assert_write_equivalence(&txn, &format!("pending step {i}"));
+        }
+        txn.abort();
+
+        // Aborting restored the committed state for readers.
+        let read = graph.begin_read().unwrap();
+        assert_read_equivalence(&read, "after abort");
+    }
+}
