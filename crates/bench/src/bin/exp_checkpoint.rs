@@ -37,6 +37,7 @@ fn main() {
         think_time: None,
         link_list_limit: 1_000,
         seed: 42,
+        write_partitions: None,
     };
 
     // --- Baselines -----------------------------------------------------------

@@ -70,6 +70,7 @@ fn main() {
             think_time: None,
             link_list_limit: 1_000,
             seed: 42,
+            write_partitions: None,
         };
         let report = run_workload(Arc::clone(&backend) as Arc<_>, &driver);
         // One final pass (as the paper's steady state would have) so freed

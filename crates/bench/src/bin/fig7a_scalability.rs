@@ -31,6 +31,7 @@ fn main() {
                 think_time: None,
                 link_list_limit: 1_000,
                 seed: 42,
+                write_partitions: None,
             };
             let report = run_workload(backend, &config);
             if clients == client_counts[0] {

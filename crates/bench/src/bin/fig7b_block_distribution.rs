@@ -26,6 +26,7 @@ fn main() {
         think_time: None,
         link_list_limit: 1_000,
         seed: 42,
+        write_partitions: None,
     };
     let report = run_workload(Arc::clone(&backend) as Arc<_>, &config);
     println!("workload: {}", report.summary_line());

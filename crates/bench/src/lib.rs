@@ -530,6 +530,7 @@ pub fn run_linkbench_comparison(
         think_time: None,
         link_list_limit: 1_000,
         seed: 42,
+        write_partitions: None,
     };
 
     let mut reports = Vec::new();

@@ -14,6 +14,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -45,19 +46,108 @@ struct ApplyTracker {
     outstanding: BTreeMap<Timestamp, usize>,
 }
 
+/// The shared commit clock: pairs the global write epoch with the apply
+/// tracker that gates `GRE` publication.
+///
+/// A plain [`crate::LiveGraph`] owns one privately. A
+/// [`crate::ShardedGraph`](crate::sharded::ShardedGraph) hands the *same*
+/// clock to every shard's coordinator so that (a) epoch assignment and
+/// obligation registration are atomic across shards — otherwise a shard
+/// could publish `GRE = e` while another shard's group with epoch `e' < e`
+/// is still applying — and (b) a cross-shard transaction becomes visible on
+/// all shards at once: `GRE` only reaches its epoch after every per-shard
+/// part has applied.
+pub(crate) struct GroupClock {
+    tracker: Mutex<ApplyTracker>,
+    /// Signalled whenever `GRE` advances; committers waiting for session
+    /// consistency sleep here instead of spin-yielding (on oversubscribed
+    /// cores a spinning committer steals the quantum from the very threads
+    /// whose applies it is waiting for).
+    gre_cv: Condvar,
+}
+
+impl GroupClock {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            tracker: Mutex::new(ApplyTracker::default()),
+            gre_cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks until `GRE >= epoch` (i.e. until every transaction of every
+    /// epoch up to and including `epoch` has finished its apply phase).
+    pub(crate) fn wait_for_gre(&self, epochs: &EpochManager, epoch: Timestamp) {
+        // Fast path: the caller's own `finish_apply` usually advanced GRE
+        // already (it always does when no other commits are in flight).
+        for _ in 0..64 {
+            if epochs.gre() >= epoch {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut t = self.tracker.lock();
+        while epochs.gre() < epoch {
+            self.gre_cv.wait(&mut t);
+        }
+    }
+
+    /// Atomically advances `GWE` and registers `participants` apply
+    /// obligations for the new epoch. Holding the tracker lock across both
+    /// steps is what makes the pair atomic against other coordinators
+    /// sharing this clock.
+    pub(crate) fn begin_group(&self, epochs: &EpochManager, participants: usize) -> Timestamp {
+        let mut t = self.tracker.lock();
+        let epoch = epochs.advance_gwe();
+        t.outstanding.insert(epoch, participants);
+        epoch
+    }
+
+    /// Marks one obligation of `epoch` as applied and advances `GRE` across
+    /// every fully-applied prefix of epochs.
+    pub(crate) fn finish_apply(&self, epochs: &EpochManager, epoch: Timestamp) {
+        let mut t = self.tracker.lock();
+        if let Some(count) = t.outstanding.get_mut(&epoch) {
+            *count -= 1;
+        }
+        let mut new_gre = epochs.gre();
+        while let Some((&e, &count)) = t.outstanding.iter().next() {
+            if count == 0 {
+                t.outstanding.remove(&e);
+                new_gre = e;
+            } else {
+                break;
+            }
+        }
+        if new_gre > epochs.gre() {
+            epochs.publish_gre(new_gre);
+            self.gre_cv.notify_all();
+        }
+    }
+}
+
 /// Coordinates WAL persistence and epoch publication for commits.
 pub struct CommitCoordinator {
     wal: Option<Mutex<WalWriter>>,
     group: Mutex<GroupState>,
     group_cv: Condvar,
-    tracker: Mutex<ApplyTracker>,
+    clock: Arc<GroupClock>,
 }
 
 impl CommitCoordinator {
-    /// Creates a coordinator. `wal_path = None` disables durability (pure
-    /// in-memory operation); otherwise the WAL is opened in the given sync
-    /// mode.
+    /// Creates a coordinator with a private clock. `wal_path = None`
+    /// disables durability (pure in-memory operation); otherwise the WAL is
+    /// opened in the given sync mode.
     pub fn new(wal_path: Option<&Path>, sync: SyncMode) -> Result<Self> {
+        Self::with_clock(wal_path, sync, GroupClock::new())
+    }
+
+    /// Creates a coordinator sharing an externally owned clock (the sharded
+    /// engine's epoch service).
+    pub(crate) fn with_clock(
+        wal_path: Option<&Path>,
+        sync: SyncMode,
+        clock: Arc<GroupClock>,
+    ) -> Result<Self> {
         let wal = match wal_path {
             Some(path) => Some(Mutex::new(WalWriter::open(path, sync)?)),
             None => None,
@@ -66,8 +156,18 @@ impl CommitCoordinator {
             wal,
             group: Mutex::new(GroupState::default()),
             group_cv: Condvar::new(),
-            tracker: Mutex::new(ApplyTracker::default()),
+            clock,
         })
+    }
+
+    /// Appends one already-framed record to this coordinator's WAL (no-op
+    /// without a WAL). Used by the cross-shard commit path, which assigns
+    /// its epoch through the shared clock rather than a per-shard group.
+    pub(crate) fn append_record(&self, record: &WalRecord) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.lock().append_group(std::slice::from_ref(record))?;
+        }
+        Ok(())
     }
 
     /// True if a WAL is configured.
@@ -147,9 +247,9 @@ impl CommitCoordinator {
                 }
                 std::mem::take(&mut g.queue)
             };
-            let epoch = epochs.advance_gwe();
-            // Register apply obligations before anyone learns the epoch.
-            self.tracker.lock().outstanding.insert(epoch, batch.len());
+            // Atomically take the next epoch and register the apply
+            // obligations before anyone learns the epoch.
+            let epoch = self.clock.begin_group(epochs, batch.len());
             if let Some(wal) = &self.wal {
                 let records: Vec<WalRecord> = batch
                     .iter()
@@ -179,23 +279,12 @@ impl CommitCoordinator {
     /// Apply-phase completion: marks one transaction of `epoch` as applied
     /// and advances `GRE` across every fully-applied prefix of epochs.
     pub fn finish_apply(&self, epochs: &EpochManager, epoch: Timestamp) {
-        let mut t = self.tracker.lock();
-        if let Some(count) = t.outstanding.get_mut(&epoch) {
-            *count -= 1;
-        }
-        // Advance GRE while the smallest outstanding epochs are complete.
-        let mut new_gre = epochs.gre();
-        while let Some((&e, &count)) = t.outstanding.iter().next() {
-            if count == 0 {
-                t.outstanding.remove(&e);
-                new_gre = e;
-            } else {
-                break;
-            }
-        }
-        if new_gre > epochs.gre() {
-            epochs.publish_gre(new_gre);
-        }
+        self.clock.finish_apply(epochs, epoch);
+    }
+
+    /// Blocks until `GRE >= epoch` (session consistency after a commit).
+    pub(crate) fn wait_for_gre(&self, epochs: &EpochManager, epoch: Timestamp) {
+        self.clock.wait_for_gre(epochs, epoch);
     }
 }
 

@@ -107,6 +107,17 @@ impl EpochManager {
         self.register(worker)
     }
 
+    /// Begins a write transaction whose snapshot is pinned at `epoch` rather
+    /// than the current `GRE`. Used by the sharded engine so every per-shard
+    /// sub-transaction of one cross-shard transaction reads the same
+    /// globally consistent snapshot, no matter when the shard is first
+    /// touched.
+    pub fn begin_at(&self, worker: usize, epoch: Timestamp) -> (Timestamp, TxnId) {
+        let tre = self.begin_read_at(worker, epoch);
+        let seq = self.seqs[worker].fetch_add(1, Ordering::Relaxed);
+        (tre, make_txn_id(worker, seq))
+    }
+
     /// Begins a read-only transaction pinned at an *older* epoch (time-travel
     /// read). The epoch is registered in the reading-epoch table so that
     /// compaction keeps every version the transaction can still see.

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use livegraph_storage::{BlockPtr, BlockStore, BlockStoreOptions, BlockStoreStats, NULL_BLOCK};
 
-use crate::commit::CommitCoordinator;
+use crate::commit::{CommitCoordinator, GroupClock};
 use crate::compaction::{CompactionState, CompactionStats};
 use crate::epoch::EpochManager;
 use crate::error::{Error, Result};
@@ -248,7 +248,7 @@ pub(crate) struct GraphInner {
     pub(crate) vertex_index: IndexArray,
     pub(crate) edge_index: IndexArray,
     pub(crate) locks: VertexLockTable,
-    pub(crate) epochs: EpochManager,
+    pub(crate) epochs: Arc<EpochManager>,
     pub(crate) commit: CommitCoordinator,
     pub(crate) compaction: CompactionState,
     pub(crate) next_vertex: AtomicU64,
@@ -500,11 +500,29 @@ pub struct LiveGraph {
     inner: Arc<GraphInner>,
 }
 
+/// Shared infrastructure injected into a shard of a
+/// [`crate::sharded::ShardedGraph`]: one epoch manager and one commit clock
+/// serve every shard, so all shards agree on a single `GRE`/`GWE` timeline.
+pub(crate) struct EngineHooks {
+    pub(crate) epochs: Arc<EpochManager>,
+    pub(crate) clock: Arc<GroupClock>,
+    /// Skip per-graph recovery on open; the sharded engine replays all
+    /// shard WALs itself, merged into one consistent epoch order.
+    pub(crate) defer_recovery: bool,
+}
+
 impl LiveGraph {
     /// Opens a graph with the given options. If a data directory with an
     /// existing checkpoint and/or WAL is supplied, the previous state is
     /// recovered before the call returns.
     pub fn open(options: LiveGraphOptions) -> Result<Self> {
+        Self::open_with_hooks(options, None)
+    }
+
+    pub(crate) fn open_with_hooks(
+        options: LiveGraphOptions,
+        hooks: Option<EngineHooks>,
+    ) -> Result<Self> {
         let store = match (&options.data_dir, options.block_store_on_disk) {
             (Some(dir), true) => {
                 std::fs::create_dir_all(dir)?;
@@ -527,13 +545,32 @@ impl LiveGraph {
             }
         };
         let wal_path = options.data_dir.as_ref().map(|d| d.join("wal.log"));
-        let commit = CommitCoordinator::new(wal_path.as_deref(), options.sync_mode)?;
+        let (epochs, commit, defer_recovery) = match hooks {
+            Some(h) => {
+                assert_eq!(
+                    h.epochs.max_workers(),
+                    options.max_workers,
+                    "shared epoch manager must be sized for the shard's max_workers"
+                );
+                let commit =
+                    CommitCoordinator::with_clock(wal_path.as_deref(), options.sync_mode, h.clock)?;
+                (h.epochs, commit, h.defer_recovery)
+            }
+            None => {
+                let commit = CommitCoordinator::new(wal_path.as_deref(), options.sync_mode)?;
+                (
+                    Arc::new(EpochManager::new(options.max_workers)),
+                    commit,
+                    false,
+                )
+            }
+        };
         let inner = GraphInner {
             id: GRAPH_IDS.fetch_add(1, Ordering::Relaxed),
             vertex_index: IndexArray::new(options.max_vertices)?,
             edge_index: IndexArray::new(options.max_vertices)?,
             locks: VertexLockTable::new(options.max_vertices)?,
-            epochs: EpochManager::new(options.max_workers),
+            epochs,
             commit,
             compaction: CompactionState::new(options.max_workers),
             next_vertex: AtomicU64::new(0),
@@ -550,8 +587,15 @@ impl LiveGraph {
         let graph = Self {
             inner: Arc::new(inner),
         };
-        graph.recover_existing_state()?;
+        if !defer_recovery {
+            graph.recover_existing_state()?;
+        }
         Ok(graph)
+    }
+
+    /// Internal shared state, for the in-crate sharded engine.
+    pub(crate) fn inner(&self) -> &GraphInner {
+        self.inner.as_ref()
     }
 
     /// Convenience constructor for a default in-memory graph.

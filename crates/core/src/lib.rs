@@ -59,6 +59,7 @@ mod graph;
 mod index;
 mod locks;
 pub mod props;
+pub mod sharded;
 pub mod tel;
 mod txn;
 pub mod types;
@@ -69,6 +70,9 @@ pub use compaction::CompactionStats;
 pub use error::{Error, Result};
 pub use props::{PropBuilder, PropError, PropMap, PropValue};
 pub use graph::{GraphStats, LiveGraph, LiveGraphOptions, ScanStats};
+pub use sharded::{
+    ShardedGraph, ShardedGraphOptions, ShardedReadTxn, ShardedStats, ShardedWriteTxn,
+};
 pub use txn::{Edge, EdgeIter, LabelIter, ReadTxn, VertexIter, WriteTxn, NEIGHBOR_CHUNK};
 pub use types::{Label, Timestamp, TxnId, VertexId, DEFAULT_LABEL};
 pub use wal::SyncMode;

@@ -449,7 +449,21 @@ impl<'g> WriteTxn<'g> {
     pub(crate) fn begin(graph: &'g GraphInner) -> Result<Self> {
         let worker = graph.worker_slot()?;
         let (tre, tid) = graph.epochs.begin(worker);
-        Ok(Self {
+        Ok(Self::with_snapshot(graph, worker, tre, tid))
+    }
+
+    /// Begins a write transaction whose snapshot is pinned at `tre` instead
+    /// of the current `GRE` (the sharded engine pins every per-shard
+    /// sub-transaction of one cross-shard transaction at one epoch). `tre`
+    /// must not exceed the current `GRE`.
+    pub(crate) fn begin_pinned(graph: &'g GraphInner, tre: Timestamp) -> Result<Self> {
+        let worker = graph.worker_slot()?;
+        let (tre, tid) = graph.epochs.begin_at(worker, tre);
+        Ok(Self::with_snapshot(graph, worker, tre, tid))
+    }
+
+    fn with_snapshot(graph: &'g GraphInner, worker: usize, tre: Timestamp, tid: TxnId) -> Self {
+        Self {
             graph,
             worker,
             tre,
@@ -459,7 +473,7 @@ impl<'g> WriteTxn<'g> {
             vertex_writes: HashMap::new(),
             wal_ops: Vec::new(),
             closed: false,
-        })
+        }
     }
 
     /// The snapshot epoch this transaction reads.
@@ -493,6 +507,37 @@ impl<'g> WriteTxn<'g> {
         }
         self.locked.push(vertex);
         Ok(())
+    }
+
+    /// Pre-acquires the write locks of several vertices in ascending id
+    /// order, regardless of the order in which they are passed.
+    ///
+    /// Per-vertex locks are normally taken lazily in operation order, which
+    /// relies on the `lock_with_timeout` deadlock-*avoidance* timeout when
+    /// two transactions touch the same vertices in opposite orders.
+    /// Transactions that know their write set up front can call this instead
+    /// and become deadlock-*free*: every transaction acquires locks along
+    /// the same global order, so a cycle can never form. The sharded engine
+    /// extends the same idea to a global `(shard, vertex)` order for
+    /// cross-shard transactions.
+    pub fn lock_vertices(&mut self, vertices: &[VertexId]) -> Result<()> {
+        self.ensure_open()?;
+        let mut sorted: Vec<VertexId> = vertices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for vertex in sorted {
+            if !self.graph.vertex_exists(vertex) {
+                return Err(Error::VertexNotFound(vertex));
+            }
+            self.lock_vertex(vertex)?;
+        }
+        Ok(())
+    }
+
+    /// Ordered-locking entry point for the sharded engine (no existence
+    /// check: the global id may not have a block in this shard yet).
+    pub(crate) fn acquire_lock(&mut self, vertex: VertexId) -> Result<()> {
+        self.lock_vertex(vertex)
     }
 
     // ------------------------------------------------------------------
@@ -955,11 +1000,10 @@ impl<'g> WriteTxn<'g> {
         self.graph.commit.finish_apply(&self.graph.epochs, epoch);
         // Wait for the global read epoch to cover this commit so that the
         // caller's *next* transaction is guaranteed to observe it (session
-        // consistency). Apply phases are short, so this is a brief spin.
-        while self.graph.epochs.gre() < epoch {
-            std::hint::spin_loop();
-            std::thread::yield_now();
-        }
+        // consistency). Usually satisfied immediately by our own
+        // finish_apply; otherwise sleep on the clock's condvar rather than
+        // spinning against the threads we are waiting for.
+        self.graph.commit.wait_for_gre(&self.graph.epochs, epoch);
         self.closed = true;
         self.post_commit_maintenance();
         Ok(epoch)
@@ -969,6 +1013,35 @@ impl<'g> WriteTxn<'g> {
     pub fn abort(mut self) {
         self.do_abort();
         self.closed = true;
+    }
+
+    /// True if this transaction has buffered any logical operations.
+    pub(crate) fn has_writes(&self) -> bool {
+        !self.wal_ops.is_empty()
+    }
+
+    /// Drains the buffered logical operations (cross-shard commit path: the
+    /// sharded engine persists them itself, replicated to every
+    /// participating shard's WAL under one shared epoch).
+    pub(crate) fn take_wal_ops(&mut self) -> Vec<WalOp> {
+        std::mem::take(&mut self.wal_ops)
+    }
+
+    /// Apply phase with an externally assigned write epoch.
+    ///
+    /// The cross-shard commit path has already (a) drained this
+    /// transaction's operations with [`WriteTxn::take_wal_ops`], (b)
+    /// registered one apply obligation per participating shard under
+    /// `epoch` through the shared clock, and (c) made the group durable.
+    /// This performs the regular apply phase (publish CT/LS/PS, convert
+    /// `-TID` stamps, release locks) and the post-commit compaction
+    /// bookkeeping; the caller must still call `finish_apply(epoch)` on the
+    /// shared clock afterwards.
+    pub(crate) fn apply_external(mut self, epoch: Timestamp) {
+        debug_assert!(self.wal_ops.is_empty(), "ops must be drained before apply");
+        self.apply(epoch);
+        self.closed = true;
+        self.post_commit_maintenance();
     }
 
     fn apply(&mut self, epoch: Timestamp) {

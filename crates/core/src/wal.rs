@@ -233,6 +233,15 @@ pub enum SyncMode {
     /// Rely on the OS to flush eventually (used by benchmarks that isolate
     /// the effect of storage latency).
     NoSync,
+    /// Benchmarking mode: skip the real `fsync` and model a log device with
+    /// the given per-group commit latency instead (the group leader sleeps,
+    /// so concurrent groups on *different* WALs overlap their waits exactly
+    /// like concurrent device flushes would). The storage crate's
+    /// `ColdAccessSimulator` plays the same role for cold reads; this is
+    /// its write-side counterpart, used by `shard_scaling` to measure the
+    /// engine's commit concurrency independently of the benchmark host's
+    /// filesystem-journal behaviour.
+    Simulated(std::time::Duration),
 }
 
 /// Appender for the write-ahead log.
@@ -288,8 +297,10 @@ impl WalWriter {
             self.bytes_written += frame.len() as u64;
         }
         self.file.flush()?;
-        if self.sync == SyncMode::Fsync {
-            self.file.get_ref().sync_data()?;
+        match self.sync {
+            SyncMode::Fsync => self.file.get_ref().sync_data()?,
+            SyncMode::NoSync => {}
+            SyncMode::Simulated(latency) => std::thread::sleep(latency),
         }
         Ok(())
     }

@@ -19,7 +19,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 
 use livegraph_baselines::AdjacencyStore;
-use livegraph_core::{Error, LiveGraph, DEFAULT_LABEL};
+use livegraph_core::{Error, LiveGraph, ShardedGraph, DEFAULT_LABEL};
 
 /// The interface the LinkBench driver needs.
 pub trait LinkBenchBackend: Send + Sync {
@@ -82,94 +82,151 @@ impl LiveGraphBackend {
     }
 }
 
-impl LinkBenchBackend for LiveGraphBackend {
-    fn add_node(&self, properties: &[u8]) -> u64 {
-        let mut id = 0;
-        self.with_retries(|txn| {
-            id = txn.create_vertex(properties)?;
-            Ok(())
-        });
-        id
-    }
-
-    fn get_node(&self, id: u64) -> Option<Vec<u8>> {
-        let txn = self.graph.begin_read().ok()?;
-        txn.get_vertex(id).map(|p| p.to_vec())
-    }
-
-    fn update_node(&self, id: u64, properties: &[u8]) -> bool {
-        let mut ok = true;
-        self.with_retries(|txn| match txn.put_vertex(id, properties) {
-            Ok(()) => {
-                ok = true;
-                Ok(())
+/// Implements [`LinkBenchBackend`] for a transactional graph backend that
+/// exposes `self.graph.begin_read()` plus a conflict-retrying
+/// `self.with_retries(..)` over its write-transaction type. The plain and
+/// sharded engines mirror each other's transaction surface, so they share
+/// one implementation (and any future policy fix lands in both).
+macro_rules! impl_linkbench_for_graph_backend {
+    ($backend:ident, $name:literal) => {
+        impl LinkBenchBackend for $backend {
+            fn add_node(&self, properties: &[u8]) -> u64 {
+                let mut id = 0;
+                self.with_retries(|txn| {
+                    id = txn.create_vertex(properties)?;
+                    Ok(())
+                });
+                id
             }
-            Err(Error::VertexNotFound(_)) => {
-                ok = false;
-                Ok(())
+
+            fn get_node(&self, id: u64) -> Option<Vec<u8>> {
+                let txn = self.graph.begin_read().ok()?;
+                txn.get_vertex(id).map(|p| p.to_vec())
             }
-            Err(e) => Err(e),
-        });
-        ok
-    }
 
-    fn add_link(&self, src: u64, dst: u64, properties: &[u8]) {
-        self.with_retries(|txn| match txn.put_edge(src, DEFAULT_LABEL, dst, properties) {
-            Ok(_) => Ok(()),
-            Err(Error::VertexNotFound(_)) => Ok(()), // ignore dangling ids
-            Err(e) => Err(e),
-        });
-    }
+            fn update_node(&self, id: u64, properties: &[u8]) -> bool {
+                let mut ok = true;
+                self.with_retries(|txn| match txn.put_vertex(id, properties) {
+                    Ok(()) => {
+                        ok = true;
+                        Ok(())
+                    }
+                    Err(Error::VertexNotFound(_)) => {
+                        ok = false;
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                });
+                ok
+            }
 
-    fn delete_link(&self, src: u64, dst: u64) {
-        self.with_retries(|txn| match txn.delete_edge(src, DEFAULT_LABEL, dst) {
-            Ok(_) => Ok(()),
-            Err(Error::VertexNotFound(_)) => Ok(()),
-            Err(e) => Err(e),
-        });
-    }
+            fn add_link(&self, src: u64, dst: u64, properties: &[u8]) {
+                self.with_retries(|txn| match txn.put_edge(src, DEFAULT_LABEL, dst, properties) {
+                    Ok(_) => Ok(()),
+                    Err(Error::VertexNotFound(_)) => Ok(()), // ignore dangling ids
+                    Err(e) => Err(e),
+                });
+            }
 
-    fn update_link(&self, src: u64, dst: u64, properties: &[u8]) {
-        self.add_link(src, dst, properties);
-    }
+            fn delete_link(&self, src: u64, dst: u64) {
+                self.with_retries(|txn| match txn.delete_edge(src, DEFAULT_LABEL, dst) {
+                    Ok(_) => Ok(()),
+                    Err(Error::VertexNotFound(_)) => Ok(()),
+                    Err(e) => Err(e),
+                });
+            }
 
-    fn get_link(&self, src: u64, dst: u64) -> bool {
-        match self.graph.begin_read() {
-            Ok(txn) => txn.get_edge(src, DEFAULT_LABEL, dst).is_some(),
-            Err(_) => false,
-        }
-    }
+            fn update_link(&self, src: u64, dst: u64, properties: &[u8]) {
+                self.add_link(src, dst, properties);
+            }
 
-    fn get_link_list(&self, src: u64, limit: usize) -> usize {
-        match self.graph.begin_read() {
-            Ok(txn) => match txn.sealed_degree(src, DEFAULT_LABEL) {
-                // The O(1) header degree says the whole list fits the limit:
-                // stream it with the monomorphized (zero-check when sealed)
-                // scan instead of the per-entry-checked iterator. When the
-                // degree is not free, go straight to the bounded iterator —
-                // never pay a counting scan just to pick a strategy.
-                Some(degree) if degree <= limit => {
-                    let mut n = 0usize;
-                    txn.for_each_neighbor(src, DEFAULT_LABEL, |_| n += 1);
-                    n
+            fn get_link(&self, src: u64, dst: u64) -> bool {
+                match self.graph.begin_read() {
+                    Ok(txn) => txn.get_edge(src, DEFAULT_LABEL, dst).is_some(),
+                    Err(_) => false,
                 }
-                _ => txn.edges(src, DEFAULT_LABEL).take(limit).count(),
-            },
-            Err(_) => 0,
+            }
+
+            fn get_link_list(&self, src: u64, limit: usize) -> usize {
+                match self.graph.begin_read() {
+                    Ok(txn) => match txn.sealed_degree(src, DEFAULT_LABEL) {
+                        // The O(1) header degree says the whole list fits the
+                        // limit: stream it with the monomorphized (zero-check
+                        // when sealed) scan instead of the per-entry-checked
+                        // iterator. When the degree is not free, go straight
+                        // to the bounded iterator — never pay a counting scan
+                        // just to pick a strategy.
+                        Some(degree) if degree <= limit => {
+                            let mut n = 0usize;
+                            txn.for_each_neighbor(src, DEFAULT_LABEL, |_| n += 1);
+                            n
+                        }
+                        _ => txn.edges(src, DEFAULT_LABEL).take(limit).count(),
+                    },
+                    Err(_) => 0,
+                }
+            }
+
+            fn count_links(&self, src: u64) -> usize {
+                match self.graph.begin_read() {
+                    Ok(txn) => txn.degree(src, DEFAULT_LABEL),
+                    Err(_) => 0,
+                }
+            }
+
+            fn name(&self) -> &'static str {
+                $name
+            }
         }
+    };
+}
+
+impl_linkbench_for_graph_backend!(LiveGraphBackend, "livegraph");
+
+// ---------------------------------------------------------------------------
+// Sharded LiveGraph backend
+// ---------------------------------------------------------------------------
+
+/// LinkBench backend running on the sharded multi-writer engine
+/// ([`ShardedGraph`]): vertices are hash-partitioned across N independent
+/// shards, each with its own commit coordinator and WAL, so the intended
+/// deployment runs one writer thread per shard (see
+/// [`crate::driver::run_workload`] with `clients == shards`).
+pub struct ShardedGraphBackend {
+    graph: ShardedGraph,
+}
+
+impl ShardedGraphBackend {
+    /// Wraps an existing sharded graph.
+    pub fn new(graph: ShardedGraph) -> Self {
+        Self { graph }
     }
 
-    fn count_links(&self, src: u64) -> usize {
-        match self.graph.begin_read() {
-            Ok(txn) => txn.degree(src, DEFAULT_LABEL),
-            Err(_) => 0,
-        }
+    /// Access to the underlying engine (for statistics).
+    pub fn graph(&self) -> &ShardedGraph {
+        &self.graph
     }
 
-    fn name(&self) -> &'static str {
-        "livegraph"
+    /// Runs a write closure with conflict retries, as an SI client would.
+    fn with_retries(
+        &self,
+        mut f: impl FnMut(&mut livegraph_core::ShardedWriteTxn<'_>) -> livegraph_core::Result<()>,
+    ) {
+        loop {
+            let mut txn = match self.graph.begin_write() {
+                Ok(t) => t,
+                Err(e) => panic!("begin_write failed: {e}"),
+            };
+            match f(&mut txn).and_then(|()| txn.commit().map(|_| ())) {
+                Ok(()) => return,
+                Err(Error::WriteConflict { .. }) => continue,
+                Err(e) => panic!("unexpected error in workload: {e}"),
+            }
+        }
     }
 }
+
+impl_linkbench_for_graph_backend!(ShardedGraphBackend, "sharded");
 
 // ---------------------------------------------------------------------------
 // Sorted-store backends (B+ tree / LSM / linked list baselines)
@@ -300,10 +357,54 @@ mod tests {
         assert_eq!(backend.count_links(a), 0);
     }
 
+    fn sharded_backend(shards: usize) -> ShardedGraphBackend {
+        use livegraph_core::{LiveGraphOptions, ShardedGraphOptions};
+        let graph = ShardedGraph::open(ShardedGraphOptions::in_memory(shards).with_base(
+            LiveGraphOptions::in_memory()
+                .with_capacity(1 << 22)
+                .with_max_vertices(1 << 12),
+        ))
+        .unwrap();
+        ShardedGraphBackend::new(graph)
+    }
+
     #[test]
     fn livegraph_backend_supports_the_full_linkbench_surface() {
         let backend = livegraph_backend();
         exercise(&backend);
+    }
+
+    #[test]
+    fn sharded_backend_supports_the_full_linkbench_surface() {
+        for shards in [1, 2, 4] {
+            let backend = sharded_backend(shards);
+            exercise(&backend);
+        }
+    }
+
+    #[test]
+    fn sharded_backend_is_safe_under_one_writer_per_shard() {
+        let shards = 4;
+        let backend = std::sync::Arc::new(sharded_backend(shards));
+        let seed = backend.add_node(b"seed");
+        let mut handles = Vec::new();
+        for t in 0..shards as u64 {
+            let backend = std::sync::Arc::clone(&backend);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let n = backend.add_node(b"n");
+                    backend.add_link(seed, n, b"");
+                    backend.get_link_list(seed, 10);
+                    if (i + t) % 3 == 0 {
+                        backend.delete_link(seed, n);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(backend.count_links(seed) > 0);
     }
 
     #[test]

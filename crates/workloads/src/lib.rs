@@ -27,7 +27,7 @@ pub mod kronecker;
 pub mod linkbench;
 pub mod snb;
 
-pub use backends::{LinkBenchBackend, LiveGraphBackend, SortedStoreBackend};
+pub use backends::{LinkBenchBackend, LiveGraphBackend, ShardedGraphBackend, SortedStoreBackend};
 pub use driver::{load_base_graph, run_workload, DriverConfig, WorkloadReport};
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use kronecker::{generate_kronecker, KroneckerConfig};

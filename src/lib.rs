@@ -37,3 +37,8 @@ pub use livegraph_workloads as workloads;
 
 /// Convenience re-export of the engine type most users start from.
 pub use livegraph_core::{LiveGraph, LiveGraphOptions};
+
+/// Convenience re-export of the sharded multi-writer engine (vertices
+/// hash-partitioned across N independent shards behind one shared epoch
+/// service; see [`core::sharded`]).
+pub use livegraph_core::{ShardedGraph, ShardedGraphOptions};

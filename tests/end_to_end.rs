@@ -67,6 +67,7 @@ fn linkbench_driver_preserves_engine_invariants() {
         think_time: None,
         link_list_limit: 100,
         seed: 9,
+        write_partitions: None,
     };
     let report = run_workload(backend.clone(), &config);
     assert_eq!(report.total_ops, 8_000);

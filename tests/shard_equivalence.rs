@@ -1,0 +1,231 @@
+//! Property test: the sharded engine is observationally equivalent to a
+//! single [`LiveGraph`], at every epoch, for any shard count.
+//!
+//! The same random operation sequence is applied, one committed transaction
+//! per operation, to a plain engine and to [`ShardedGraph`]s with N ∈
+//! {1, 2, 4}. Because all engines start from the same setup transaction and
+//! commit the same logical operations in the same single-threaded order,
+//! their epoch counters stay in lockstep — which lets the test compare not
+//! just the final state but the **full history**: a time-travel snapshot at
+//! every epoch (vertex payloads, neighbour sets with edge payloads,
+//! degrees) must be identical across all four engines, including while
+//! per-shard compaction passes run interleaved with the writes.
+
+use std::collections::BTreeMap;
+
+use livegraph::core::{
+    LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, Timestamp,
+};
+use proptest::prelude::*;
+
+const VERTICES: u64 = 8;
+const LABELS: u16 = 2;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[derive(Debug, Clone)]
+enum Op {
+    PutEdge { src: u64, label: u16, dst: u64, tag: u8 },
+    DeleteEdge { src: u64, label: u16, dst: u64 },
+    PutVertex { v: u64, tag: u8 },
+    /// Compacts one shard on the sharded engines (round-robin by the given
+    /// index) and the whole graph on the plain engine.
+    CompactShard { idx: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..VERTICES, 0..LABELS, 0..VERTICES, any::<u8>())
+            .prop_map(|(src, label, dst, tag)| Op::PutEdge { src, label, dst, tag }),
+        (0..VERTICES, 0..LABELS, 0..VERTICES, any::<u8>())
+            .prop_map(|(src, label, dst, tag)| Op::PutEdge { src, label, dst, tag }),
+        (0..VERTICES, 0..LABELS, 0..VERTICES, any::<u8>())
+            .prop_map(|(src, label, dst, tag)| Op::PutEdge { src, label, dst, tag }),
+        (0..VERTICES, 0..LABELS, 0..VERTICES)
+            .prop_map(|(src, label, dst)| Op::DeleteEdge { src, label, dst }),
+        (0..VERTICES, 0..LABELS, 0..VERTICES)
+            .prop_map(|(src, label, dst)| Op::DeleteEdge { src, label, dst }),
+        (0..VERTICES, any::<u8>()).prop_map(|(v, tag)| Op::PutVertex { v, tag }),
+        any::<u8>().prop_map(|idx| Op::CompactShard { idx }),
+    ]
+}
+
+fn base_options() -> LiveGraphOptions {
+    LiveGraphOptions::in_memory()
+        .with_capacity(1 << 24)
+        .with_max_vertices(1 << 12)
+        .with_auto_compaction(false)
+        // Keep every version: the equivalence is asserted at every epoch.
+        .with_history_retention(1 << 40)
+}
+
+/// Uniform driver over both engine types.
+enum EngineUnderTest {
+    Plain(LiveGraph),
+    Sharded(ShardedGraph),
+}
+
+type VertexView = (Option<Vec<u8>>, BTreeMap<(u16, u64), Vec<u8>>);
+
+impl EngineUnderTest {
+    fn setup(&self) -> Timestamp {
+        match self {
+            EngineUnderTest::Plain(g) => {
+                let mut txn = g.begin_write().unwrap();
+                for v in 0..VERTICES {
+                    assert_eq!(txn.create_vertex(&[v as u8]).unwrap(), v);
+                }
+                txn.commit().unwrap()
+            }
+            EngineUnderTest::Sharded(g) => {
+                let mut txn = g.begin_write().unwrap();
+                for v in 0..VERTICES {
+                    assert_eq!(txn.create_vertex(&[v as u8]).unwrap(), v);
+                }
+                txn.commit().unwrap()
+            }
+        }
+    }
+
+    /// Applies one op as one committed transaction; returns the commit
+    /// epoch (`GRE` if the op was a no-op or a compaction pass).
+    fn apply(&self, op: &Op) -> Timestamp {
+        match (self, op) {
+            (EngineUnderTest::Plain(g), Op::CompactShard { .. }) => {
+                g.compact();
+                g.stats().read_epoch
+            }
+            (EngineUnderTest::Sharded(g), Op::CompactShard { idx }) => {
+                let shard = *idx as usize % g.shard_count();
+                g.shards()[shard].compact();
+                g.stats().read_epoch
+            }
+            (EngineUnderTest::Plain(g), op) => {
+                let mut txn = g.begin_write().unwrap();
+                match op {
+                    Op::PutEdge { src, label, dst, tag } => {
+                        txn.put_edge(*src, *label, *dst, &[*tag]).unwrap();
+                    }
+                    Op::DeleteEdge { src, label, dst } => {
+                        txn.delete_edge(*src, *label, *dst).unwrap();
+                    }
+                    Op::PutVertex { v, tag } => txn.put_vertex(*v, &[*tag]).unwrap(),
+                    Op::CompactShard { .. } => unreachable!(),
+                }
+                txn.commit().unwrap()
+            }
+            (EngineUnderTest::Sharded(g), op) => {
+                let mut txn = g.begin_write().unwrap();
+                match op {
+                    Op::PutEdge { src, label, dst, tag } => {
+                        txn.put_edge(*src, *label, *dst, &[*tag]).unwrap();
+                    }
+                    Op::DeleteEdge { src, label, dst } => {
+                        txn.delete_edge(*src, *label, *dst).unwrap();
+                    }
+                    Op::PutVertex { v, tag } => txn.put_vertex(*v, &[*tag]).unwrap(),
+                    Op::CompactShard { .. } => unreachable!(),
+                }
+                txn.commit().unwrap()
+            }
+        }
+    }
+
+    fn gre(&self) -> Timestamp {
+        match self {
+            EngineUnderTest::Plain(g) => g.stats().read_epoch,
+            EngineUnderTest::Sharded(g) => g.stats().read_epoch,
+        }
+    }
+
+    /// Full snapshot at `epoch`: vertex payloads plus `(label, dst) →
+    /// payload` adjacency, with degrees cross-checked against the scans.
+    fn snapshot_at(&self, epoch: Timestamp) -> BTreeMap<u64, VertexView> {
+        let mut out = BTreeMap::new();
+        match self {
+            EngineUnderTest::Plain(g) => {
+                let read = g.begin_read_at(epoch).unwrap();
+                for v in 0..VERTICES {
+                    let mut adj = BTreeMap::new();
+                    for label in 0..LABELS {
+                        for e in read.edges(v, label) {
+                            adj.insert((label, e.dst), e.properties.to_vec());
+                        }
+                        assert_eq!(
+                            read.degree(v, label),
+                            adj.iter().filter(|((l, _), _)| *l == label).count()
+                        );
+                    }
+                    out.insert(v, (read.get_vertex(v).map(|p| p.to_vec()), adj));
+                }
+            }
+            EngineUnderTest::Sharded(g) => {
+                let read = g.begin_read_at(epoch).unwrap();
+                for v in 0..VERTICES {
+                    let mut adj = BTreeMap::new();
+                    for label in 0..LABELS {
+                        for e in read.edges(v, label) {
+                            adj.insert((label, e.dst), e.properties.to_vec());
+                        }
+                        assert_eq!(
+                            read.degree(v, label),
+                            adj.iter().filter(|((l, _), _)| *l == label).count()
+                        );
+                    }
+                    out.insert(v, (read.get_vertex(v).map(|p| p.to_vec()), adj));
+                }
+            }
+        }
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_graphs_match_the_plain_engine_at_every_epoch(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        let plain = EngineUnderTest::Plain(LiveGraph::open(base_options()).unwrap());
+        let mut engines = vec![plain];
+        for &n in &SHARD_COUNTS {
+            engines.push(EngineUnderTest::Sharded(
+                ShardedGraph::open(ShardedGraphOptions::in_memory(n).with_base(base_options()))
+                    .unwrap(),
+            ));
+        }
+
+        // Same setup transaction everywhere: epochs start in lockstep.
+        let setup_epochs: Vec<Timestamp> = engines.iter().map(|e| e.setup()).collect();
+        for (i, &e) in setup_epochs.iter().enumerate() {
+            prop_assert_eq!(e, setup_epochs[0], "engine {} setup epoch diverged", i);
+        }
+
+        // Apply each op as one committed transaction on every engine; the
+        // engines must consume epochs in lockstep (same group structure).
+        for op in &ops {
+            let epochs: Vec<Timestamp> = engines.iter().map(|e| e.apply(op)).collect();
+            for (i, &e) in epochs.iter().enumerate() {
+                prop_assert_eq!(e, epochs[0], "engine {} commit epoch diverged", i);
+            }
+        }
+
+        // Every epoch of the shared history must look identical everywhere.
+        let gre = engines[0].gre();
+        for (i, engine) in engines.iter().enumerate().skip(1) {
+            prop_assert_eq!(engine.gre(), gre, "engine {} final GRE diverged", i);
+        }
+        for epoch in setup_epochs[0]..=gre {
+            let reference = engines[0].snapshot_at(epoch);
+            for (i, engine) in engines.iter().enumerate().skip(1) {
+                prop_assert_eq!(
+                    &engine.snapshot_at(epoch),
+                    &reference,
+                    "engine {} diverged at epoch {}",
+                    i,
+                    epoch
+                );
+            }
+        }
+    }
+}

@@ -10,7 +10,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use livegraph::core::{Error, LiveGraph, LiveGraphOptions};
+use livegraph::core::{
+    Error, LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions,
+};
 
 fn graph() -> Arc<LiveGraph> {
     Arc::new(
@@ -212,6 +214,109 @@ fn concurrent_deletes_inserts_and_compaction_do_not_corrupt_state() {
         }
     }
     assert_eq!(alive, threads * per_thread / 2);
+}
+
+/// Regression test for deadlock-free multi-vertex locking: two writers
+/// declare the same vertex pair in *opposite* orders, over and over. With
+/// lazy op-order locking this is the classic ABBA deadlock, resolved only
+/// by the `lock_with_timeout` abort path; `lock_vertices` acquires in
+/// global vertex order instead, so a wait cycle can never form and no
+/// transaction should ever hit the lock timeout.
+#[test]
+fn opposite_order_lock_declarations_never_deadlock() {
+    let g = graph();
+    let mut setup = g.begin_write().unwrap();
+    let a = setup.create_vertex(b"a").unwrap();
+    let b = setup.create_vertex(b"b").unwrap();
+    setup.commit().unwrap();
+
+    let conflicts = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for (writer, order) in [(0u64, [a, b]), (1u64, [b, a])] {
+            let g = Arc::clone(&g);
+            let conflicts = Arc::clone(&conflicts);
+            scope.spawn(move || {
+                // Each writer updates only its own vertex but locks both, in
+                // its own declaration order: lock sets always collide, write
+                // sets never do, so every abort would be a locking failure.
+                let own = order[0];
+                for i in 0..300u64 {
+                    let mut txn = g.begin_write().unwrap();
+                    match txn
+                        .lock_vertices(&order)
+                        .and_then(|()| txn.put_vertex(own, format!("w{writer}-{i}").as_bytes()))
+                        .and_then(|()| txn.commit())
+                    {
+                        Ok(_) => {}
+                        Err(Error::WriteConflict { .. }) => {
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        conflicts.load(Ordering::Relaxed),
+        0,
+        "ordered lock acquisition must not time out or conflict"
+    );
+}
+
+/// The same ABBA regression across shards: the sharded engine orders lock
+/// acquisition by global `(shard, vertex)` rank, so opposite-order
+/// declarations spanning two shards are deadlock-free too.
+#[test]
+fn opposite_order_cross_shard_lock_declarations_never_deadlock() {
+    let g = Arc::new(
+        ShardedGraph::open(
+            ShardedGraphOptions::in_memory(2).with_base(
+                LiveGraphOptions::in_memory()
+                    .with_capacity(1 << 24)
+                    .with_max_vertices(1 << 14),
+            ),
+        )
+        .unwrap(),
+    );
+    let mut setup = g.begin_write().unwrap();
+    let a = setup.create_vertex(b"a").unwrap(); // shard 0
+    let b = setup.create_vertex(b"b").unwrap(); // shard 1
+    setup.commit().unwrap();
+
+    let conflicts = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for (writer, order) in [(0u64, [a, b]), (1u64, [b, a])] {
+            let g = Arc::clone(&g);
+            let conflicts = Arc::clone(&conflicts);
+            scope.spawn(move || {
+                let own = order[0];
+                for i in 0..300u64 {
+                    let mut txn = g.begin_write().unwrap();
+                    match txn
+                        .lock_vertices(&order)
+                        .and_then(|()| txn.put_vertex(own, format!("w{writer}-{i}").as_bytes()))
+                        .and_then(|()| txn.commit())
+                    {
+                        Ok(_) => {}
+                        Err(Error::WriteConflict { .. }) => {
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        conflicts.load(Ordering::Relaxed),
+        0,
+        "cross-shard ordered lock acquisition must not time out or conflict"
+    );
+
+    let read = g.begin_read().unwrap();
+    assert!(read.get_vertex(a).unwrap().starts_with(b"w0-"));
+    assert!(read.get_vertex(b).unwrap().starts_with(b"w1-"));
 }
 
 /// Write skew on disjoint vertices is allowed under snapshot isolation, but
