@@ -104,15 +104,20 @@ fn dump_snapshot(graph: &GraphInner, dir: &Path, epoch: Timestamp) -> Result<()>
                 }
                 let tel = graph.tel_ref_auto(tel_ptr);
                 let log = tel.log_size();
-                for entry in tel.scan(log) {
-                    if entry.visible(epoch, 0) {
-                        batch.push(WalOp::PutEdge {
-                            src: vertex,
-                            label,
-                            dst: entry.dst(),
-                            properties: tel.properties(&entry).to_vec(),
-                        });
-                    }
+                // The scan yields newest-first; recovery re-*appends* in
+                // emitted order, so emit oldest-first to reconstruct the
+                // TEL with its original recency order.
+                let visible: Vec<_> = tel
+                    .scan(log)
+                    .filter(|entry| entry.visible(epoch, 0))
+                    .collect();
+                for entry in visible.into_iter().rev() {
+                    batch.push(WalOp::PutEdge {
+                        src: vertex,
+                        label,
+                        dst: entry.dst(),
+                        properties: tel.properties(&entry).to_vec(),
+                    });
                     if batch.len() >= CHECKPOINT_BATCH {
                         flush(&mut batch, &mut writer)?;
                     }
@@ -282,6 +287,45 @@ mod tests {
         assert_eq!(r.get_edge(a, 0, c), Some(&b"ac"[..]));
         assert_eq!(r.get_edge(a, 0, b), None, "deleted edge must stay deleted");
         assert_eq!(g.vertex_count(), 3, "vertex id space restored");
+    }
+
+    /// Adjacency lists must come back from a checkpoint in their original
+    /// recency order (scans are newest-first; the checkpoint emits
+    /// oldest-first precisely because recovery re-appends).
+    #[test]
+    fn checkpoint_recovery_preserves_neighbor_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let (a, dsts);
+        {
+            let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+            let mut txn = g.begin_write().unwrap();
+            a = txn.create_vertex(b"hub").unwrap();
+            dsts = (0..8)
+                .map(|i| {
+                    let d = txn.create_vertex(format!("d{i}").as_bytes()).unwrap();
+                    txn.put_edge(a, 0, d, b"").unwrap();
+                    d
+                })
+                .collect::<Vec<_>>();
+            txn.commit().unwrap();
+
+            let r = g.begin_read().unwrap();
+            let newest_first: Vec<_> = dsts.iter().rev().copied().collect();
+            let mut scanned = Vec::new();
+            r.for_each_neighbor(a, 0, |d| scanned.push(d));
+            assert_eq!(scanned, newest_first);
+            drop(r);
+            g.checkpoint().unwrap();
+        }
+        let g = LiveGraph::open(durable_options(dir.path())).unwrap();
+        let r = g.begin_read().unwrap();
+        let newest_first: Vec<_> = dsts.iter().rev().copied().collect();
+        let mut scanned = Vec::new();
+        r.for_each_neighbor(a, 0, |d| scanned.push(d));
+        assert_eq!(
+            scanned, newest_first,
+            "recovered scan order must stay newest-first"
+        );
     }
 
     #[test]

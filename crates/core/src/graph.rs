@@ -641,6 +641,17 @@ impl LiveGraph {
         crate::checkpoint::write_checkpoint(&self.inner)
     }
 
+    /// The oldest snapshot epoch any *currently active* transaction has
+    /// pinned in the reading-epoch table, or `None` when no transaction is
+    /// active. Lets admin tooling (and the service layer's
+    /// disconnect-cleanup regression tests) verify that finished or
+    /// abandoned sessions left no epoch pins behind — a leaked pin would
+    /// hold back compaction indefinitely.
+    pub fn oldest_active_read_epoch(&self) -> Option<Timestamp> {
+        let min = self.inner.epochs.min_active_reader_epoch();
+        (min != crate::epoch::IDLE_EPOCH).then_some(min)
+    }
+
     /// Engine statistics.
     pub fn stats(&self) -> GraphStats {
         GraphStats {

@@ -1,0 +1,160 @@
+//! `livegraph-serve` — host a LiveGraph engine over TCP.
+//!
+//! ```text
+//! livegraph-serve [--addr 127.0.0.1:7687] [--workers 8] [--shards N]
+//!                 [--data-dir PATH] [--capacity BYTES] [--max-vertices N]
+//!                 [--no-sync]
+//! ```
+//!
+//! With `--data-dir`, the engine recovers any existing checkpoint + WAL
+//! before the listener opens, and remote `Checkpoint` admin requests persist
+//! snapshots into the same directory. `--shards N` (N ≥ 2) hosts the
+//! sharded multi-writer engine instead of the plain one (note: sharded v1
+//! is WAL-only; `Checkpoint` requests are rejected as unsupported).
+
+use std::process::exit;
+use std::sync::Arc;
+
+use livegraph_core::{
+    LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, SyncMode,
+};
+use livegraph_server::{Engine, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    workers: usize,
+    shards: usize,
+    data_dir: Option<String>,
+    capacity: usize,
+    max_vertices: usize,
+    sync: SyncMode,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7687".into(),
+            workers: 8,
+            shards: 1,
+            data_dir: None,
+            capacity: 1 << 30,
+            max_vertices: 1 << 24,
+            sync: SyncMode::Fsync,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: livegraph-serve [--addr HOST:PORT] [--workers N] [--shards N] \
+         [--data-dir PATH] [--capacity BYTES] [--max-vertices N] [--no-sync]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--shards" => args.shards = parse_num(&value("--shards"), "--shards"),
+            "--data-dir" => args.data_dir = Some(value("--data-dir")),
+            "--capacity" => args.capacity = parse_num(&value("--capacity"), "--capacity"),
+            "--max-vertices" => {
+                args.max_vertices = parse_num(&value("--max-vertices"), "--max-vertices")
+            }
+            "--no-sync" => args.sync = SyncMode::NoSync,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number {s:?} for {flag}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let mut base = LiveGraphOptions::default()
+        .with_capacity(args.capacity)
+        .with_max_vertices(args.max_vertices)
+        .with_sync_mode(args.sync);
+    if let Some(dir) = &args.data_dir {
+        base.data_dir = Some(dir.into());
+    }
+
+    // `LiveGraph::open` / `ShardedGraph::open` replay any existing
+    // checkpoint + WAL in the data directory before returning, so the
+    // listener only opens on fully recovered state.
+    let engine = if args.shards > 1 {
+        // Durability flows through `base.data_dir` (set above); each shard
+        // keeps its own `shard-<i>/` subdirectory under it.
+        let opts = ShardedGraphOptions {
+            shards: args.shards,
+            base,
+        };
+        match ShardedGraph::open(opts) {
+            Ok(g) => {
+                eprintln!(
+                    "livegraph-serve: recovered sharded engine ({} shards, {} vertices)",
+                    args.shards,
+                    g.vertex_count()
+                );
+                Engine::Sharded(g)
+            }
+            Err(e) => {
+                eprintln!("livegraph-serve: failed to open sharded engine: {e}");
+                exit(1)
+            }
+        }
+    } else {
+        match LiveGraph::open(base) {
+            Ok(g) => {
+                eprintln!(
+                    "livegraph-serve: recovered engine ({} vertices, durability: {})",
+                    g.vertex_count(),
+                    if args.data_dir.is_some() { "WAL" } else { "none" }
+                );
+                Engine::Plain(g)
+            }
+            Err(e) => {
+                eprintln!("livegraph-serve: failed to open engine: {e}");
+                exit(1)
+            }
+        }
+    };
+
+    let server = match Server::start(
+        Arc::new(engine),
+        args.addr.as_str(),
+        ServerConfig::default().with_workers(args.workers),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("livegraph-serve: failed to bind {}: {e}", args.addr);
+            exit(1)
+        }
+    };
+    println!("livegraph-serve: listening on {}", server.local_addr());
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,583 @@
+//! Blocking client library: one [`Client`] per TCP connection, plus a
+//! [`ClientPool`] that lends connections to concurrent workers.
+//!
+//! A `Client` issues one request at a time and waits for the response
+//! (correlation ids are still attached and checked, so interleaved or
+//! duplicated frames from a broken peer are detected rather than silently
+//! mis-matched). [`Client::neighbors`] reassembles the server's chunked
+//! adjacency stream. A connection that sees an I/O or protocol error is
+//! *poisoned* — the pool discards it instead of handing out a connection
+//! whose stream position is unknown.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use parking_lot::Mutex;
+
+use livegraph_core::types::{Label, Timestamp, VertexId};
+
+use crate::protocol::{
+    read_response, write_request, ErrorCode, Request, Response, StatsReply, TxnHandle,
+};
+
+/// Errors surfaced by the client library.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure; the connection is unusable afterwards.
+    Io(io::Error),
+    /// The peer spoke the protocol incorrectly (bad frame, wrong
+    /// correlation id, response type mismatch); connection unusable.
+    Protocol(String),
+    /// The server executed the request and reported a failure. The
+    /// connection remains usable.
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Server-side detail message.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// True for server-reported first-updater-wins conflicts (retryable).
+    pub fn is_write_conflict(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::WriteConflict,
+                ..
+            }
+        )
+    }
+
+    /// True for server-reported vertex-not-found.
+    pub fn is_vertex_not_found(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::VertexNotFound,
+                ..
+            }
+        )
+    }
+
+    /// True when the connection must be discarded (transport or protocol
+    /// failure, as opposed to a clean server-side error reply).
+    pub fn poisons_connection(&self) -> bool {
+        !matches!(self, ClientError::Server { .. })
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client operations.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A remote transaction held by a [`Client`].
+///
+/// This is a plain handle, not a guard: dropping it does *not* abort the
+/// server-side transaction (the server rolls it back when the connection
+/// closes). Pass it back to [`Client::commit`] / [`Client::abort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteTxn {
+    handle: TxnHandle,
+    epoch: Timestamp,
+}
+
+impl RemoteTxn {
+    /// The snapshot epoch this transaction reads.
+    pub fn epoch(&self) -> Timestamp {
+        self.epoch
+    }
+
+    /// The wire handle.
+    pub fn handle(&self) -> TxnHandle {
+        self.handle
+    }
+}
+
+/// One blocking client connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_corr: u64,
+    scratch: Vec<u8>,
+    poisoned: bool,
+    /// Handles of transactions begun on this connection and not yet
+    /// committed/aborted. The server session holds their epoch pins and
+    /// vertex locks for as long as the *connection* lives, so a pooled
+    /// connection must roll these back before it is lent out again.
+    open_txns: Vec<u32>,
+}
+
+impl Client {
+    /// Connects to a LiveGraph server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_corr: 1,
+            scratch: Vec::with_capacity(256),
+            poisoned: false,
+            open_txns: Vec::new(),
+        })
+    }
+
+    /// True once a transport/protocol error has made this connection's
+    /// stream position untrustworthy.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn send(&mut self, req: &Request) -> ClientResult<u64> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let sent = write_request(&mut self.writer, corr, req)
+            .and_then(|()| self.writer.flush());
+        if let Err(e) = sent {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        Ok(corr)
+    }
+
+    fn recv(&mut self, corr: u64) -> ClientResult<Response> {
+        match read_response(&mut self.reader, &mut self.scratch) {
+            Ok(Some((rcorr, resp))) => {
+                if rcorr != corr {
+                    self.poisoned = true;
+                    return Err(ClientError::Protocol(format!(
+                        "response correlation id {rcorr} does not match request {corr}"
+                    )));
+                }
+                Ok(resp)
+            }
+            Ok(None) => {
+                self.poisoned = true;
+                Err(ClientError::Protocol(
+                    "server closed the connection mid-request".into(),
+                ))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// One request, one response.
+    fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
+        let corr = self.send(req)?;
+        match self.recv(corr)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    fn unexpected<T>(&mut self, what: &'static str, resp: &Response) -> ClientResult<T> {
+        self.poisoned = true;
+        Err(ClientError::Protocol(format!(
+            "expected {what}, got {resp:?}"
+        )))
+    }
+
+    /// Liveness / RTT probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => self.unexpected("Pong", &other),
+        }
+    }
+
+    /// Begins a read-only transaction at the latest snapshot.
+    pub fn begin_read(&mut self) -> ClientResult<RemoteTxn> {
+        self.begin(&Request::BeginRead { at_epoch: None })
+    }
+
+    /// Begins a time-travel read-only transaction pinned at `epoch`.
+    pub fn begin_read_at(&mut self, epoch: Timestamp) -> ClientResult<RemoteTxn> {
+        self.begin(&Request::BeginRead {
+            at_epoch: Some(epoch),
+        })
+    }
+
+    /// Begins a read-write transaction.
+    pub fn begin_write(&mut self) -> ClientResult<RemoteTxn> {
+        self.begin(&Request::BeginWrite)
+    }
+
+    fn begin(&mut self, req: &Request) -> ClientResult<RemoteTxn> {
+        match self.roundtrip(req)? {
+            Response::TxnBegun { txn, epoch } => {
+                self.open_txns.push(txn.0);
+                Ok(RemoteTxn { handle: txn, epoch })
+            }
+            other => self.unexpected("TxnBegun", &other),
+        }
+    }
+
+    /// True while this connection holds server-side transactions that were
+    /// begun but neither committed nor aborted.
+    pub fn has_open_txns(&self) -> bool {
+        !self.open_txns.is_empty()
+    }
+
+    /// Best-effort rollback of every open transaction (used by
+    /// [`ClientPool`] before re-pooling a connection). Server-side errors
+    /// (e.g. a handle the server already aborted) are ignored; transport
+    /// errors poison the connection as usual.
+    fn rollback_open_txns(&mut self) {
+        while let Some(handle) = self.open_txns.pop() {
+            if self.poisoned {
+                return;
+            }
+            match self.roundtrip(&Request::Abort {
+                txn: TxnHandle(handle),
+            }) {
+                Ok(_) | Err(ClientError::Server { .. }) => {}
+                Err(_) => return, // poisoned; the pool will discard it
+            }
+        }
+    }
+
+    /// Commits; returns the commit epoch.
+    pub fn commit(&mut self, txn: RemoteTxn) -> ClientResult<Timestamp> {
+        // The server removes the slot whether or not the commit succeeds
+        // (error => abort), so the handle is closed either way.
+        self.open_txns.retain(|&h| h != txn.handle.0);
+        match self.roundtrip(&Request::Commit { txn: txn.handle })? {
+            Response::Committed { epoch } => Ok(epoch),
+            other => self.unexpected("Committed", &other),
+        }
+    }
+
+    /// Aborts, rolling back all of the transaction's updates.
+    pub fn abort(&mut self, txn: RemoteTxn) -> ClientResult<()> {
+        self.open_txns.retain(|&h| h != txn.handle.0);
+        match self.roundtrip(&Request::Abort { txn: txn.handle })? {
+            Response::Aborted => Ok(()),
+            other => self.unexpected("Aborted", &other),
+        }
+    }
+
+    /// Creates a vertex inside `txn`.
+    pub fn create_vertex(&mut self, txn: RemoteTxn, properties: &[u8]) -> ClientResult<VertexId> {
+        self.create_vertex_in(txn.handle, properties)
+    }
+
+    /// Creates a vertex in an auto-commit transaction.
+    pub fn create_vertex_auto(&mut self, properties: &[u8]) -> ClientResult<VertexId> {
+        self.create_vertex_in(TxnHandle::AUTO, properties)
+    }
+
+    fn create_vertex_in(&mut self, txn: TxnHandle, properties: &[u8]) -> ClientResult<VertexId> {
+        match self.roundtrip(&Request::CreateVertex {
+            txn,
+            properties: properties.to_vec(),
+        })? {
+            Response::VertexCreated { vertex } => Ok(vertex),
+            other => self.unexpected("VertexCreated", &other),
+        }
+    }
+
+    /// Reads a vertex's properties under `txn` (`None` = auto-commit
+    /// snapshot).
+    pub fn get_vertex(
+        &mut self,
+        txn: Option<RemoteTxn>,
+        vertex: VertexId,
+    ) -> ClientResult<Option<Vec<u8>>> {
+        match self.roundtrip(&Request::GetVertex {
+            txn: handle_of(txn),
+            vertex,
+        })? {
+            Response::MaybeBytes { value } => Ok(value),
+            other => self.unexpected("MaybeBytes", &other),
+        }
+    }
+
+    /// Overwrites a vertex's properties.
+    pub fn put_vertex(
+        &mut self,
+        txn: Option<RemoteTxn>,
+        vertex: VertexId,
+        properties: &[u8],
+    ) -> ClientResult<()> {
+        match self.roundtrip(&Request::PutVertex {
+            txn: handle_of(txn),
+            vertex,
+            properties: properties.to_vec(),
+        })? {
+            Response::Done => Ok(()),
+            other => self.unexpected("Done", &other),
+        }
+    }
+
+    /// Deletes a vertex; true if a visible version existed.
+    pub fn delete_vertex(&mut self, txn: Option<RemoteTxn>, vertex: VertexId) -> ClientResult<bool> {
+        match self.roundtrip(&Request::DeleteVertex {
+            txn: handle_of(txn),
+            vertex,
+        })? {
+            Response::Flag { value } => Ok(value),
+            other => self.unexpected("Flag", &other),
+        }
+    }
+
+    /// Inserts/updates an edge; true if newly inserted.
+    pub fn put_edge(
+        &mut self,
+        txn: Option<RemoteTxn>,
+        src: VertexId,
+        label: Label,
+        dst: VertexId,
+        properties: &[u8],
+    ) -> ClientResult<bool> {
+        match self.roundtrip(&Request::PutEdge {
+            txn: handle_of(txn),
+            src,
+            label,
+            dst,
+            properties: properties.to_vec(),
+        })? {
+            Response::Flag { value } => Ok(value),
+            other => self.unexpected("Flag", &other),
+        }
+    }
+
+    /// Deletes an edge; true if a visible version existed.
+    pub fn delete_edge(
+        &mut self,
+        txn: Option<RemoteTxn>,
+        src: VertexId,
+        label: Label,
+        dst: VertexId,
+    ) -> ClientResult<bool> {
+        match self.roundtrip(&Request::DeleteEdge {
+            txn: handle_of(txn),
+            src,
+            label,
+            dst,
+        })? {
+            Response::Flag { value } => Ok(value),
+            other => self.unexpected("Flag", &other),
+        }
+    }
+
+    /// Point-lookup of one edge's properties.
+    pub fn get_edge(
+        &mut self,
+        txn: Option<RemoteTxn>,
+        src: VertexId,
+        label: Label,
+        dst: VertexId,
+    ) -> ClientResult<Option<Vec<u8>>> {
+        match self.roundtrip(&Request::GetEdge {
+            txn: handle_of(txn),
+            src,
+            label,
+            dst,
+        })? {
+            Response::MaybeBytes { value } => Ok(value),
+            other => self.unexpected("MaybeBytes", &other),
+        }
+    }
+
+    /// Number of visible edges of `(vertex, label)`.
+    pub fn degree(
+        &mut self,
+        txn: Option<RemoteTxn>,
+        vertex: VertexId,
+        label: Label,
+    ) -> ClientResult<u64> {
+        match self.roundtrip(&Request::Degree {
+            txn: handle_of(txn),
+            vertex,
+            label,
+        })? {
+            Response::Count { value } => Ok(value),
+            other => self.unexpected("Count", &other),
+        }
+    }
+
+    /// Scans the adjacency list (newest first), reassembling the server's
+    /// chunked stream. `limit = 0` returns all destinations.
+    pub fn neighbors(
+        &mut self,
+        txn: Option<RemoteTxn>,
+        vertex: VertexId,
+        label: Label,
+        limit: u64,
+    ) -> ClientResult<Vec<VertexId>> {
+        let corr = self.send(&Request::Neighbors {
+            txn: handle_of(txn),
+            vertex,
+            label,
+            limit,
+        })?;
+        let mut dsts = Vec::new();
+        loop {
+            match self.recv(corr)? {
+                Response::NeighborChunk { dsts: chunk, last } => {
+                    dsts.extend_from_slice(&chunk);
+                    if last {
+                        return Ok(dsts);
+                    }
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                other => return self.unexpected("NeighborChunk", &other),
+            }
+        }
+    }
+
+    /// Admin: engine statistics snapshot.
+    pub fn stats(&mut self) -> ClientResult<StatsReply> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => self.unexpected("Stats", &other),
+        }
+    }
+
+    /// Admin: checkpoint the latest committed snapshot and prune the WAL.
+    pub fn checkpoint(&mut self) -> ClientResult<()> {
+        match self.roundtrip(&Request::Checkpoint)? {
+            Response::Done => Ok(()),
+            other => self.unexpected("Done", &other),
+        }
+    }
+
+    /// Consumes the client, closing the write half eagerly so the server
+    /// sees the disconnect immediately even if the OS would keep the socket
+    /// lingering.
+    pub fn close(mut self) {
+        let _ = self.writer.flush();
+        if let Ok(stream) = self.writer.get_ref().try_clone() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+fn handle_of(txn: Option<RemoteTxn>) -> TxnHandle {
+    txn.map(|t| t.handle).unwrap_or(TxnHandle::AUTO)
+}
+
+// ---------------------------------------------------------------------------
+// Connection pool
+// ---------------------------------------------------------------------------
+
+/// A pool of client connections to one server, lent out to concurrent
+/// workers. Poisoned connections are discarded instead of returned; a
+/// checkout from an empty pool dials a fresh connection.
+pub struct ClientPool {
+    addr: std::net::SocketAddr,
+    idle: Mutex<Vec<Client>>,
+}
+
+impl ClientPool {
+    /// Dials `initial` connections to `addr` eagerly (so steady-state
+    /// benchmarks never measure connection setup).
+    pub fn connect(addr: impl ToSocketAddrs, initial: usize) -> io::Result<ClientPool> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let mut idle = Vec::with_capacity(initial);
+        for _ in 0..initial {
+            idle.push(Client::connect(addr)?);
+        }
+        Ok(ClientPool {
+            addr,
+            idle: Mutex::new(idle),
+        })
+    }
+
+    /// The server address this pool dials.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Checks out a connection (dialing a new one if the pool is empty).
+    pub fn get(&self) -> io::Result<PooledClient<'_>> {
+        let existing = self.idle.lock().pop();
+        let client = match existing {
+            Some(client) => client,
+            None => Client::connect(self.addr)?,
+        };
+        Ok(PooledClient {
+            client: Some(client),
+            pool: self,
+        })
+    }
+
+    /// Connections currently idle in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().len()
+    }
+}
+
+/// A pooled connection; returns to the pool on drop unless poisoned.
+pub struct PooledClient<'p> {
+    client: Option<Client>,
+    pool: &'p ClientPool,
+}
+
+impl Drop for PooledClient<'_> {
+    fn drop(&mut self) {
+        if let Some(mut client) = self.client.take() {
+            // A worker that errored out (or just forgot) may return the
+            // connection with transactions still open; the server session
+            // holds their epoch pins and vertex locks for as long as the
+            // connection lives, so roll them back before re-pooling. A
+            // rollback that fails poisons the client and it is discarded.
+            if client.has_open_txns() {
+                client.rollback_open_txns();
+            }
+            if !client.is_poisoned() {
+                self.pool.idle.lock().push(client);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for PooledClient<'_> {
+    type Target = Client;
+
+    fn deref(&self) -> &Client {
+        self.client.as_ref().expect("client present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledClient<'_> {
+    fn deref_mut(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client present until drop")
+    }
+}

@@ -1,0 +1,329 @@
+//! Engine abstraction: the server hosts either a plain [`LiveGraph`] or a
+//! [`ShardedGraph`] behind one enum, so sessions dispatch per-variant with
+//! zero dynamic allocation and transactions keep borrowing the engine the
+//! way in-process callers do.
+
+use livegraph_core::{
+    Error, LiveGraph, ReadTxn, Result, ShardedGraph, ShardedReadTxn, ShardedWriteTxn, Timestamp,
+    WriteTxn,
+};
+use livegraph_core::types::{Label, VertexId};
+
+use crate::protocol::StatsReply;
+
+/// The graph engine hosted by a [`crate::Server`].
+pub enum Engine {
+    /// Single-writer-pipeline engine.
+    Plain(LiveGraph),
+    /// Hash-partitioned multi-writer engine.
+    Sharded(ShardedGraph),
+}
+
+impl Engine {
+    /// The plain engine, if that is what is hosted (tests and admin
+    /// tooling use this for in-process oracle checks).
+    pub fn as_plain(&self) -> Option<&LiveGraph> {
+        match self {
+            Engine::Plain(g) => Some(g),
+            Engine::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded engine, if that is what is hosted.
+    pub fn as_sharded(&self) -> Option<&ShardedGraph> {
+        match self {
+            Engine::Plain(_) => None,
+            Engine::Sharded(g) => Some(g),
+        }
+    }
+
+    pub(crate) fn begin_read(&self) -> Result<ReadHandle<'_>> {
+        Ok(match self {
+            Engine::Plain(g) => ReadHandle::Plain(g.begin_read()?),
+            Engine::Sharded(g) => ReadHandle::Sharded(g.begin_read()?),
+        })
+    }
+
+    pub(crate) fn begin_read_at(&self, epoch: Timestamp) -> Result<ReadHandle<'_>> {
+        Ok(match self {
+            Engine::Plain(g) => ReadHandle::Plain(g.begin_read_at(epoch)?),
+            Engine::Sharded(g) => ReadHandle::Sharded(g.begin_read_at(epoch)?),
+        })
+    }
+
+    pub(crate) fn begin_write(&self) -> Result<WriteHandle<'_>> {
+        Ok(match self {
+            Engine::Plain(g) => WriteHandle::Plain(g.begin_write()?),
+            Engine::Sharded(g) => WriteHandle::Sharded(g.begin_write()?),
+        })
+    }
+
+    /// Writes a checkpoint and prunes the WAL. The sharded engine is
+    /// WAL-only (documented v1 limit), so it reports `None` for
+    /// "unsupported" — the session maps that to
+    /// [`crate::protocol::ErrorCode::Unsupported`].
+    pub(crate) fn checkpoint(&self) -> Option<Result<()>> {
+        match self {
+            Engine::Plain(g) => Some(g.checkpoint()),
+            Engine::Sharded(_) => None,
+        }
+    }
+
+    /// Flattens the engine statistics into the wire shape (summed across
+    /// shards for the sharded engine).
+    pub(crate) fn stats(&self) -> StatsReply {
+        match self {
+            Engine::Plain(g) => {
+                let s = g.stats();
+                StatsReply {
+                    shards: 1,
+                    vertex_count: s.vertex_count,
+                    edge_insert_count: s.edge_insert_count,
+                    wal_bytes: s.wal_bytes,
+                    read_epoch: s.read_epoch,
+                    write_epoch: s.write_epoch,
+                    sealed_scans: s.scans.sealed_scans,
+                    checked_scans: s.scans.checked_scans,
+                    edge_lookups: s.scans.edge_lookups,
+                    edge_lookup_entries_scanned: s.scans.edge_lookup_entries_scanned,
+                    edge_lookup_bloom_negatives: s.scans.edge_lookup_bloom_negatives,
+                }
+            }
+            Engine::Sharded(g) => {
+                let s = g.stats();
+                let mut reply = StatsReply {
+                    shards: s.shards.len() as u32,
+                    vertex_count: s.vertex_count,
+                    edge_insert_count: s.edge_insert_count(),
+                    wal_bytes: s.wal_bytes(),
+                    read_epoch: s.read_epoch,
+                    write_epoch: s.write_epoch,
+                    ..StatsReply::default()
+                };
+                for shard in &s.shards {
+                    reply.sealed_scans += shard.scans.sealed_scans;
+                    reply.checked_scans += shard.scans.checked_scans;
+                    reply.edge_lookups += shard.scans.edge_lookups;
+                    reply.edge_lookup_entries_scanned += shard.scans.edge_lookup_entries_scanned;
+                    reply.edge_lookup_bloom_negatives += shard.scans.edge_lookup_bloom_negatives;
+                }
+                reply
+            }
+        }
+    }
+}
+
+impl From<LiveGraph> for Engine {
+    fn from(g: LiveGraph) -> Self {
+        Engine::Plain(g)
+    }
+}
+
+impl From<ShardedGraph> for Engine {
+    fn from(g: ShardedGraph) -> Self {
+        Engine::Sharded(g)
+    }
+}
+
+/// A read transaction over either engine variant.
+pub(crate) enum ReadHandle<'g> {
+    Plain(ReadTxn<'g>),
+    Sharded(ShardedReadTxn<'g>),
+}
+
+impl ReadHandle<'_> {
+    pub(crate) fn epoch(&self) -> Timestamp {
+        match self {
+            ReadHandle::Plain(t) => t.read_epoch(),
+            ReadHandle::Sharded(t) => t.read_epoch(),
+        }
+    }
+
+    pub(crate) fn get_vertex(&self, vertex: VertexId) -> Option<Vec<u8>> {
+        match self {
+            ReadHandle::Plain(t) => t.get_vertex(vertex).map(<[u8]>::to_vec),
+            ReadHandle::Sharded(t) => t.get_vertex(vertex).map(<[u8]>::to_vec),
+        }
+    }
+
+    pub(crate) fn get_edge(&self, src: VertexId, label: Label, dst: VertexId) -> Option<Vec<u8>> {
+        match self {
+            ReadHandle::Plain(t) => t.get_edge(src, label, dst).map(<[u8]>::to_vec),
+            ReadHandle::Sharded(t) => t.get_edge(src, label, dst).map(<[u8]>::to_vec),
+        }
+    }
+
+    pub(crate) fn degree(&self, vertex: VertexId, label: Label) -> usize {
+        match self {
+            ReadHandle::Plain(t) => t.degree(vertex, label),
+            ReadHandle::Sharded(t) => t.degree(vertex, label),
+        }
+    }
+
+    /// Streams every destination (newest first) through `f` — the
+    /// monomorphized neighbour visitor, so the zero-check sealed fast path
+    /// is taken whenever the snapshot covers the TEL's last commit. Used by
+    /// the session's unbounded `Neighbors` scans, which emit chunk frames
+    /// straight from the visitor instead of materialising the list.
+    pub(crate) fn for_each_neighbor<F: FnMut(VertexId)>(
+        &self,
+        vertex: VertexId,
+        label: Label,
+        f: F,
+    ) {
+        match self {
+            ReadHandle::Plain(t) => t.for_each_neighbor(vertex, label, f),
+            ReadHandle::Sharded(t) => t.for_each_neighbor(vertex, label, f),
+        }
+    }
+
+    /// Collects up to `limit` destinations (`limit > 0`), newest first.
+    ///
+    /// Mirrors the strategy of `workloads::backends::get_link_list`: when
+    /// the O(1) sealed header degree says the whole list fits the limit,
+    /// stream it through the monomorphized neighbour visitor (zero-check
+    /// sealed fast path whenever the snapshot covers the TEL's last
+    /// commit); otherwise go straight to the bounded per-entry-checked
+    /// iterator so a tight limit never pays a full-list walk. Either way
+    /// the allocation is bounded by `limit`.
+    pub(crate) fn neighbors(&self, vertex: VertexId, label: Label, limit: u64) -> Vec<VertexId> {
+        match self {
+            ReadHandle::Plain(t) => {
+                if limit == 0 || t.sealed_degree(vertex, label).is_some_and(|d| d as u64 <= limit) {
+                    let mut dsts = Vec::new();
+                    t.for_each_neighbor(vertex, label, |d| dsts.push(d));
+                    dsts
+                } else {
+                    t.edges(vertex, label).map(|e| e.dst).take(limit as usize).collect()
+                }
+            }
+            ReadHandle::Sharded(t) => {
+                if limit == 0 || t.sealed_degree(vertex, label).is_some_and(|d| d as u64 <= limit) {
+                    let mut dsts = Vec::new();
+                    t.for_each_neighbor(vertex, label, |d| dsts.push(d));
+                    dsts
+                } else {
+                    t.edges(vertex, label).map(|e| e.dst).take(limit as usize).collect()
+                }
+            }
+        }
+    }
+}
+
+/// A write transaction over either engine variant.
+pub(crate) enum WriteHandle<'g> {
+    Plain(WriteTxn<'g>),
+    Sharded(ShardedWriteTxn<'g>),
+}
+
+impl WriteHandle<'_> {
+    pub(crate) fn epoch(&self) -> Timestamp {
+        match self {
+            WriteHandle::Plain(t) => t.read_epoch(),
+            WriteHandle::Sharded(t) => t.read_epoch(),
+        }
+    }
+
+    pub(crate) fn create_vertex(&mut self, properties: &[u8]) -> Result<VertexId> {
+        match self {
+            WriteHandle::Plain(t) => t.create_vertex(properties),
+            WriteHandle::Sharded(t) => t.create_vertex(properties),
+        }
+    }
+
+    pub(crate) fn put_vertex(&mut self, vertex: VertexId, properties: &[u8]) -> Result<()> {
+        match self {
+            WriteHandle::Plain(t) => t.put_vertex(vertex, properties),
+            WriteHandle::Sharded(t) => t.put_vertex(vertex, properties),
+        }
+    }
+
+    pub(crate) fn delete_vertex(&mut self, vertex: VertexId) -> Result<bool> {
+        match self {
+            WriteHandle::Plain(t) => t.delete_vertex(vertex),
+            WriteHandle::Sharded(t) => t.delete_vertex(vertex),
+        }
+    }
+
+    pub(crate) fn put_edge(
+        &mut self,
+        src: VertexId,
+        label: Label,
+        dst: VertexId,
+        properties: &[u8],
+    ) -> Result<bool> {
+        match self {
+            WriteHandle::Plain(t) => t.put_edge(src, label, dst, properties),
+            WriteHandle::Sharded(t) => t.put_edge(src, label, dst, properties),
+        }
+    }
+
+    pub(crate) fn delete_edge(&mut self, src: VertexId, label: Label, dst: VertexId) -> Result<bool> {
+        match self {
+            WriteHandle::Plain(t) => t.delete_edge(src, label, dst),
+            WriteHandle::Sharded(t) => t.delete_edge(src, label, dst),
+        }
+    }
+
+    pub(crate) fn get_vertex(&self, vertex: VertexId) -> Option<Vec<u8>> {
+        match self {
+            WriteHandle::Plain(t) => t.get_vertex(vertex).map(<[u8]>::to_vec),
+            WriteHandle::Sharded(t) => t.get_vertex(vertex).map(<[u8]>::to_vec),
+        }
+    }
+
+    pub(crate) fn get_edge(&self, src: VertexId, label: Label, dst: VertexId) -> Option<Vec<u8>> {
+        match self {
+            WriteHandle::Plain(t) => t.get_edge(src, label, dst).map(<[u8]>::to_vec),
+            WriteHandle::Sharded(t) => t.get_edge(src, label, dst).map(<[u8]>::to_vec),
+        }
+    }
+
+    pub(crate) fn degree(&self, vertex: VertexId, label: Label) -> usize {
+        match self {
+            WriteHandle::Plain(t) => t.degree(vertex, label),
+            WriteHandle::Sharded(t) => t.degree(vertex, label),
+        }
+    }
+
+    /// Destinations including this transaction's own uncommitted writes.
+    /// `None` when the hosted engine cannot scan inside a write transaction
+    /// (the sharded writer exposes no adjacency iterator in v1).
+    pub(crate) fn neighbors(
+        &self,
+        vertex: VertexId,
+        label: Label,
+        limit: u64,
+    ) -> Option<Vec<VertexId>> {
+        match self {
+            WriteHandle::Plain(t) => {
+                let iter = t.edges(vertex, label).map(|e| e.dst);
+                Some(if limit == 0 {
+                    iter.collect()
+                } else {
+                    iter.take(limit as usize).collect()
+                })
+            }
+            WriteHandle::Sharded(_) => None,
+        }
+    }
+
+    pub(crate) fn commit(self) -> Result<Timestamp> {
+        match self {
+            WriteHandle::Plain(t) => t.commit(),
+            WriteHandle::Sharded(t) => t.commit(),
+        }
+    }
+
+    pub(crate) fn abort(self) {
+        match self {
+            WriteHandle::Plain(t) => t.abort(),
+            WriteHandle::Sharded(t) => t.abort(),
+        }
+    }
+}
+
+/// True for errors a fresh retry of the same transaction can resolve.
+pub(crate) fn is_retryable(e: &Error) -> bool {
+    matches!(e, Error::WriteConflict { .. })
+}

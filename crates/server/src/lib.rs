@@ -1,0 +1,58 @@
+//! # LiveGraph service layer
+//!
+//! Turns the in-process LiveGraph engine into a networked service: a
+//! length-prefixed binary wire protocol with correlation ids (so clients
+//! can pipeline), a thread-pooled TCP server mapping client connections
+//! onto server-side sessions of engine transactions, and a blocking client
+//! library with connection pooling.
+//!
+//! * [`protocol`] — frame format, request/response types, codecs;
+//! * [`Engine`] — the hosted engine (plain [`livegraph_core::LiveGraph`]
+//!   or sharded [`livegraph_core::ShardedGraph`]);
+//! * [`Server`] / [`ServerConfig`] — the TCP service (also available as the
+//!   `livegraph-serve` binary);
+//! * [`Session`] — the per-connection transaction table (public for tests
+//!   and embedding);
+//! * [`Client`] / [`ClientPool`] — the blocking client.
+//!
+//! ## Quick start
+//! ```
+//! use std::sync::Arc;
+//! use livegraph_server::{Client, Engine, Server, ServerConfig};
+//! use livegraph_core::{LiveGraph, LiveGraphOptions, DEFAULT_LABEL};
+//!
+//! let engine = Arc::new(Engine::Plain(
+//!     LiveGraph::open(LiveGraphOptions::in_memory()).unwrap(),
+//! ));
+//! let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let txn = client.begin_write().unwrap();
+//! let alice = client.create_vertex(txn, b"alice").unwrap();
+//! let bob = client.create_vertex(txn, b"bob").unwrap();
+//! client.put_edge(Some(txn), alice, DEFAULT_LABEL, bob, b"follows").unwrap();
+//! client.commit(txn).unwrap();
+//!
+//! assert_eq!(client.neighbors(None, alice, DEFAULT_LABEL, 0).unwrap(), vec![bob]);
+//! drop(client);
+//! server.shutdown();
+//! ```
+//!
+//! The session state machine, frame format and error mapping are
+//! documented in `docs/ARCHITECTURE.md` ("Service layer") at the
+//! repository root.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod client;
+mod engine;
+pub mod protocol;
+mod server;
+mod session;
+
+pub use client::{Client, ClientError, ClientPool, ClientResult, PooledClient, RemoteTxn};
+pub use engine::Engine;
+pub use protocol::{ErrorCode, Request, Response, StatsReply, TxnHandle};
+pub use server::{Server, ServerConfig};
+pub use session::{Session, AUTOCOMMIT_RETRIES, NEIGHBOR_CHUNK_DSTS};

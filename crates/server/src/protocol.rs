@@ -1,0 +1,1165 @@
+//! The LiveGraph wire protocol: length-prefixed binary frames with
+//! correlation ids.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! ┌────────────┬──────────────┬───────────┬──────────────────┐
+//! │ len: u32   │ corr: u64    │ kind: u8  │ body (len-9 B)   │
+//! │ (LE, body  │ correlation  │ opcode /  │ fixed-width LE   │
+//! │  incl. corr│ id chosen by │ response  │ scalars + length │
+//! │  + kind)   │ the client   │ tag       │ -prefixed bytes  │
+//! └────────────┴──────────────┴───────────┴──────────────────┘
+//! ```
+//!
+//! The client picks a fresh correlation id per request and the server echoes
+//! it on every response frame belonging to that request, so clients may
+//! *pipeline*: send many requests without waiting, then match responses by
+//! id. All requests produce exactly one response frame except
+//! [`Request::Neighbors`], which streams any number of
+//! [`Response::NeighborChunk`] frames (all carrying the request's
+//! correlation id) and marks the final one with `last = true`.
+//!
+//! Integers are little-endian. Byte strings and vertex-id lists are
+//! length-prefixed with a `u32`. The encoding is deliberately free of
+//! self-describing metadata — both ends compile from the same source tree —
+//! but every decoder is total: any byte sequence either decodes or returns a
+//! [`ProtocolError`], never panics (the round-trip and corruption property
+//! tests below pin this).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use livegraph_core::types::{Label, Timestamp, VertexId};
+
+/// Protocol version: bump whenever the frame layout changes. There is no
+/// version handshake on the wire (both ends are expected to compile from
+/// the same source tree); the constant exists so independently deployed
+/// builds have something to compare out-of-band, and so a future `Hello`
+/// frame has a number to carry. A mismatched peer surfaces as decode
+/// errors (`BadOpcode` / `BadValue` / `TrailingBytes`), not a clean
+/// version error.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload, defending the decoder against
+/// corrupt or malicious length prefixes.
+pub const MAX_FRAME_LEN: u32 = 32 << 20;
+
+/// A session-scoped transaction handle. Handle `0` ([`TxnHandle::AUTO`]) is
+/// the *auto-commit* pseudo-transaction: the server wraps the single
+/// operation in a fresh transaction (with bounded write-conflict retries for
+/// writes) and commits it before responding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnHandle(pub u32);
+
+impl TxnHandle {
+    /// The auto-commit pseudo-handle.
+    pub const AUTO: TxnHandle = TxnHandle(0);
+
+    /// True for the auto-commit pseudo-handle.
+    pub fn is_auto(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A request frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness / RTT probe.
+    Ping,
+    /// Begin a read-only transaction, pinned at `at_epoch` if given
+    /// (time-travel read), at the current global read epoch otherwise.
+    BeginRead {
+        /// Snapshot epoch to pin, `None` for the latest.
+        at_epoch: Option<Timestamp>,
+    },
+    /// Begin a read-write transaction.
+    BeginWrite,
+    /// Commit the transaction (write: group-commit; read: just release).
+    Commit {
+        /// Transaction to commit.
+        txn: TxnHandle,
+    },
+    /// Abort the transaction, rolling back all private updates.
+    Abort {
+        /// Transaction to abort.
+        txn: TxnHandle,
+    },
+    /// Create a vertex, returning its id.
+    CreateVertex {
+        /// Target transaction ([`TxnHandle::AUTO`] for auto-commit).
+        txn: TxnHandle,
+        /// Property payload.
+        properties: Vec<u8>,
+    },
+    /// Read a vertex's properties.
+    GetVertex {
+        /// Transaction to read under.
+        txn: TxnHandle,
+        /// Vertex id.
+        vertex: VertexId,
+    },
+    /// Overwrite a vertex's properties.
+    PutVertex {
+        /// Target transaction.
+        txn: TxnHandle,
+        /// Vertex id.
+        vertex: VertexId,
+        /// New property payload.
+        properties: Vec<u8>,
+    },
+    /// Delete a vertex (tombstone + invalidate its out-edges).
+    DeleteVertex {
+        /// Target transaction.
+        txn: TxnHandle,
+        /// Vertex id.
+        vertex: VertexId,
+    },
+    /// Insert or update an edge.
+    PutEdge {
+        /// Target transaction.
+        txn: TxnHandle,
+        /// Source vertex.
+        src: VertexId,
+        /// Edge label.
+        label: Label,
+        /// Destination vertex.
+        dst: VertexId,
+        /// Property payload.
+        properties: Vec<u8>,
+    },
+    /// Delete an edge.
+    DeleteEdge {
+        /// Target transaction.
+        txn: TxnHandle,
+        /// Source vertex.
+        src: VertexId,
+        /// Edge label.
+        label: Label,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+    /// Point-lookup one edge's properties.
+    GetEdge {
+        /// Transaction to read under.
+        txn: TxnHandle,
+        /// Source vertex.
+        src: VertexId,
+        /// Edge label.
+        label: Label,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+    /// Number of visible edges of `(vertex, label)`.
+    Degree {
+        /// Transaction to read under.
+        txn: TxnHandle,
+        /// Source vertex.
+        vertex: VertexId,
+        /// Edge label.
+        label: Label,
+    },
+    /// Stream the adjacency list of `(vertex, label)`, newest first, in
+    /// [`Response::NeighborChunk`] frames (sealed zero-check scan whenever
+    /// the snapshot allows).
+    Neighbors {
+        /// Transaction to read under.
+        txn: TxnHandle,
+        /// Source vertex.
+        vertex: VertexId,
+        /// Edge label.
+        label: Label,
+        /// Maximum destinations to return; `0` = unbounded.
+        limit: u64,
+    },
+    /// Admin: engine statistics snapshot.
+    Stats,
+    /// Admin: write a checkpoint of the latest committed snapshot and prune
+    /// the WAL (durable configurations only).
+    Checkpoint,
+}
+
+/// A response frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// A transaction was opened.
+    TxnBegun {
+        /// Session-scoped handle for subsequent requests.
+        txn: TxnHandle,
+        /// The snapshot epoch the transaction reads.
+        epoch: Timestamp,
+    },
+    /// The transaction committed.
+    Committed {
+        /// Commit epoch (read transactions report their snapshot epoch).
+        epoch: Timestamp,
+    },
+    /// The transaction was rolled back.
+    Aborted,
+    /// Reply to [`Request::CreateVertex`].
+    VertexCreated {
+        /// The new vertex id.
+        vertex: VertexId,
+    },
+    /// An optional byte payload (vertex / edge property reads).
+    MaybeBytes {
+        /// The payload, `None` when the vertex/edge is not visible.
+        value: Option<Vec<u8>>,
+    },
+    /// A boolean outcome (edge inserted / deletion found a target).
+    Flag {
+        /// The outcome.
+        value: bool,
+    },
+    /// Acknowledges a request with no payload (e.g. `PutVertex`,
+    /// `Checkpoint`).
+    Done,
+    /// A count (degree).
+    Count {
+        /// The count.
+        value: u64,
+    },
+    /// One chunk of a [`Request::Neighbors`] stream.
+    NeighborChunk {
+        /// Destination vertex ids, newest first.
+        dsts: Vec<VertexId>,
+        /// True on the final chunk of the stream.
+        last: bool,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(StatsReply),
+    /// The request failed; the session-side transaction (if any) was
+    /// aborted.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Engine statistics exposed over the wire (a flattened
+/// [`livegraph_core::GraphStats`], summed across shards for the sharded
+/// engine — including the adjacency-scan path counters, so remote
+/// benchmarks can report sealed-vs-checked scan ratios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Number of shards (1 for the plain engine).
+    pub shards: u32,
+    /// Number of vertices ever created.
+    pub vertex_count: u64,
+    /// Number of committed edge insertions.
+    pub edge_insert_count: u64,
+    /// Bytes written to the WAL(s).
+    pub wal_bytes: u64,
+    /// Current global read epoch.
+    pub read_epoch: Timestamp,
+    /// Current global write epoch.
+    pub write_epoch: Timestamp,
+    /// Neighbourhood scans served by the zero-check sealed fast path.
+    pub sealed_scans: u64,
+    /// Neighbourhood scans that fell back to the per-entry checked path.
+    pub checked_scans: u64,
+    /// `get_edge` point lookups issued.
+    pub edge_lookups: u64,
+    /// Log entries examined by those lookups.
+    pub edge_lookup_entries_scanned: u64,
+    /// Lookups short-circuited by a definite Bloom-filter miss.
+    pub edge_lookup_bloom_negatives: u64,
+}
+
+/// Machine-readable error classes carried by [`Response::Error`], mirroring
+/// [`livegraph_core::Error`] plus the session-layer failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// First-updater-wins write-write conflict (retryable).
+    WriteConflict = 1,
+    /// The referenced vertex does not exist.
+    VertexNotFound = 2,
+    /// The transaction was already committed or aborted.
+    TransactionClosed = 3,
+    /// Block store failure (out of space, mmap failure, ...).
+    Storage = 4,
+    /// WAL / checkpoint I/O failure.
+    Io = 5,
+    /// Corrupted WAL or checkpoint encountered.
+    Corruption = 6,
+    /// The engine's worker-slot table is exhausted.
+    TooManyWorkers = 7,
+    /// A time-travel read requested an unavailable epoch.
+    EpochUnavailable = 8,
+    /// The request named a transaction handle this session does not hold.
+    UnknownTxn = 9,
+    /// The request is malformed at the session level (e.g. a write op on a
+    /// read transaction).
+    BadRequest = 10,
+    /// The hosted engine does not support this operation (e.g. `Checkpoint`
+    /// on the sharded engine, which is WAL-only).
+    Unsupported = 11,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::WriteConflict,
+            2 => ErrorCode::VertexNotFound,
+            3 => ErrorCode::TransactionClosed,
+            4 => ErrorCode::Storage,
+            5 => ErrorCode::Io,
+            6 => ErrorCode::Corruption,
+            7 => ErrorCode::TooManyWorkers,
+            8 => ErrorCode::EpochUnavailable,
+            9 => ErrorCode::UnknownTxn,
+            10 => ErrorCode::BadRequest,
+            11 => ErrorCode::Unsupported,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::WriteConflict => "write-conflict",
+            ErrorCode::VertexNotFound => "vertex-not-found",
+            ErrorCode::TransactionClosed => "transaction-closed",
+            ErrorCode::Storage => "storage",
+            ErrorCode::Io => "io",
+            ErrorCode::Corruption => "corruption",
+            ErrorCode::TooManyWorkers => "too-many-workers",
+            ErrorCode::EpochUnavailable => "epoch-unavailable",
+            ErrorCode::UnknownTxn => "unknown-txn",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Unsupported => "unsupported",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Decoding failures. Encoding is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame ended before the field being decoded.
+    Truncated,
+    /// Unknown request opcode.
+    BadOpcode(u8),
+    /// Unknown response tag.
+    BadTag(u8),
+    /// A field held an out-of-domain value (e.g. a bool that is neither 0
+    /// nor 1, or an unknown error code).
+    BadValue(&'static str),
+    /// The frame body was longer than its fields.
+    TrailingBytes,
+    /// The length prefix exceeded [`MAX_FRAME_LEN`] (or was shorter than the
+    /// mandatory correlation id + kind byte).
+    BadFrameLen(u32),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "frame truncated mid-field"),
+            ProtocolError::BadOpcode(op) => write!(f, "unknown request opcode {op}"),
+            ProtocolError::BadTag(tag) => write!(f, "unknown response tag {tag}"),
+            ProtocolError::BadValue(what) => write!(f, "out-of-domain value for {what}"),
+            ProtocolError::TrailingBytes => write!(f, "trailing bytes after frame body"),
+            ProtocolError::BadFrameLen(len) => {
+                write!(f, "frame length {len} outside 9..={MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for io::Error {
+    fn from(e: ProtocolError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar codec helpers
+// ---------------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+/// A bounds-checked reader over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtocolError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtocolError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn boolean(&mut self) -> Result<bool, ProtocolError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(ProtocolError::BadValue("bool")),
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn txn(&mut self) -> Result<TxnHandle, ProtocolError> {
+        Ok(TxnHandle(self.u32()?))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::TrailingBytes)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------------
+
+mod op {
+    pub const PING: u8 = 1;
+    pub const BEGIN_READ: u8 = 2;
+    pub const BEGIN_WRITE: u8 = 3;
+    pub const COMMIT: u8 = 4;
+    pub const ABORT: u8 = 5;
+    pub const CREATE_VERTEX: u8 = 6;
+    pub const GET_VERTEX: u8 = 7;
+    pub const PUT_VERTEX: u8 = 8;
+    pub const DELETE_VERTEX: u8 = 9;
+    pub const PUT_EDGE: u8 = 10;
+    pub const DELETE_EDGE: u8 = 11;
+    pub const GET_EDGE: u8 = 12;
+    pub const DEGREE: u8 = 13;
+    pub const NEIGHBORS: u8 = 14;
+    pub const STATS: u8 = 15;
+    pub const CHECKPOINT: u8 = 16;
+}
+
+mod tag {
+    pub const PONG: u8 = 1;
+    pub const TXN_BEGUN: u8 = 2;
+    pub const COMMITTED: u8 = 3;
+    pub const ABORTED: u8 = 4;
+    pub const VERTEX_CREATED: u8 = 5;
+    pub const MAYBE_BYTES: u8 = 6;
+    pub const FLAG: u8 = 7;
+    pub const DONE: u8 = 8;
+    pub const COUNT: u8 = 9;
+    pub const NEIGHBOR_CHUNK: u8 = 10;
+    pub const STATS: u8 = 11;
+    pub const ERROR: u8 = 12;
+}
+
+impl Request {
+    /// Appends this request's `kind` byte and body to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Ping => put_u8(buf, op::PING),
+            Request::BeginRead { at_epoch } => {
+                put_u8(buf, op::BEGIN_READ);
+                match at_epoch {
+                    Some(e) => {
+                        put_bool(buf, true);
+                        put_i64(buf, *e);
+                    }
+                    None => put_bool(buf, false),
+                }
+            }
+            Request::BeginWrite => put_u8(buf, op::BEGIN_WRITE),
+            Request::Commit { txn } => {
+                put_u8(buf, op::COMMIT);
+                put_u32(buf, txn.0);
+            }
+            Request::Abort { txn } => {
+                put_u8(buf, op::ABORT);
+                put_u32(buf, txn.0);
+            }
+            Request::CreateVertex { txn, properties } => {
+                put_u8(buf, op::CREATE_VERTEX);
+                put_u32(buf, txn.0);
+                put_bytes(buf, properties);
+            }
+            Request::GetVertex { txn, vertex } => {
+                put_u8(buf, op::GET_VERTEX);
+                put_u32(buf, txn.0);
+                put_u64(buf, *vertex);
+            }
+            Request::PutVertex {
+                txn,
+                vertex,
+                properties,
+            } => {
+                put_u8(buf, op::PUT_VERTEX);
+                put_u32(buf, txn.0);
+                put_u64(buf, *vertex);
+                put_bytes(buf, properties);
+            }
+            Request::DeleteVertex { txn, vertex } => {
+                put_u8(buf, op::DELETE_VERTEX);
+                put_u32(buf, txn.0);
+                put_u64(buf, *vertex);
+            }
+            Request::PutEdge {
+                txn,
+                src,
+                label,
+                dst,
+                properties,
+            } => {
+                put_u8(buf, op::PUT_EDGE);
+                put_u32(buf, txn.0);
+                put_u64(buf, *src);
+                put_u16(buf, *label);
+                put_u64(buf, *dst);
+                put_bytes(buf, properties);
+            }
+            Request::DeleteEdge {
+                txn,
+                src,
+                label,
+                dst,
+            } => {
+                put_u8(buf, op::DELETE_EDGE);
+                put_u32(buf, txn.0);
+                put_u64(buf, *src);
+                put_u16(buf, *label);
+                put_u64(buf, *dst);
+            }
+            Request::GetEdge {
+                txn,
+                src,
+                label,
+                dst,
+            } => {
+                put_u8(buf, op::GET_EDGE);
+                put_u32(buf, txn.0);
+                put_u64(buf, *src);
+                put_u16(buf, *label);
+                put_u64(buf, *dst);
+            }
+            Request::Degree { txn, vertex, label } => {
+                put_u8(buf, op::DEGREE);
+                put_u32(buf, txn.0);
+                put_u64(buf, *vertex);
+                put_u16(buf, *label);
+            }
+            Request::Neighbors {
+                txn,
+                vertex,
+                label,
+                limit,
+            } => {
+                put_u8(buf, op::NEIGHBORS);
+                put_u32(buf, txn.0);
+                put_u64(buf, *vertex);
+                put_u16(buf, *label);
+                put_u64(buf, *limit);
+            }
+            Request::Stats => put_u8(buf, op::STATS),
+            Request::Checkpoint => put_u8(buf, op::CHECKPOINT),
+        }
+    }
+
+    /// Decodes a request from a frame body (`kind` byte + fields).
+    pub fn decode(body: &[u8]) -> Result<Request, ProtocolError> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            op::PING => Request::Ping,
+            op::BEGIN_READ => Request::BeginRead {
+                at_epoch: if c.boolean()? { Some(c.i64()?) } else { None },
+            },
+            op::BEGIN_WRITE => Request::BeginWrite,
+            op::COMMIT => Request::Commit { txn: c.txn()? },
+            op::ABORT => Request::Abort { txn: c.txn()? },
+            op::CREATE_VERTEX => Request::CreateVertex {
+                txn: c.txn()?,
+                properties: c.bytes()?,
+            },
+            op::GET_VERTEX => Request::GetVertex {
+                txn: c.txn()?,
+                vertex: c.u64()?,
+            },
+            op::PUT_VERTEX => Request::PutVertex {
+                txn: c.txn()?,
+                vertex: c.u64()?,
+                properties: c.bytes()?,
+            },
+            op::DELETE_VERTEX => Request::DeleteVertex {
+                txn: c.txn()?,
+                vertex: c.u64()?,
+            },
+            op::PUT_EDGE => Request::PutEdge {
+                txn: c.txn()?,
+                src: c.u64()?,
+                label: c.u16()?,
+                dst: c.u64()?,
+                properties: c.bytes()?,
+            },
+            op::DELETE_EDGE => Request::DeleteEdge {
+                txn: c.txn()?,
+                src: c.u64()?,
+                label: c.u16()?,
+                dst: c.u64()?,
+            },
+            op::GET_EDGE => Request::GetEdge {
+                txn: c.txn()?,
+                src: c.u64()?,
+                label: c.u16()?,
+                dst: c.u64()?,
+            },
+            op::DEGREE => Request::Degree {
+                txn: c.txn()?,
+                vertex: c.u64()?,
+                label: c.u16()?,
+            },
+            op::NEIGHBORS => Request::Neighbors {
+                txn: c.txn()?,
+                vertex: c.u64()?,
+                label: c.u16()?,
+                limit: c.u64()?,
+            },
+            op::STATS => Request::Stats,
+            op::CHECKPOINT => Request::Checkpoint,
+            other => return Err(ProtocolError::BadOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------------
+
+impl Response {
+    /// Appends this response's `kind` byte and body to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Pong => put_u8(buf, tag::PONG),
+            Response::TxnBegun { txn, epoch } => {
+                put_u8(buf, tag::TXN_BEGUN);
+                put_u32(buf, txn.0);
+                put_i64(buf, *epoch);
+            }
+            Response::Committed { epoch } => {
+                put_u8(buf, tag::COMMITTED);
+                put_i64(buf, *epoch);
+            }
+            Response::Aborted => put_u8(buf, tag::ABORTED),
+            Response::VertexCreated { vertex } => {
+                put_u8(buf, tag::VERTEX_CREATED);
+                put_u64(buf, *vertex);
+            }
+            Response::MaybeBytes { value } => {
+                put_u8(buf, tag::MAYBE_BYTES);
+                match value {
+                    Some(bytes) => {
+                        put_bool(buf, true);
+                        put_bytes(buf, bytes);
+                    }
+                    None => put_bool(buf, false),
+                }
+            }
+            Response::Flag { value } => {
+                put_u8(buf, tag::FLAG);
+                put_bool(buf, *value);
+            }
+            Response::Done => put_u8(buf, tag::DONE),
+            Response::Count { value } => {
+                put_u8(buf, tag::COUNT);
+                put_u64(buf, *value);
+            }
+            Response::NeighborChunk { dsts, last } => {
+                put_u8(buf, tag::NEIGHBOR_CHUNK);
+                put_bool(buf, *last);
+                put_u32(buf, dsts.len() as u32);
+                for dst in dsts {
+                    put_u64(buf, *dst);
+                }
+            }
+            Response::Stats(s) => {
+                put_u8(buf, tag::STATS);
+                put_u32(buf, s.shards);
+                put_u64(buf, s.vertex_count);
+                put_u64(buf, s.edge_insert_count);
+                put_u64(buf, s.wal_bytes);
+                put_i64(buf, s.read_epoch);
+                put_i64(buf, s.write_epoch);
+                put_u64(buf, s.sealed_scans);
+                put_u64(buf, s.checked_scans);
+                put_u64(buf, s.edge_lookups);
+                put_u64(buf, s.edge_lookup_entries_scanned);
+                put_u64(buf, s.edge_lookup_bloom_negatives);
+            }
+            Response::Error { code, message } => {
+                put_u8(buf, tag::ERROR);
+                put_u8(buf, *code as u8);
+                put_bytes(buf, message.as_bytes());
+            }
+        }
+    }
+
+    /// Decodes a response from a frame body (`kind` byte + fields).
+    pub fn decode(body: &[u8]) -> Result<Response, ProtocolError> {
+        let mut c = Cursor::new(body);
+        let resp = match c.u8()? {
+            tag::PONG => Response::Pong,
+            tag::TXN_BEGUN => Response::TxnBegun {
+                txn: c.txn()?,
+                epoch: c.i64()?,
+            },
+            tag::COMMITTED => Response::Committed { epoch: c.i64()? },
+            tag::ABORTED => Response::Aborted,
+            tag::VERTEX_CREATED => Response::VertexCreated { vertex: c.u64()? },
+            tag::MAYBE_BYTES => Response::MaybeBytes {
+                value: if c.boolean()? { Some(c.bytes()?) } else { None },
+            },
+            tag::FLAG => Response::Flag {
+                value: c.boolean()?,
+            },
+            tag::DONE => Response::Done,
+            tag::COUNT => Response::Count { value: c.u64()? },
+            tag::NEIGHBOR_CHUNK => {
+                let last = c.boolean()?;
+                let n = c.u32()? as usize;
+                if n > (MAX_FRAME_LEN as usize) / 8 {
+                    return Err(ProtocolError::BadValue("neighbor chunk length"));
+                }
+                let mut dsts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    dsts.push(c.u64()?);
+                }
+                Response::NeighborChunk { dsts, last }
+            }
+            tag::STATS => Response::Stats(StatsReply {
+                shards: c.u32()?,
+                vertex_count: c.u64()?,
+                edge_insert_count: c.u64()?,
+                wal_bytes: c.u64()?,
+                read_epoch: c.i64()?,
+                write_epoch: c.i64()?,
+                sealed_scans: c.u64()?,
+                checked_scans: c.u64()?,
+                edge_lookups: c.u64()?,
+                edge_lookup_entries_scanned: c.u64()?,
+                edge_lookup_bloom_negatives: c.u64()?,
+            }),
+            tag::ERROR => Response::Error {
+                code: ErrorCode::from_u8(c.u8()?)
+                    .ok_or(ProtocolError::BadValue("error code"))?,
+                message: String::from_utf8(c.bytes()?)
+                    .map_err(|_| ProtocolError::BadValue("error message utf-8"))?,
+            },
+            other => return Err(ProtocolError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Mandatory bytes of every frame body: correlation id + kind byte.
+const FRAME_MIN: u32 = 9;
+
+fn write_frame(w: &mut impl Write, corr: u64, encode_kind: impl FnOnce(&mut Vec<u8>)) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&[0u8; 4]); // length placeholder
+    put_u64(&mut buf, corr);
+    encode_kind(&mut buf);
+    // Refuse to emit a frame the peer is guaranteed to reject (or, past
+    // u32::MAX, one whose length prefix would silently wrap and desync the
+    // stream): fail the send with a typed error and leave the wire clean.
+    let len = buf.len() - 4;
+    if len > MAX_FRAME_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {len} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"),
+        ));
+    }
+    buf[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Reads one frame, returning `(corr, body)` where `body` starts at the
+/// kind byte. Returns `Ok(None)` on a clean EOF *before* the length prefix.
+fn read_frame(r: &mut impl Read, scratch: &mut Vec<u8>) -> io::Result<Option<(u64, usize)>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish a clean close (0 bytes) from a mid-frame cut.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            // Retry EINTR like `read_exact` does; a stray signal must not
+            // tear down a healthy connection.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(FRAME_MIN..=MAX_FRAME_LEN).contains(&len) {
+        return Err(ProtocolError::BadFrameLen(len).into());
+    }
+    scratch.resize(len as usize, 0);
+    r.read_exact(scratch)?;
+    let corr = u64::from_le_bytes(scratch[..8].try_into().unwrap());
+    Ok(Some((corr, 8)))
+}
+
+/// Writes one request frame.
+pub fn write_request(w: &mut impl Write, corr: u64, req: &Request) -> io::Result<()> {
+    write_frame(w, corr, |buf| req.encode(buf))
+}
+
+/// Writes one response frame.
+pub fn write_response(w: &mut impl Write, corr: u64, resp: &Response) -> io::Result<()> {
+    write_frame(w, corr, |buf| resp.encode(buf))
+}
+
+/// Reads one request frame; `Ok(None)` on clean EOF.
+pub fn read_request(r: &mut impl Read, scratch: &mut Vec<u8>) -> io::Result<Option<(u64, Request)>> {
+    match read_frame(r, scratch)? {
+        None => Ok(None),
+        Some((corr, body_at)) => {
+            let req = Request::decode(&scratch[body_at..])?;
+            Ok(Some((corr, req)))
+        }
+    }
+}
+
+/// Reads one response frame; `Ok(None)` on clean EOF.
+pub fn read_response(r: &mut impl Read, scratch: &mut Vec<u8>) -> io::Result<Option<(u64, Response)>> {
+    match read_frame(r, scratch)? {
+        None => Ok(None),
+        Some((corr, body_at)) => {
+            let resp = Response::decode(&scratch[body_at..])?;
+            Ok(Some((corr, resp)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_request(req: &Request) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 77, req).unwrap();
+        let mut scratch = Vec::new();
+        let (corr, decoded) = read_request(&mut wire.as_slice(), &mut scratch)
+            .unwrap()
+            .expect("one frame present");
+        assert_eq!(corr, 77);
+        assert_eq!(&decoded, req);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let mut wire = Vec::new();
+        write_response(&mut wire, u64::MAX, resp).unwrap();
+        let mut scratch = Vec::new();
+        let (corr, decoded) = read_response(&mut wire.as_slice(), &mut scratch)
+            .unwrap()
+            .expect("one frame present");
+        assert_eq!(corr, u64::MAX);
+        assert_eq!(&decoded, resp);
+    }
+
+    fn txn_strategy() -> impl Strategy<Value = TxnHandle> {
+        (0u32..4).prop_map(TxnHandle)
+    }
+
+    fn bytes_strategy() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(0u8..=255, 0..48)
+    }
+
+    /// Every request variant, with randomised fields.
+    fn request_strategy() -> impl Strategy<Value = Request> {
+        let t = txn_strategy;
+        let b = bytes_strategy;
+        prop_oneof![
+            Just(Request::Ping),
+            (0i64..1 << 40).prop_map(|e| Request::BeginRead { at_epoch: Some(e) }),
+            Just(Request::BeginRead { at_epoch: None }),
+            Just(Request::BeginWrite),
+            t().prop_map(|txn| Request::Commit { txn }),
+            t().prop_map(|txn| Request::Abort { txn }),
+            (t(), b()).prop_map(|(txn, properties)| Request::CreateVertex { txn, properties }),
+            (t(), 0u64..1000).prop_map(|(txn, vertex)| Request::GetVertex { txn, vertex }),
+            (t(), 0u64..1000, b())
+                .prop_map(|(txn, vertex, properties)| Request::PutVertex { txn, vertex, properties }),
+            (t(), 0u64..1000).prop_map(|(txn, vertex)| Request::DeleteVertex { txn, vertex }),
+            (t(), 0u64..1000, 0u16..8, 0u64..1000, b()).prop_map(
+                |(txn, src, label, dst, properties)| Request::PutEdge {
+                    txn,
+                    src,
+                    label,
+                    dst,
+                    properties
+                }
+            ),
+            (t(), 0u64..1000, 0u16..8, 0u64..1000)
+                .prop_map(|(txn, src, label, dst)| Request::DeleteEdge { txn, src, label, dst }),
+            (t(), 0u64..1000, 0u16..8, 0u64..1000)
+                .prop_map(|(txn, src, label, dst)| Request::GetEdge { txn, src, label, dst }),
+            (t(), 0u64..1000, 0u16..8).prop_map(|(txn, vertex, label)| Request::Degree {
+                txn,
+                vertex,
+                label
+            }),
+            (t(), 0u64..1000, 0u16..8, 0u64..5000).prop_map(|(txn, vertex, label, limit)| {
+                Request::Neighbors {
+                    txn,
+                    vertex,
+                    label,
+                    limit,
+                }
+            }),
+            Just(Request::Stats),
+            Just(Request::Checkpoint),
+        ]
+    }
+
+    fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
+        prop_oneof![
+            Just(ErrorCode::WriteConflict),
+            Just(ErrorCode::VertexNotFound),
+            Just(ErrorCode::TransactionClosed),
+            Just(ErrorCode::Storage),
+            Just(ErrorCode::Io),
+            Just(ErrorCode::Corruption),
+            Just(ErrorCode::TooManyWorkers),
+            Just(ErrorCode::EpochUnavailable),
+            Just(ErrorCode::UnknownTxn),
+            Just(ErrorCode::BadRequest),
+            Just(ErrorCode::Unsupported),
+        ]
+    }
+
+    /// Every response variant, with randomised fields.
+    fn response_strategy() -> impl Strategy<Value = Response> {
+        prop_oneof![
+            Just(Response::Pong),
+            (txn_strategy(), 0i64..1 << 40)
+                .prop_map(|(txn, epoch)| Response::TxnBegun { txn, epoch }),
+            (0i64..1 << 40).prop_map(|epoch| Response::Committed { epoch }),
+            Just(Response::Aborted),
+            (0u64..1000).prop_map(|vertex| Response::VertexCreated { vertex }),
+            bytes_strategy().prop_map(|b| Response::MaybeBytes { value: Some(b) }),
+            Just(Response::MaybeBytes { value: None }),
+            any::<bool>().prop_map(|value| Response::Flag { value }),
+            Just(Response::Done),
+            (0u64..1 << 40).prop_map(|value| Response::Count { value }),
+            (proptest::collection::vec(0u64..1000, 0..32), any::<bool>())
+                .prop_map(|(dsts, last)| Response::NeighborChunk { dsts, last }),
+            (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30, 0i64..1 << 30).prop_map(
+                |(a, b, c, d)| {
+                    Response::Stats(StatsReply {
+                        shards: (a % 9) as u32,
+                        vertex_count: a,
+                        edge_insert_count: b,
+                        wal_bytes: c,
+                        read_epoch: d,
+                        write_epoch: d + 1,
+                        sealed_scans: b / 2,
+                        checked_scans: b / 3,
+                        edge_lookups: c / 2,
+                        edge_lookup_entries_scanned: c / 3,
+                        edge_lookup_bloom_negatives: c / 4,
+                    })
+                }
+            ),
+            (
+                error_code_strategy(),
+                proptest::collection::vec(b'a'..=b'z', 0..24)
+                    .prop_map(|v| String::from_utf8(v).expect("ascii"))
+            )
+                .prop_map(|(code, message)| Response::Error { code, message }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn every_request_roundtrips(req in request_strategy()) {
+            roundtrip_request(&req);
+        }
+
+        #[test]
+        fn every_response_roundtrips(resp in response_strategy()) {
+            roundtrip_response(&resp);
+        }
+
+        #[test]
+        fn decoder_is_total_on_garbage(body in proptest::collection::vec(0u8..=255, 0..64)) {
+            // Any byte soup either decodes or errors; it must never panic.
+            let _ = Request::decode(&body);
+            let _ = Response::decode(&body);
+        }
+
+        #[test]
+        fn truncated_request_frames_never_decode(req in request_strategy()) {
+            let mut body = Vec::new();
+            req.encode(&mut body);
+            for cut in 0..body.len() {
+                prop_assert!(Request::decode(&body[..cut]).is_err());
+            }
+        }
+    }
+
+    /// A frame the peer would reject must fail the *send* with a typed
+    /// error and leave nothing on the wire (a partial write would desync
+    /// the stream for every later frame).
+    #[test]
+    fn oversized_frames_are_refused_before_writing() {
+        let mut wire = Vec::new();
+        let err = write_request(
+            &mut wire,
+            1,
+            &Request::PutVertex {
+                txn: TxnHandle::AUTO,
+                vertex: 0,
+                properties: vec![0u8; MAX_FRAME_LEN as usize + 1],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(wire.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Ping).unwrap();
+        write_request(
+            &mut wire,
+            2,
+            &Request::Degree {
+                txn: TxnHandle::AUTO,
+                vertex: 9,
+                label: 3,
+            },
+        )
+        .unwrap();
+        write_request(&mut wire, 3, &Request::Stats).unwrap();
+        let mut r = wire.as_slice();
+        let mut scratch = Vec::new();
+        let corrs: Vec<u64> = std::iter::from_fn(|| {
+            read_request(&mut r, &mut scratch).unwrap().map(|(c, _)| c)
+        })
+        .collect();
+        assert_eq!(corrs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut scratch = Vec::new();
+        let err = read_request(&mut wire.as_slice(), &mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn undersized_frame_length_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&3u32.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 3]);
+        let mut scratch = Vec::new();
+        assert!(read_request(&mut wire.as_slice(), &mut scratch).is_err());
+    }
+
+    #[test]
+    fn clean_eof_reads_as_none() {
+        let mut scratch = Vec::new();
+        assert!(read_request(&mut [].as_slice(), &mut scratch)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 5, &Request::Stats).unwrap();
+        wire.truncate(wire.len() - 1);
+        let mut scratch = Vec::new();
+        assert!(read_request(&mut wire.as_slice(), &mut scratch).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! The thread-pooled TCP server.
+//!
+//! One acceptor thread hands incoming connections to a fixed pool of
+//! connection-handler threads over a channel. The pool size bounds both the
+//! number of concurrently served sessions *and* the engine worker slots the
+//! service layer consumes: worker slots are allocated per OS thread and
+//! never returned (see `core::epoch`), so a thread-per-connection design
+//! would exhaust `max_workers` after a few hundred reconnects — the pool
+//! keeps the server indefinitely accept-loop-stable instead. Connections
+//! beyond the pool size queue in the channel until a handler frees up.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::engine::Engine;
+use crate::protocol::{read_request, write_response};
+use crate::session::Session;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection-handler threads (= maximum concurrently served
+    /// sessions; further connections queue).
+    ///
+    /// Size this **at or above the expected number of concurrently
+    /// connected long-lived clients** (e.g. a `ClientPool`'s connection
+    /// count): a persistent session beyond this count waits in the accept
+    /// queue until some other session *disconnects*, which for a pool that
+    /// never hangs up is a deadlock. The queue exists to absorb bursts of
+    /// short-lived connections, not to multiplex persistent ones.
+    pub workers: usize,
+    /// Set `TCP_NODELAY` on accepted sockets (request/response workloads
+    /// want this on; only bulk one-directional streams benefit from
+    /// Nagling).
+    pub nodelay: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            nodelay: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the handler-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// A running LiveGraph server. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting, waits for in-flight sessions to
+/// end and joins all threads.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+    connections: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Binds `bind_addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `engine`.
+    pub fn start(
+        engine: Arc<Engine>,
+        bind_addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut handlers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers.max(1) {
+            let engine = Arc::clone(&engine);
+            let rx = Arc::clone(&rx);
+            let connections = Arc::clone(&connections);
+            let nodelay = config.nodelay;
+            handlers.push(std::thread::spawn(move || {
+                handler_loop(&engine, &rx, &connections, nodelay)
+            }));
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown))
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            handlers,
+            connections,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total connections accepted so far.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and joins every thread. In-flight sessions run until
+    /// their client disconnects.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking `accept` with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor dropped its channel sender on exit; handlers drain
+        // the queue and then observe the hangup.
+        for handler in self.handlers.drain(..) {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return; // `stream` is the shutdown wake-up; drop both.
+                }
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) if shutdown.load(Ordering::SeqCst) => return,
+            // Transient accept failures (per-process fd pressure, aborted
+            // handshakes) must not kill the service — but EMFILE-style
+            // errors fail instantly, so back off instead of burning a core
+            // exactly when the process is resource-starved.
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handler_loop(
+    engine: &Engine,
+    rx: &Mutex<Receiver<TcpStream>>,
+    connections: &AtomicU64,
+    nodelay: bool,
+) {
+    loop {
+        // Hold the lock only while dequeuing, not while serving.
+        let stream = match rx.lock().recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // acceptor gone: shutdown
+        };
+        connections.fetch_add(1, Ordering::Relaxed);
+        if nodelay {
+            let _ = stream.set_nodelay(true);
+        }
+        // Any connection error (including a client vanishing mid-frame)
+        // ends the session; Session's drop rolls back whatever it held.
+        let _ = serve_connection(engine, stream);
+    }
+}
+
+/// Runs one connection's request loop to completion.
+fn serve_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session = Session::new(engine);
+    let mut scratch = Vec::with_capacity(256);
+    while let Some((corr, request)) = read_request(&mut reader, &mut scratch)? {
+        session.handle_request(request, &mut |resp| write_response(&mut writer, corr, resp))?;
+        // Flush once per request, after all of its frames: a pipelining
+        // client keeps the pipe busy with its own queued requests.
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use livegraph_core::{LiveGraph, LiveGraphOptions};
+
+    fn start_server(workers: usize) -> Server {
+        let engine = Arc::new(Engine::Plain(
+            LiveGraph::open(
+                LiveGraphOptions::in_memory()
+                    .with_capacity(1 << 22)
+                    .with_max_vertices(1 << 12),
+            )
+            .unwrap(),
+        ));
+        Server::start(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig::default().with_workers(workers),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn server_starts_pings_and_shuts_down() {
+        let server = start_server(2);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+        client.ping().unwrap();
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn queued_connections_are_served_as_handlers_free_up() {
+        // One handler thread, three sequential clients: the second and
+        // third queue until the previous session closes.
+        let server = start_server(1);
+        for i in 0..3u64 {
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let v = client.create_vertex_auto(format!("c{i}").as_bytes()).unwrap();
+            assert_eq!(v, i, "vertex ids allocate across sessions");
+            drop(client);
+        }
+        // The pool survived all reconnects.
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.stats().unwrap().vertex_count, 3);
+        drop(client);
+        assert_eq!(server.connections_accepted(), 4);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,743 @@
+//! Server-side session management: maps one client connection onto engine
+//! transactions.
+//!
+//! A [`Session`] owns every transaction a connection has opened. Handles are
+//! session-scoped `u32`s, never reused while open (the counter skips `0`
+//! and occupied slots when it wraps); handle `0` is the auto-commit
+//! pseudo-transaction. The lifecycle invariants:
+//!
+//! * **Error ⇒ abort.** Any failed operation on an explicit write
+//!   transaction aborts it server-side before the error response is sent —
+//!   under first-updater-wins snapshot isolation the client would have to
+//!   abort and retry anyway, and eagerly releasing the per-vertex locks
+//!   keeps a stalled client from blocking writers.
+//! * **Disconnect ⇒ rollback.** Dropping the session drops every live
+//!   transaction; `WriteTxn`/`ReadTxn` destructors roll back private
+//!   updates, release vertex locks and clear reading-epoch-table pins, so a
+//!   client that vanishes mid-transaction leaves nothing behind (pinned by
+//!   the facade-level `server_loopback` regression tests).
+//! * **Auto-commit writes retry conflicts.** A bounded number of times
+//!   ([`AUTOCOMMIT_RETRIES`]) server-side — one hop instead of a
+//!   client-visible conflict/retry round-trip per collision.
+
+use std::collections::HashMap;
+use std::io;
+
+use livegraph_core::types::VertexId;
+use livegraph_core::Error;
+
+use crate::engine::{is_retryable, Engine, ReadHandle, WriteHandle};
+use crate::protocol::{ErrorCode, Request, Response, TxnHandle};
+
+/// Server-side retry budget for auto-commit writes that hit a
+/// first-updater-wins conflict.
+pub const AUTOCOMMIT_RETRIES: usize = 64;
+
+/// Destinations per [`Response::NeighborChunk`] frame: large enough to
+/// amortise framing, small enough that frames stay far below
+/// `MAX_FRAME_LEN` and an unbounded scan's server-side buffer stays tiny
+/// (chunks are emitted straight from the scan visitor, so per-request
+/// memory is one chunk, not the whole adjacency list).
+pub const NEIGHBOR_CHUNK_DSTS: usize = 1024;
+
+enum TxnSlot<'g> {
+    Read(ReadHandle<'g>),
+    Write(WriteHandle<'g>),
+}
+
+/// The per-connection transaction table and request interpreter.
+pub struct Session<'g> {
+    engine: &'g Engine,
+    txns: HashMap<u32, TxnSlot<'g>>,
+    next_txn: u32,
+}
+
+fn engine_error(e: &Error) -> Response {
+    let code = match e {
+        Error::WriteConflict { .. } => ErrorCode::WriteConflict,
+        Error::VertexNotFound(_) => ErrorCode::VertexNotFound,
+        Error::TransactionClosed => ErrorCode::TransactionClosed,
+        Error::Storage(_) => ErrorCode::Storage,
+        Error::Io(_) => ErrorCode::Io,
+        Error::Corruption(_) => ErrorCode::Corruption,
+        Error::TooManyWorkers { .. } => ErrorCode::TooManyWorkers,
+        Error::EpochUnavailable { .. } => ErrorCode::EpochUnavailable,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn session_error(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Streams an already-materialised destination list in fixed-size chunk
+/// frames (an empty list is one empty final chunk).
+fn emit_neighbor_chunks<F>(dsts: Vec<VertexId>, emit: &mut F) -> io::Result<()>
+where
+    F: FnMut(&Response) -> io::Result<()>,
+{
+    let mut chunks = dsts.chunks(NEIGHBOR_CHUNK_DSTS).peekable();
+    if chunks.peek().is_none() {
+        return emit(&Response::NeighborChunk {
+            dsts: Vec::new(),
+            last: true,
+        });
+    }
+    while let Some(chunk) = chunks.next() {
+        emit(&Response::NeighborChunk {
+            dsts: chunk.to_vec(),
+            last: chunks.peek().is_none(),
+        })?;
+    }
+    Ok(())
+}
+
+impl<'g> Session<'g> {
+    /// Creates an empty session over `engine`.
+    pub fn new(engine: &'g Engine) -> Self {
+        Self {
+            engine,
+            txns: HashMap::new(),
+            next_txn: 1,
+        }
+    }
+
+    /// Number of transactions this session currently holds open.
+    pub fn open_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Interprets one request, emitting every response frame through
+    /// `emit` (exactly one frame for all requests except `Neighbors`,
+    /// which streams chunks). `emit` failures (dead socket) propagate.
+    pub fn handle_request<F>(&mut self, req: Request, emit: &mut F) -> io::Result<()>
+    where
+        F: FnMut(&Response) -> io::Result<()>,
+    {
+        match req {
+            Request::Ping => emit(&Response::Pong),
+            Request::BeginRead { at_epoch } => {
+                let begun = match at_epoch {
+                    Some(e) => self.engine.begin_read_at(e),
+                    None => self.engine.begin_read(),
+                };
+                match begun {
+                    Ok(handle) => {
+                        let epoch = handle.epoch();
+                        let txn = self.insert(TxnSlot::Read(handle));
+                        emit(&Response::TxnBegun { txn, epoch })
+                    }
+                    Err(e) => emit(&engine_error(&e)),
+                }
+            }
+            Request::BeginWrite => match self.engine.begin_write() {
+                Ok(handle) => {
+                    let epoch = handle.epoch();
+                    let txn = self.insert(TxnSlot::Write(handle));
+                    emit(&Response::TxnBegun { txn, epoch })
+                }
+                Err(e) => emit(&engine_error(&e)),
+            },
+            Request::Commit { txn } => match self.txns.remove(&txn.0) {
+                Some(TxnSlot::Read(handle)) => {
+                    // Committing a read transaction just releases its pin.
+                    let epoch = handle.epoch();
+                    drop(handle);
+                    emit(&Response::Committed { epoch })
+                }
+                Some(TxnSlot::Write(handle)) => match handle.commit() {
+                    Ok(epoch) => emit(&Response::Committed { epoch }),
+                    Err(e) => emit(&engine_error(&e)),
+                },
+                None => emit(&unknown_txn(txn)),
+            },
+            Request::Abort { txn } => match self.txns.remove(&txn.0) {
+                Some(TxnSlot::Read(handle)) => {
+                    drop(handle);
+                    emit(&Response::Aborted)
+                }
+                Some(TxnSlot::Write(handle)) => {
+                    handle.abort();
+                    emit(&Response::Aborted)
+                }
+                None => emit(&unknown_txn(txn)),
+            },
+            Request::CreateVertex { txn, properties } => {
+                let resp =
+                    self.write_op(txn, |w| w.create_vertex(&properties), |vertex| {
+                        Response::VertexCreated { vertex }
+                    });
+                emit(&resp)
+            }
+            Request::PutVertex {
+                txn,
+                vertex,
+                properties,
+            } => {
+                let resp = self.write_op(txn, |w| w.put_vertex(vertex, &properties), |()| {
+                    Response::Done
+                });
+                emit(&resp)
+            }
+            Request::DeleteVertex { txn, vertex } => {
+                let resp = self.write_op(txn, |w| w.delete_vertex(vertex), |value| {
+                    Response::Flag { value }
+                });
+                emit(&resp)
+            }
+            Request::PutEdge {
+                txn,
+                src,
+                label,
+                dst,
+                properties,
+            } => {
+                let resp = self.write_op(
+                    txn,
+                    |w| w.put_edge(src, label, dst, &properties),
+                    |value| Response::Flag { value },
+                );
+                emit(&resp)
+            }
+            Request::DeleteEdge {
+                txn,
+                src,
+                label,
+                dst,
+            } => {
+                let resp = self.write_op(txn, |w| w.delete_edge(src, label, dst), |value| {
+                    Response::Flag { value }
+                });
+                emit(&resp)
+            }
+            Request::GetVertex { txn, vertex } => {
+                let resp = self.read_op(
+                    txn,
+                    |r| Ok(r.get_vertex(vertex)),
+                    |w| Ok(w.get_vertex(vertex)),
+                    |value| Response::MaybeBytes { value },
+                );
+                emit(&resp)
+            }
+            Request::GetEdge {
+                txn,
+                src,
+                label,
+                dst,
+            } => {
+                let resp = self.read_op(
+                    txn,
+                    |r| Ok(r.get_edge(src, label, dst)),
+                    |w| Ok(w.get_edge(src, label, dst)),
+                    |value| Response::MaybeBytes { value },
+                );
+                emit(&resp)
+            }
+            Request::Degree { txn, vertex, label } => {
+                let resp = self.read_op(
+                    txn,
+                    |r| Ok(r.degree(vertex, label)),
+                    |w| Ok(w.degree(vertex, label)),
+                    |value| Response::Count {
+                        value: value as u64,
+                    },
+                );
+                emit(&resp)
+            }
+            Request::Neighbors {
+                txn,
+                vertex,
+                label,
+                limit,
+            } => {
+                // Scans ride the sealed zero-check fast path whenever the
+                // snapshot covers the TEL's last commit. An unbounded read
+                // scan streams chunk frames straight from the neighbour
+                // visitor — server memory stays O(chunk) even on a
+                // multi-million-edge hub. Bounded scans materialise at most
+                // `limit` ids; write-transaction scans (checked predicate,
+                // plain engine only) materialise their list.
+                let auto_read;
+                let read = if txn.is_auto() {
+                    match self.engine.begin_read() {
+                        Ok(r) => {
+                            auto_read = r;
+                            &auto_read
+                        }
+                        Err(e) => return emit(&engine_error(&e)),
+                    }
+                } else {
+                    match self.txns.get(&txn.0) {
+                        Some(TxnSlot::Read(r)) => r,
+                        Some(TxnSlot::Write(w)) => {
+                            return match w.neighbors(vertex, label, limit) {
+                                Some(dsts) => emit_neighbor_chunks(dsts, emit),
+                                None => emit(&session_error(
+                                    ErrorCode::Unsupported,
+                                    "the sharded engine cannot scan adjacency lists inside a write transaction",
+                                )),
+                            }
+                        }
+                        None => return emit(&unknown_txn(txn)),
+                    }
+                };
+                if limit == 0 {
+                    // Flush each chunk as soon as the *next* destination
+                    // proves it is not the final one; the remainder goes
+                    // out with `last = true` (an empty stream is one empty
+                    // final chunk).
+                    let mut buf: Vec<VertexId> = Vec::with_capacity(NEIGHBOR_CHUNK_DSTS);
+                    let mut io_err: Option<io::Error> = None;
+                    read.for_each_neighbor(vertex, label, |d| {
+                        if io_err.is_some() {
+                            return; // dead socket: drain the scan silently
+                        }
+                        if buf.len() == NEIGHBOR_CHUNK_DSTS {
+                            let dsts = std::mem::replace(
+                                &mut buf,
+                                Vec::with_capacity(NEIGHBOR_CHUNK_DSTS),
+                            );
+                            if let Err(e) = emit(&Response::NeighborChunk { dsts, last: false }) {
+                                io_err = Some(e);
+                                return;
+                            }
+                        }
+                        buf.push(d);
+                    });
+                    if let Some(e) = io_err {
+                        return Err(e);
+                    }
+                    emit(&Response::NeighborChunk {
+                        dsts: buf,
+                        last: true,
+                    })
+                } else {
+                    emit_neighbor_chunks(read.neighbors(vertex, label, limit), emit)
+                }
+            }
+            Request::Stats => emit(&Response::Stats(self.engine.stats())),
+            Request::Checkpoint => match self.engine.checkpoint() {
+                Some(Ok(())) => emit(&Response::Done),
+                Some(Err(e)) => emit(&engine_error(&e)),
+                None => emit(&session_error(
+                    ErrorCode::Unsupported,
+                    "the sharded engine is WAL-only (no checkpointing)",
+                )),
+            },
+        }
+    }
+
+    fn insert(&mut self, slot: TxnSlot<'g>) -> TxnHandle {
+        // Skip handle 0 on wrap: it is the auto-commit sentinel, and a
+        // collision would silently re-route the transaction's ops to
+        // auto-commit while the real slot leaked its epoch pin.
+        let mut id = self.next_txn;
+        while id == 0 || self.txns.contains_key(&id) {
+            id = id.wrapping_add(1);
+        }
+        self.next_txn = id.wrapping_add(1);
+        self.txns.insert(id, slot);
+        TxnHandle(id)
+    }
+
+    /// Runs a write operation: against the named open write transaction, or
+    /// auto-commit (fresh transaction + commit, conflicts retried) for
+    /// [`TxnHandle::AUTO`].
+    fn write_op<R>(
+        &mut self,
+        txn: TxnHandle,
+        mut op: impl FnMut(&mut WriteHandle<'g>) -> livegraph_core::Result<R>,
+        ok: impl FnOnce(R) -> Response,
+    ) -> Response {
+        if txn.is_auto() {
+            return match self.autocommit(&mut op) {
+                Ok(r) => ok(r),
+                Err(e) => engine_error(&e),
+            };
+        }
+        match self.txns.get_mut(&txn.0) {
+            Some(TxnSlot::Write(handle)) => match op(handle) {
+                Ok(r) => ok(r),
+                Err(e) => {
+                    // Error ⇒ abort: release locks before replying.
+                    if let Some(TxnSlot::Write(handle)) = self.txns.remove(&txn.0) {
+                        handle.abort();
+                    }
+                    engine_error(&e)
+                }
+            },
+            Some(TxnSlot::Read(_)) => session_error(
+                ErrorCode::BadRequest,
+                format!("transaction {} is read-only", txn.0),
+            ),
+            None => unknown_txn(txn),
+        }
+    }
+
+    fn autocommit<R>(
+        &self,
+        op: &mut impl FnMut(&mut WriteHandle<'g>) -> livegraph_core::Result<R>,
+    ) -> livegraph_core::Result<R> {
+        let mut last = None;
+        for _ in 0..AUTOCOMMIT_RETRIES {
+            let mut handle = self.engine.begin_write()?;
+            match op(&mut handle).and_then(|r| handle.commit().map(|_| r)) {
+                Ok(r) => return Ok(r),
+                Err(e) if is_retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("retry loop ran at least once"))
+    }
+
+    /// Runs a read-class operation under the named transaction (read *or*
+    /// write — writers see their own writes) or a fresh auto-commit
+    /// snapshot.
+    fn read_op<R>(
+        &mut self,
+        txn: TxnHandle,
+        read: impl FnOnce(&ReadHandle<'g>) -> livegraph_core::Result<R>,
+        write: impl FnOnce(&WriteHandle<'g>) -> livegraph_core::Result<R>,
+        ok: impl FnOnce(R) -> Response,
+    ) -> Response {
+        let result = if txn.is_auto() {
+            match self.engine.begin_read() {
+                Ok(handle) => read(&handle),
+                Err(e) => return engine_error(&e),
+            }
+        } else {
+            match self.txns.get(&txn.0) {
+                Some(TxnSlot::Read(handle)) => read(handle),
+                Some(TxnSlot::Write(handle)) => write(handle),
+                None => return unknown_txn(txn),
+            }
+        };
+        match result {
+            Ok(r) => ok(r),
+            Err(e) => engine_error(&e),
+        }
+    }
+}
+
+fn unknown_txn(txn: TxnHandle) -> Response {
+    session_error(
+        ErrorCode::UnknownTxn,
+        format!("no open transaction with handle {}", txn.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_core::{LiveGraph, LiveGraphOptions, DEFAULT_LABEL};
+
+    fn engine() -> Engine {
+        Engine::Plain(
+            LiveGraph::open(
+                LiveGraphOptions::in_memory()
+                    .with_capacity(1 << 22)
+                    .with_max_vertices(1 << 12),
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Drives one request and collects its responses.
+    fn drive(session: &mut Session<'_>, req: Request) -> Vec<Response> {
+        let mut out = Vec::new();
+        session
+            .handle_request(req, &mut |r| {
+                out.push(r.clone());
+                Ok(())
+            })
+            .unwrap();
+        out
+    }
+
+    fn one(session: &mut Session<'_>, req: Request) -> Response {
+        let mut responses = drive(session, req);
+        assert_eq!(responses.len(), 1, "expected exactly one response");
+        responses.pop().unwrap()
+    }
+
+    #[test]
+    fn autocommit_ops_roundtrip_through_the_session() {
+        let engine = engine();
+        let mut s = Session::new(&engine);
+        let a = match one(&mut s, Request::CreateVertex { txn: TxnHandle::AUTO, properties: b"a".to_vec() }) {
+            Response::VertexCreated { vertex } => vertex,
+            other => panic!("unexpected {other:?}"),
+        };
+        let b = match one(&mut s, Request::CreateVertex { txn: TxnHandle::AUTO, properties: b"b".to_vec() }) {
+            Response::VertexCreated { vertex } => vertex,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(
+            one(&mut s, Request::PutEdge {
+                txn: TxnHandle::AUTO,
+                src: a,
+                label: DEFAULT_LABEL,
+                dst: b,
+                properties: b"ab".to_vec()
+            }),
+            Response::Flag { value: true }
+        );
+        assert_eq!(
+            one(&mut s, Request::GetVertex { txn: TxnHandle::AUTO, vertex: a }),
+            Response::MaybeBytes { value: Some(b"a".to_vec()) }
+        );
+        assert_eq!(
+            one(&mut s, Request::Degree { txn: TxnHandle::AUTO, vertex: a, label: DEFAULT_LABEL }),
+            Response::Count { value: 1 }
+        );
+        assert_eq!(
+            one(&mut s, Request::GetEdge { txn: TxnHandle::AUTO, src: a, label: DEFAULT_LABEL, dst: b }),
+            Response::MaybeBytes { value: Some(b"ab".to_vec()) }
+        );
+        assert_eq!(s.open_txns(), 0, "autocommit leaves nothing open");
+    }
+
+    #[test]
+    fn explicit_write_txn_sees_own_writes_and_commits_atomically() {
+        let engine = engine();
+        let mut s = Session::new(&engine);
+        let w = match one(&mut s, Request::BeginWrite) {
+            Response::TxnBegun { txn, .. } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        let a = match one(&mut s, Request::CreateVertex { txn: w, properties: b"a".to_vec() }) {
+            Response::VertexCreated { vertex } => vertex,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Uncommitted: invisible to a fresh snapshot, visible inside the txn.
+        assert_eq!(
+            one(&mut s, Request::GetVertex { txn: TxnHandle::AUTO, vertex: a }),
+            Response::MaybeBytes { value: None }
+        );
+        assert_eq!(
+            one(&mut s, Request::GetVertex { txn: w, vertex: a }),
+            Response::MaybeBytes { value: Some(b"a".to_vec()) }
+        );
+        assert!(matches!(
+            one(&mut s, Request::Commit { txn: w }),
+            Response::Committed { .. }
+        ));
+        assert_eq!(
+            one(&mut s, Request::GetVertex { txn: TxnHandle::AUTO, vertex: a }),
+            Response::MaybeBytes { value: Some(b"a".to_vec()) }
+        );
+        // The handle is consumed.
+        assert!(matches!(
+            one(&mut s, Request::Commit { txn: w }),
+            Response::Error { code: ErrorCode::UnknownTxn, .. }
+        ));
+    }
+
+    #[test]
+    fn read_txn_pins_its_snapshot() {
+        let engine = engine();
+        let mut s = Session::new(&engine);
+        let a = match one(&mut s, Request::CreateVertex { txn: TxnHandle::AUTO, properties: b"v1".to_vec() }) {
+            Response::VertexCreated { vertex } => vertex,
+            other => panic!("unexpected {other:?}"),
+        };
+        let r = match one(&mut s, Request::BeginRead { at_epoch: None }) {
+            Response::TxnBegun { txn, .. } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(
+            one(&mut s, Request::PutVertex { txn: TxnHandle::AUTO, vertex: a, properties: b"v2".to_vec() }),
+            Response::Done
+        );
+        // The pinned snapshot still reads v1; a fresh one reads v2.
+        assert_eq!(
+            one(&mut s, Request::GetVertex { txn: r, vertex: a }),
+            Response::MaybeBytes { value: Some(b"v1".to_vec()) }
+        );
+        assert_eq!(
+            one(&mut s, Request::GetVertex { txn: TxnHandle::AUTO, vertex: a }),
+            Response::MaybeBytes { value: Some(b"v2".to_vec()) }
+        );
+        assert!(matches!(
+            one(&mut s, Request::Commit { txn: r }),
+            Response::Committed { .. }
+        ));
+    }
+
+    #[test]
+    fn neighbors_streams_in_chunks_with_exactly_one_last_frame() {
+        let engine = engine();
+        let mut s = Session::new(&engine);
+        let hub = match one(&mut s, Request::CreateVertex { txn: TxnHandle::AUTO, properties: vec![] }) {
+            Response::VertexCreated { vertex } => vertex,
+            other => panic!("unexpected {other:?}"),
+        };
+        let w = match one(&mut s, Request::BeginWrite) {
+            Response::TxnBegun { txn, .. } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        let n = NEIGHBOR_CHUNK_DSTS as u64 * 2 + 17;
+        for _ in 0..n {
+            let d = match one(&mut s, Request::CreateVertex { txn: w, properties: vec![] }) {
+                Response::VertexCreated { vertex } => vertex,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert!(matches!(
+                one(&mut s, Request::PutEdge { txn: w, src: hub, label: 0, dst: d, properties: vec![] }),
+                Response::Flag { value: true }
+            ));
+        }
+        assert!(matches!(one(&mut s, Request::Commit { txn: w }), Response::Committed { .. }));
+
+        let frames = drive(&mut s, Request::Neighbors { txn: TxnHandle::AUTO, vertex: hub, label: 0, limit: 0 });
+        assert_eq!(frames.len(), 3, "2 full chunks + 1 tail");
+        let mut total = 0usize;
+        for (i, frame) in frames.iter().enumerate() {
+            match frame {
+                Response::NeighborChunk { dsts, last } => {
+                    total += dsts.len();
+                    assert_eq!(*last, i == frames.len() - 1, "only the tail is last");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(total as u64, n);
+
+        // A bounded scan returns exactly `limit` newest edges.
+        let frames = drive(&mut s, Request::Neighbors { txn: TxnHandle::AUTO, vertex: hub, label: 0, limit: 5 });
+        assert_eq!(frames.len(), 1);
+        match &frames[0] {
+            Response::NeighborChunk { dsts, last } => {
+                assert_eq!(dsts.len(), 5);
+                assert!(last);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // An empty list still yields one (empty, last) frame.
+        let frames = drive(&mut s, Request::Neighbors { txn: TxnHandle::AUTO, vertex: hub, label: 7, limit: 0 });
+        assert_eq!(
+            frames,
+            vec![Response::NeighborChunk { dsts: vec![], last: true }]
+        );
+    }
+
+    #[test]
+    fn failed_op_aborts_the_write_txn_and_releases_its_locks() {
+        let engine = engine();
+        let mut s = Session::new(&engine);
+        let a = match one(&mut s, Request::CreateVertex { txn: TxnHandle::AUTO, properties: vec![] }) {
+            Response::VertexCreated { vertex } => vertex,
+            other => panic!("unexpected {other:?}"),
+        };
+        let w = match one(&mut s, Request::BeginWrite) {
+            Response::TxnBegun { txn, .. } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Touch `a` (locks it), then fail on a bogus vertex.
+        assert_eq!(
+            one(&mut s, Request::PutVertex { txn: w, vertex: a, properties: b"x".to_vec() }),
+            Response::Done
+        );
+        assert!(matches!(
+            one(&mut s, Request::PutVertex { txn: w, vertex: 999_999, properties: vec![] }),
+            Response::Error { code: ErrorCode::VertexNotFound, .. }
+        ));
+        assert_eq!(s.open_txns(), 0, "failed op consumed the transaction");
+        // The lock on `a` is free again: an autocommit write succeeds
+        // immediately (it would conflict-timeout otherwise).
+        assert_eq!(
+            one(&mut s, Request::PutVertex { txn: TxnHandle::AUTO, vertex: a, properties: b"y".to_vec() }),
+            Response::Done
+        );
+        // And the aborted update never became visible.
+        assert_eq!(
+            one(&mut s, Request::GetVertex { txn: TxnHandle::AUTO, vertex: a }),
+            Response::MaybeBytes { value: Some(b"y".to_vec()) }
+        );
+    }
+
+    #[test]
+    fn write_ops_on_read_txns_and_unknown_handles_are_rejected() {
+        let engine = engine();
+        let mut s = Session::new(&engine);
+        let r = match one(&mut s, Request::BeginRead { at_epoch: None }) {
+            Response::TxnBegun { txn, .. } => txn,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(matches!(
+            one(&mut s, Request::CreateVertex { txn: r, properties: vec![] }),
+            Response::Error { code: ErrorCode::BadRequest, .. }
+        ));
+        assert!(matches!(
+            one(&mut s, Request::Degree { txn: TxnHandle(55), vertex: 0, label: 0 }),
+            Response::Error { code: ErrorCode::UnknownTxn, .. }
+        ));
+        assert!(matches!(
+            one(&mut s, Request::BeginRead { at_epoch: Some(1 << 40) }),
+            Response::Error { code: ErrorCode::EpochUnavailable, .. }
+        ));
+    }
+
+    #[test]
+    fn checkpoint_without_data_dir_maps_to_an_error_response() {
+        let engine = engine();
+        let mut s = Session::new(&engine);
+        assert!(matches!(
+            one(&mut s, Request::Checkpoint),
+            Response::Error { code: ErrorCode::Corruption, .. }
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_scan_paths_on_the_sharded_engine_too() {
+        use livegraph_core::{ShardedGraph, ShardedGraphOptions};
+        let engine = Engine::Sharded(
+            ShardedGraph::open(
+                ShardedGraphOptions::in_memory(2).with_base(
+                    LiveGraphOptions::in_memory()
+                        .with_capacity(1 << 22)
+                        .with_max_vertices(1 << 12),
+                ),
+            )
+            .unwrap(),
+        );
+        let mut s = Session::new(&engine);
+        let a = match one(&mut s, Request::CreateVertex { txn: TxnHandle::AUTO, properties: vec![] }) {
+            Response::VertexCreated { vertex } => vertex,
+            other => panic!("unexpected {other:?}"),
+        };
+        let b = match one(&mut s, Request::CreateVertex { txn: TxnHandle::AUTO, properties: vec![] }) {
+            Response::VertexCreated { vertex } => vertex,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(matches!(
+            one(&mut s, Request::PutEdge { txn: TxnHandle::AUTO, src: a, label: 0, dst: b, properties: vec![] }),
+            Response::Flag { value: true }
+        ));
+        drive(&mut s, Request::Neighbors { txn: TxnHandle::AUTO, vertex: a, label: 0, limit: 0 });
+        match one(&mut s, Request::Stats) {
+            Response::Stats(stats) => {
+                assert_eq!(stats.shards, 2);
+                assert_eq!(stats.vertex_count, 2);
+                assert_eq!(stats.edge_insert_count, 1);
+                assert!(
+                    stats.sealed_scans + stats.checked_scans > 0,
+                    "the neighbor scan must be counted"
+                );
+                // Checkpoint is a documented sharded-v1 gap.
+                assert!(matches!(
+                    one(&mut s, Request::Checkpoint),
+                    Response::Error { code: ErrorCode::Unsupported, .. }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //!   (Tables 3–6, Figures 5–8);
 //! * [`snb`] — an LDBC SNB-lite interactive workload (complex reads, short
 //!   reads, updates over a social-network schema) with LiveGraph and
-//!   sorted-edge-table backends (Tables 7–9).
+//!   sorted-edge-table backends (Tables 7–9);
+//! * [`remote`] — a client/server backend speaking the `livegraph-server`
+//!   wire protocol, so every mix above also runs against a live server.
 //!
 //! The workspace-level architecture map — TEL block layout, the commit
 //! path, and the crate dependency graph — lives in `docs/ARCHITECTURE.md`
@@ -25,9 +27,11 @@ pub mod driver;
 pub mod histogram;
 pub mod kronecker;
 pub mod linkbench;
+pub mod remote;
 pub mod snb;
 
 pub use backends::{LinkBenchBackend, LiveGraphBackend, ShardedGraphBackend, SortedStoreBackend};
+pub use remote::RemoteBackend;
 pub use driver::{load_base_graph, run_workload, DriverConfig, WorkloadReport};
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use kronecker::{generate_kronecker, KroneckerConfig};

@@ -1,0 +1,217 @@
+//! Remote (client/server) backend for the LinkBench driver.
+//!
+//! [`RemoteBackend`] speaks the `livegraph-server` wire protocol, so every
+//! existing workload — the DFLT/TAO LinkBench mixes, base-graph loading,
+//! latency experiments — runs unmodified against a live server: driver
+//! client threads check connections out of a shared [`ClientPool`], issue
+//! one auto-commit request per operation and retry on write conflicts
+//! exactly like the in-process backends do.
+
+use livegraph_server::{Client, ClientError, ClientPool};
+
+use livegraph_core::DEFAULT_LABEL;
+
+use crate::backends::LinkBenchBackend;
+
+/// How often a single logical operation may be re-driven over a *fresh*
+/// connection after transport failures before the workload panics. (Write
+/// conflicts are retried server-side and do not count against this.)
+///
+/// Re-driving gives writes *at-least-once* semantics: if the connection
+/// dies after the server committed but before the response arrived, the
+/// retry commits a second time (e.g. `add_node` allocates two vertices).
+/// That is the right trade-off for a workload driver — LinkBench measures
+/// throughput, not exactly-once delivery — but don't lift this retry loop
+/// into an application client without request deduplication.
+const TRANSPORT_RETRIES: usize = 3;
+
+/// LinkBench backend running against a LiveGraph server over TCP.
+pub struct RemoteBackend {
+    pool: ClientPool,
+}
+
+impl RemoteBackend {
+    /// Connects `connections` pooled clients to the server at `addr`
+    /// (size it to the driver's client-thread count so threads never wait
+    /// for a connection). The server's `ServerConfig::workers` must be at
+    /// least `connections` — pooled connections are persistent sessions,
+    /// and a session beyond the server's handler count queues unserved.
+    pub fn connect(addr: impl std::net::ToSocketAddrs, connections: usize) -> std::io::Result<Self> {
+        Ok(Self {
+            pool: ClientPool::connect(addr, connections)?,
+        })
+    }
+
+    /// The underlying connection pool (e.g. for admin requests like
+    /// `stats` / `checkpoint` between workload phases).
+    pub fn pool(&self) -> &ClientPool {
+        &self.pool
+    }
+
+    /// Runs one operation with conflict + transport retries. Conflicts are
+    /// normal SI behaviour; transport errors poison the connection (the
+    /// pool discards it) and the op is re-driven over a fresh one.
+    fn with_client<R>(&self, mut op: impl FnMut(&mut Client) -> Result<R, ClientError>) -> R {
+        let mut transport_failures = 0;
+        loop {
+            let mut client = match self.pool.get() {
+                Ok(c) => c,
+                Err(e) => panic!("remote backend could not (re)connect: {e}"),
+            };
+            match op(&mut client) {
+                Ok(r) => return r,
+                Err(e) if e.is_write_conflict() => continue,
+                Err(e) if e.poisons_connection() => {
+                    transport_failures += 1;
+                    if transport_failures > TRANSPORT_RETRIES {
+                        panic!("remote backend gave up after {transport_failures} transport failures: {e}");
+                    }
+                }
+                Err(e) => panic!("unexpected server error in workload: {e}"),
+            }
+        }
+    }
+}
+
+impl LinkBenchBackend for RemoteBackend {
+    fn add_node(&self, properties: &[u8]) -> u64 {
+        self.with_client(|c| c.create_vertex_auto(properties))
+    }
+
+    fn get_node(&self, id: u64) -> Option<Vec<u8>> {
+        self.with_client(|c| c.get_vertex(None, id))
+    }
+
+    fn update_node(&self, id: u64, properties: &[u8]) -> bool {
+        self.with_client(|c| match c.put_vertex(None, id, properties) {
+            Ok(()) => Ok(true),
+            Err(e) if e.is_vertex_not_found() => Ok(false),
+            Err(e) => Err(e),
+        })
+    }
+
+    fn add_link(&self, src: u64, dst: u64, properties: &[u8]) {
+        self.with_client(|c| match c.put_edge(None, src, DEFAULT_LABEL, dst, properties) {
+            Ok(_) => Ok(()),
+            Err(e) if e.is_vertex_not_found() => Ok(()), // ignore dangling ids
+            Err(e) => Err(e),
+        })
+    }
+
+    fn delete_link(&self, src: u64, dst: u64) {
+        self.with_client(|c| match c.delete_edge(None, src, DEFAULT_LABEL, dst) {
+            Ok(_) => Ok(()),
+            Err(e) if e.is_vertex_not_found() => Ok(()),
+            Err(e) => Err(e),
+        })
+    }
+
+    fn update_link(&self, src: u64, dst: u64, properties: &[u8]) {
+        self.add_link(src, dst, properties);
+    }
+
+    fn get_link(&self, src: u64, dst: u64) -> bool {
+        self.with_client(|c| c.get_edge(None, src, DEFAULT_LABEL, dst))
+            .is_some()
+    }
+
+    fn get_link_list(&self, src: u64, limit: usize) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        self.with_client(|c| c.neighbors(None, src, DEFAULT_LABEL, limit as u64))
+            .len()
+    }
+
+    fn count_links(&self, src: u64) -> usize {
+        self.with_client(|c| c.degree(None, src, DEFAULT_LABEL)) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livegraph_core::{LiveGraph, LiveGraphOptions};
+    use livegraph_server::{Engine, Server, ServerConfig};
+    use std::sync::Arc;
+
+    fn loopback_server() -> Server {
+        let graph = LiveGraph::open(
+            LiveGraphOptions::in_memory()
+                .with_capacity(1 << 22)
+                .with_max_vertices(1 << 12),
+        )
+        .unwrap();
+        // Handler threads ≥ pooled connections: pooled connections are
+        // persistent sessions, and a session beyond the handler count
+        // waits in the accept queue (see `ServerConfig::workers`).
+        Server::start(
+            Arc::new(Engine::Plain(graph)),
+            "127.0.0.1:0",
+            ServerConfig::default().with_workers(6),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn remote_backend_supports_the_full_linkbench_surface() {
+        let server = loopback_server();
+        {
+            let backend = RemoteBackend::connect(server.local_addr(), 2).unwrap();
+            let a = backend.add_node(b"a");
+            let b = backend.add_node(b"b");
+            assert_eq!(backend.get_node(a), Some(b"a".to_vec()));
+            assert!(backend.update_node(a, b"a2"));
+            assert_eq!(backend.get_node(a), Some(b"a2".to_vec()));
+            assert!(!backend.update_node(999_999, b"nope"));
+            assert_eq!(backend.get_node(999_999), None);
+
+            backend.add_link(a, b, b"ab");
+            assert!(backend.get_link(a, b));
+            assert!(!backend.get_link(b, a));
+            assert_eq!(backend.count_links(a), 1);
+            assert_eq!(backend.get_link_list(a, 10), 1);
+            assert_eq!(backend.get_link_list(a, 0), 0);
+
+            backend.update_link(a, b, b"ab2");
+            assert_eq!(backend.count_links(a), 1, "update must not duplicate");
+
+            backend.delete_link(a, b);
+            assert!(!backend.get_link(a, b));
+            assert_eq!(backend.count_links(a), 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_backend_is_safe_under_concurrent_clients() {
+        let server = loopback_server();
+        {
+            let backend = Arc::new(RemoteBackend::connect(server.local_addr(), 4).unwrap());
+            let seed = backend.add_node(b"seed");
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let backend = Arc::clone(&backend);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        let n = backend.add_node(b"n");
+                        backend.add_link(seed, n, b"");
+                        backend.get_link_list(seed, 10);
+                        if (i + t) % 3 == 0 {
+                            backend.delete_link(seed, n);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(backend.count_links(seed) > 0);
+        }
+        server.shutdown();
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`storage`] — the power-of-two block store;
 //! * [`baselines`] — CSR, B+-tree, LSM and linked-list baselines;
 //! * [`analytics`] — PageRank, connected components, BFS, ETL;
-//! * [`workloads`] — Kronecker, LinkBench-style and SNB-lite workloads.
+//! * [`workloads`] — Kronecker, LinkBench-style and SNB-lite workloads;
+//! * [`server`] — the networked service layer (binary wire protocol, TCP
+//!   server with session-managed transactions, blocking client).
 //!
 //! ```
 //! use livegraph::core::{LiveGraph, LiveGraphOptions, DEFAULT_LABEL};
@@ -32,6 +34,7 @@
 pub use livegraph_analytics as analytics;
 pub use livegraph_baselines as baselines;
 pub use livegraph_core as core;
+pub use livegraph_server as server;
 pub use livegraph_storage as storage;
 pub use livegraph_workloads as workloads;
 
@@ -42,3 +45,7 @@ pub use livegraph_core::{LiveGraph, LiveGraphOptions};
 /// hash-partitioned across N independent shards behind one shared epoch
 /// service; see [`core::sharded`]).
 pub use livegraph_core::{ShardedGraph, ShardedGraphOptions};
+
+/// Convenience re-export of the service-layer entry points (see
+/// [`server`]).
+pub use livegraph_server::{Client, Engine, Server, ServerConfig};
