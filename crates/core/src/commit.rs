@@ -4,13 +4,18 @@
 //! operations to the [`CommitCoordinator`]. Committers form *commit groups*:
 //! the first committer becomes the group leader, drains every queued
 //! request, advances the global write epoch `GWE` once for the whole group,
-//! appends one batch to the WAL, issues a single `fsync`, and hands every
-//! member its write timestamp `TWE = GWE`. Each member then performs its own
-//! *apply phase*; the global read epoch `GRE` only advances to an epoch once
-//! every transaction of that commit group (and of all earlier groups) has
-//! finished applying — this is what guarantees that a transaction's read
-//! timestamp is always smaller than the write timestamp of any ongoing
-//! transaction.
+//! enqueues the group's records to the WAL's group-commit coordinator
+//! ([`crate::wal::GroupWal`]) and hands every member its write timestamp
+//! `TWE = GWE`. Leadership ends there — the leader never blocks on I/O
+//! while holding it — and every member (leader included) then waits for a
+//! WAL flush covering its records: one buffered write + one `fsync` makes
+//! a whole batch of transactions (possibly spanning several epoch groups)
+//! durable at once. Only after that durability point does a member perform
+//! its *apply phase*; the global read epoch `GRE` only advances to an epoch
+//! once every transaction of that commit group (and of all earlier groups)
+//! has finished applying — this is what guarantees that a transaction's
+//! read timestamp is always smaller than the write timestamp of any ongoing
+//! transaction, and that nothing becomes visible before it is durable.
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
@@ -21,7 +26,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::epoch::EpochManager;
 use crate::error::Result;
 use crate::types::Timestamp;
-use crate::wal::{SyncMode, WalOp, WalRecord, WalWriter};
+use crate::wal::{GroupCommitConfig, GroupWal, SyncMode, WalOp, WalRecord, WalStats, WalWriter};
 
 /// A commit request queued by a write transaction.
 struct PendingCommit {
@@ -33,8 +38,9 @@ struct PendingCommit {
 #[derive(Default)]
 struct GroupState {
     queue: Vec<PendingCommit>,
-    /// Assigned write epochs for requests whose group has persisted.
-    assigned: HashMap<u64, Timestamp>,
+    /// Assigned write epoch + WAL flush ticket for requests whose group has
+    /// been formed (the ticket is `None` for unlogged / in-memory commits).
+    assigned: HashMap<u64, (Timestamp, Option<u64>)>,
     leader_active: bool,
     next_request: u64,
 }
@@ -91,15 +97,26 @@ impl GroupClock {
         }
     }
 
-    /// Atomically advances `GWE` and registers `participants` apply
-    /// obligations for the new epoch. Holding the tracker lock across both
-    /// steps is what makes the pair atomic against other coordinators
-    /// sharing this clock.
-    pub(crate) fn begin_group(&self, epochs: &EpochManager, participants: usize) -> Timestamp {
+    /// Atomically advances `GWE`, registers `participants` apply
+    /// obligations for the new epoch, and runs `log` with the new epoch —
+    /// all while the tracker lock is held, which makes the triple atomic
+    /// against other coordinators sharing this clock. Commit paths use
+    /// `log` to enqueue their WAL records *inside* epoch assignment, which
+    /// pins per-WAL file order to epoch order: two groups can never appear
+    /// in a log in the opposite order of their epochs, so a torn tail is
+    /// always an epoch-prefix — the invariant the crash-recovery oracle
+    /// checks. `log` must not block (a [`GroupWal`] enqueue never does).
+    pub(crate) fn begin_group_with<R>(
+        &self,
+        epochs: &EpochManager,
+        participants: usize,
+        log: impl FnOnce(Timestamp) -> R,
+    ) -> (Timestamp, R) {
         let mut t = self.tracker.lock();
         let epoch = epochs.advance_gwe();
         t.outstanding.insert(epoch, participants);
-        epoch
+        let logged = log(epoch);
+        (epoch, logged)
     }
 
     /// Marks one obligation of `epoch` as applied and advances `GRE` across
@@ -127,7 +144,7 @@ impl GroupClock {
 
 /// Coordinates WAL persistence and epoch publication for commits.
 pub struct CommitCoordinator {
-    wal: Option<Mutex<WalWriter>>,
+    wal: Option<GroupWal>,
     group: Mutex<GroupState>,
     group_cv: Condvar,
     clock: Arc<GroupClock>,
@@ -136,9 +153,13 @@ pub struct CommitCoordinator {
 impl CommitCoordinator {
     /// Creates a coordinator with a private clock. `wal_path = None`
     /// disables durability (pure in-memory operation); otherwise the WAL is
-    /// opened in the given sync mode.
-    pub fn new(wal_path: Option<&Path>, sync: SyncMode) -> Result<Self> {
-        Self::with_clock(wal_path, sync, GroupClock::new())
+    /// opened in the given sync mode with the given group-commit tuning.
+    pub fn new(
+        wal_path: Option<&Path>,
+        sync: SyncMode,
+        group_commit: GroupCommitConfig,
+    ) -> Result<Self> {
+        Self::with_clock(wal_path, sync, group_commit, GroupClock::new())
     }
 
     /// Creates a coordinator sharing an externally owned clock (the sharded
@@ -146,10 +167,11 @@ impl CommitCoordinator {
     pub(crate) fn with_clock(
         wal_path: Option<&Path>,
         sync: SyncMode,
+        group_commit: GroupCommitConfig,
         clock: Arc<GroupClock>,
     ) -> Result<Self> {
         let wal = match wal_path {
-            Some(path) => Some(Mutex::new(WalWriter::open(path, sync)?)),
+            Some(path) => Some(GroupWal::new(WalWriter::open(path, sync)?, group_commit)),
             None => None,
         };
         Ok(Self {
@@ -160,14 +182,24 @@ impl CommitCoordinator {
         })
     }
 
-    /// Appends one already-framed record to this coordinator's WAL (no-op
-    /// without a WAL). Used by the cross-shard commit path, which assigns
-    /// its epoch through the shared clock rather than a per-shard group.
-    pub(crate) fn append_record(&self, record: &WalRecord) -> Result<()> {
-        if let Some(wal) = &self.wal {
-            wal.lock().append_group(std::slice::from_ref(record))?;
-        }
-        Ok(())
+    /// Enqueues one already-framed record to this coordinator's WAL,
+    /// returning the flush ticket to pass to
+    /// [`CommitCoordinator::wait_ticket`], or `None` without a WAL. Used by
+    /// the cross-shard commit path, which assigns its epoch through the
+    /// shared clock and replicates the record to every participant's WAL;
+    /// enqueueing (instead of writing + fsyncing inline) lets concurrent
+    /// cross-shard commits share one fsync per participant log.
+    pub(crate) fn enqueue_record(&self, record: &WalRecord) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.enqueue(vec![record.clone()]))
+    }
+
+    /// Blocks until the records behind `ticket` are durable on this
+    /// coordinator's WAL (flushing as leader if nobody else is).
+    pub(crate) fn wait_ticket(&self, ticket: u64) -> Result<()> {
+        self.wal
+            .as_ref()
+            .expect("a flush ticket implies a WAL")
+            .wait_durable(ticket)
     }
 
     /// True if a WAL is configured.
@@ -176,19 +208,16 @@ impl CommitCoordinator {
         self.wal.is_some()
     }
 
-    /// Total bytes appended to the WAL so far (0 without a WAL).
-    pub fn wal_bytes(&self) -> u64 {
-        self.wal.as_ref().map(|w| w.lock().bytes_written()).unwrap_or(0)
+    /// Counter snapshot for this coordinator's WAL (zeros without one).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
     }
 
-    /// Runs `f` while holding the WAL exclusively (used by checkpointing to
-    /// prune the log without racing group leaders).
+    /// Runs `f` while holding the WAL file exclusively (used by
+    /// checkpointing to prune the log without racing flush leaders).
     pub fn with_wal_locked<R>(&self, f: impl FnOnce(Option<&mut WalWriter>) -> R) -> R {
         match &self.wal {
-            Some(w) => {
-                let mut guard = w.lock();
-                f(Some(&mut guard))
-            }
+            Some(w) => w.with_writer(|writer| f(Some(writer))),
             None => f(None),
         }
     }
@@ -222,10 +251,12 @@ impl CommitCoordinator {
                 log_to_wal,
             });
             if g.leader_active {
-                // A leader is running; wait for it to persist our request.
+                // A leader is running; wait for it to form our group, then
+                // wait out the WAL flush covering us.
                 loop {
-                    if let Some(epoch) = g.assigned.remove(&id) {
-                        return Ok(epoch);
+                    if let Some((epoch, ticket)) = g.assigned.remove(&id) {
+                        drop(g);
+                        return self.await_durable(epochs, epoch, ticket);
                     }
                     self.group_cv.wait(&mut g);
                 }
@@ -233,8 +264,12 @@ impl CommitCoordinator {
             g.leader_active = true;
             id
         };
-        // This thread is the leader: persist groups until the queue drains.
-        let mut my_epoch = None;
+        // This thread is the group leader: form epoch groups until the queue
+        // drains. Leadership covers only epoch assignment and the WAL
+        // *enqueue* — never the flush — so arrivals during an fsync elect a
+        // fresh leader immediately and pile into the next flush batch
+        // instead of serialising behind this one.
+        let mut mine = None;
         loop {
             let batch = {
                 let mut g = self.group.lock();
@@ -247,10 +282,11 @@ impl CommitCoordinator {
                 }
                 std::mem::take(&mut g.queue)
             };
-            // Atomically take the next epoch and register the apply
-            // obligations before anyone learns the epoch.
-            let epoch = self.clock.begin_group(epochs, batch.len());
-            if let Some(wal) = &self.wal {
+            // Atomically: take the next epoch, register the apply
+            // obligations, and enqueue the group's records — all before
+            // anyone learns the epoch, and in epoch order within the WAL.
+            let (epoch, ticket) = self.clock.begin_group_with(epochs, batch.len(), |epoch| {
+                let wal = self.wal.as_ref()?;
                 let records: Vec<WalRecord> = batch
                     .iter()
                     .filter(|p| p.log_to_wal)
@@ -259,21 +295,44 @@ impl CommitCoordinator {
                         ops: p.ops.clone(),
                     })
                     .collect();
-                if !records.is_empty() {
-                    wal.lock().append_group(&records)?;
+                if records.is_empty() {
+                    None
+                } else {
+                    Some(wal.enqueue(records))
                 }
-            }
+            });
             let mut g = self.group.lock();
             for p in &batch {
                 if p.request == request {
-                    my_epoch = Some(epoch);
+                    mine = Some((epoch, ticket));
                 } else {
-                    g.assigned.insert(p.request, epoch);
+                    g.assigned.insert(p.request, (epoch, ticket));
                 }
             }
             self.group_cv.notify_all();
         }
-        Ok(my_epoch.expect("leader's own request must be part of a batch"))
+        let (epoch, ticket) = mine.expect("leader's own request must be part of a batch");
+        self.await_durable(epochs, epoch, ticket)
+    }
+
+    /// Durability point: blocks until the flush covering `ticket` lands.
+    /// Success acks the commit; the caller then applies. On flush failure
+    /// the transaction will never apply, so its obligation is discharged
+    /// here — otherwise `GRE` would wedge behind the dead epoch and stall
+    /// every later committer's session-consistency wait.
+    fn await_durable(
+        &self,
+        epochs: &EpochManager,
+        epoch: Timestamp,
+        ticket: Option<u64>,
+    ) -> Result<Timestamp> {
+        if let Some(ticket) = ticket {
+            if let Err(e) = self.wait_ticket(ticket) {
+                self.clock.finish_apply(epochs, epoch);
+                return Err(e);
+            }
+        }
+        Ok(epoch)
     }
 
     /// Apply-phase completion: marks one transaction of `epoch` as applied
@@ -295,7 +354,12 @@ mod tests {
 
     fn coordinator(dir: &tempfile::TempDir, durable: bool) -> CommitCoordinator {
         let path = dir.path().join("wal.log");
-        CommitCoordinator::new(durable.then_some(path.as_path()), SyncMode::NoSync).unwrap()
+        CommitCoordinator::new(
+            durable.then_some(path.as_path()),
+            SyncMode::NoSync,
+            GroupCommitConfig::default(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -329,7 +393,12 @@ mod tests {
     fn durable_commits_reach_the_wal() {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("wal.log");
-        let c = CommitCoordinator::new(Some(path.as_path()), SyncMode::Fsync).unwrap();
+        let c = CommitCoordinator::new(
+            Some(path.as_path()),
+            SyncMode::Fsync,
+            GroupCommitConfig::default(),
+        )
+        .unwrap();
         let epochs = EpochManager::new(4);
         let ops = vec![WalOp::CreateVertex {
             vertex: 1,
@@ -342,7 +411,7 @@ mod tests {
         assert_eq!(records[0].epoch, epoch);
         assert_eq!(records[0].ops, ops);
         assert!(c.durable());
-        assert!(c.wal_bytes() > 0);
+        assert!(c.wal_stats().bytes > 0);
     }
 
     #[test]
@@ -388,7 +457,12 @@ mod tests {
         // transactions — evidence that groups of more than one formed.
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("wal.log");
-        let c = Arc::new(CommitCoordinator::new(Some(path.as_path()), SyncMode::Fsync).unwrap());
+        let c = Arc::new(CommitCoordinator::new(
+            Some(path.as_path()),
+            SyncMode::Fsync,
+            GroupCommitConfig::default(),
+        )
+        .unwrap());
         let epochs = Arc::new(EpochManager::new(32));
         let txns_per_thread = 30;
         let threads = 8;

@@ -27,6 +27,10 @@ pub enum Error {
     Storage(livegraph_storage::StorageError),
     /// WAL / checkpoint I/O failure.
     Io(io::Error),
+    /// The WAL suffered a write failure earlier and refuses further
+    /// commits: a log that silently lost records must not ack new ones.
+    /// The string is the original failure's message.
+    WalUnavailable(String),
     /// A corrupted WAL or checkpoint record was encountered during recovery.
     Corruption(String),
     /// Too many concurrent worker threads for the configured worker-table
@@ -56,6 +60,9 @@ impl fmt::Display for Error {
             Error::TransactionClosed => write!(f, "transaction already committed or aborted"),
             Error::Storage(e) => write!(f, "storage error: {e}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::WalUnavailable(msg) => {
+                write!(f, "WAL unavailable after earlier write failure: {msg}")
+            }
             Error::Corruption(msg) => write!(f, "corrupted log or checkpoint: {msg}"),
             Error::TooManyWorkers { max_workers } => {
                 write!(f, "too many concurrent workers (max {max_workers})")

@@ -23,7 +23,7 @@ use crate::tel::{TelRef, EDGE_ENTRY_SIZE, TEL_HEADER_SIZE};
 use crate::txn::{ReadTxn, WriteTxn};
 use crate::types::{Label, Timestamp, TxnId, VertexId};
 use crate::vertex::VertexBlockRef;
-use crate::wal::SyncMode;
+use crate::wal::{GroupCommitConfig, SyncMode};
 use crate::bloom::bloom_bytes_for_block;
 
 /// Configuration for a [`LiveGraph`] instance.
@@ -57,6 +57,10 @@ pub struct LiveGraphOptions {
     /// paper's prototype, which garbage-collects aggressively and keeps only
     /// what active transactions still need.
     pub history_retention: i64,
+    /// Group-commit tuning for the WAL: how many transaction records one
+    /// write + fsync may cover, and how long a flush leader lingers for
+    /// joiners. Ignored without `data_dir`.
+    pub group_commit: GroupCommitConfig,
 }
 
 impl Default for LiveGraphOptions {
@@ -72,6 +76,7 @@ impl Default for LiveGraphOptions {
             lock_timeout: Duration::from_millis(100),
             max_workers: 256,
             history_retention: 0,
+            group_commit: GroupCommitConfig::default(),
         }
     }
 }
@@ -130,6 +135,12 @@ impl LiveGraphOptions {
     /// remain readable through [`LiveGraph::begin_read_at`].
     pub fn with_history_retention(mut self, epochs: i64) -> Self {
         self.history_retention = epochs;
+        self
+    }
+
+    /// Sets the WAL group-commit tuning (batch cap and leader linger).
+    pub fn with_group_commit(mut self, config: GroupCommitConfig) -> Self {
+        self.group_commit = config;
         self
     }
 }
@@ -233,6 +244,19 @@ pub struct GraphStats {
     pub scans: ScanStats,
     /// Bytes written to the WAL so far.
     pub wal_bytes: u64,
+    /// Device syncs the WAL has issued (`fsync`s, or simulated flushes).
+    /// With group commit this stays below the commit count under
+    /// concurrency: one sync covers a whole batch of transactions.
+    pub wal_fsyncs: u64,
+    /// Commit batches the WAL has flushed (each = one write + one sync).
+    pub wal_groups: u64,
+    /// Transaction records across all flushed WAL batches;
+    /// `wal_group_records > wal_groups` means multi-transaction batches
+    /// actually formed.
+    pub wal_group_records: u64,
+    /// True once a fault-injected [`SyncMode::CrashAt`] tear has dropped
+    /// WAL bytes (always false outside the crash-consistency harness).
+    pub wal_torn: bool,
     /// Current global read epoch.
     pub read_epoch: Timestamp,
     /// Current global write epoch.
@@ -552,12 +576,20 @@ impl LiveGraph {
                     options.max_workers,
                     "shared epoch manager must be sized for the shard's max_workers"
                 );
-                let commit =
-                    CommitCoordinator::with_clock(wal_path.as_deref(), options.sync_mode, h.clock)?;
+                let commit = CommitCoordinator::with_clock(
+                    wal_path.as_deref(),
+                    options.sync_mode,
+                    options.group_commit,
+                    h.clock,
+                )?;
                 (h.epochs, commit, h.defer_recovery)
             }
             None => {
-                let commit = CommitCoordinator::new(wal_path.as_deref(), options.sync_mode)?;
+                let commit = CommitCoordinator::new(
+                    wal_path.as_deref(),
+                    options.sync_mode,
+                    options.group_commit,
+                )?;
                 (
                     Arc::new(EpochManager::new(options.max_workers)),
                     commit,
@@ -654,13 +686,18 @@ impl LiveGraph {
 
     /// Engine statistics.
     pub fn stats(&self) -> GraphStats {
+        let wal = self.inner.commit.wal_stats();
         GraphStats {
             vertex_count: self.vertex_count(),
             edge_insert_count: self.inner.edge_insert_count.load(Ordering::Relaxed),
             blocks: self.inner.store.stats(),
             compaction: self.inner.compaction.stats(),
             scans: self.inner.scan_counters.snapshot(),
-            wal_bytes: self.inner.commit.wal_bytes(),
+            wal_bytes: wal.bytes,
+            wal_fsyncs: wal.fsyncs,
+            wal_groups: wal.groups,
+            wal_group_records: wal.group_records,
+            wal_torn: wal.torn,
             read_epoch: self.inner.epochs.gre(),
             write_epoch: self.inner.epochs.gwe(),
         }

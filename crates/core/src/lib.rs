@@ -75,4 +75,4 @@ pub use sharded::{
 };
 pub use txn::{Edge, EdgeIter, LabelIter, ReadTxn, VertexIter, WriteTxn, NEIGHBOR_CHUNK};
 pub use types::{Label, Timestamp, TxnId, VertexId, DEFAULT_LABEL};
-pub use wal::SyncMode;
+pub use wal::{GroupCommitConfig, SyncMode, WalStats};

@@ -116,6 +116,26 @@ impl ShardedStats {
     pub fn wal_bytes(&self) -> u64 {
         self.shards.iter().map(|s| s.wal_bytes).sum()
     }
+
+    /// Total device syncs issued across all shard WALs.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_fsyncs).sum()
+    }
+
+    /// Total flushed commit batches across all shard WALs.
+    pub fn wal_groups(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_groups).sum()
+    }
+
+    /// Total transaction records across all shards' flushed batches.
+    pub fn wal_group_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_group_records).sum()
+    }
+
+    /// True if any shard's WAL recorded a fault-injected tear.
+    pub fn wal_torn(&self) -> bool {
+        self.shards.iter().any(|s| s.wal_torn)
+    }
 }
 
 /// A transactional graph engine that hash-partitions vertices across N
@@ -312,45 +332,54 @@ impl ShardedGraph {
         }
         // One epoch for the whole transaction, with one apply obligation
         // per participating shard: GRE cannot reach `epoch` before every
-        // shard's part has applied.
-        let epoch = self.clock.begin_group(&self.epochs, parts.len());
+        // shard's part has applied. The full record is replicated to every
+        // participant's WAL — any single durable copy is enough to recover
+        // the transaction entirely, which is what makes torn multi-WAL
+        // writes atomic. Enqueueing to all participants happens inside the
+        // clock lock (epoch order == per-WAL file order), but the waits run
+        // afterwards: concurrent cross-shard transactions enqueue into each
+        // other's batches and each participant log fsyncs once per *batch*
+        // of transactions instead of once per transaction, so an N-shard
+        // commit under load no longer pays N serial device flushes.
         let recovering = self.shards[0]
             .inner()
             .recovery_mode
             .load(Ordering::Acquire);
-        if !recovering {
-            // Replicate the full record to every participant's WAL. Any
-            // single durable copy is enough to recover the transaction
-            // entirely, which is what makes torn multi-WAL writes atomic.
-            // The appends run sequentially, so an N-shard transaction pays
-            // N device flushes back to back — acceptable because the
-            // intended deployment partitions writers by shard (cross-shard
-            // transactions are the rare case); overlapping them would need
-            // a flush thread per shard.
-            let record = WalRecord { epoch, ops: all_ops };
-            let mut failure = None;
-            for (shard, _) in &parts {
-                if let Err(e) = self.shards[*shard].inner().commit.append_record(&record) {
-                    failure = Some(e);
-                    break;
-                }
+        let (epoch, tickets) = self.clock.begin_group_with(&self.epochs, parts.len(), |epoch| {
+            if recovering {
+                return Vec::new();
             }
-            if let Some(e) = failure {
-                // Discharge the obligations so GRE does not stall, and let
-                // the parts' drops roll back their private stamps: the
-                // epoch becomes an empty commit. Known anomaly (shared with
-                // the plain engine's WAL-error path): shards whose append
-                // already succeeded retain a durable copy of the record, so
-                // a transaction reported as failed here can resurrect on
-                // the next `open`. WAL append errors are effectively fatal
-                // for the data directory; callers should treat them as
-                // such rather than retry.
-                for _ in 0..parts.len() {
-                    self.clock.finish_apply(&self.epochs, epoch);
-                }
-                drop(parts);
-                return Err(e);
+            let record = WalRecord { epoch, ops: std::mem::take(&mut all_ops) };
+            parts
+                .iter()
+                .filter_map(|(shard, _)| {
+                    let commit = &self.shards[*shard].inner().commit;
+                    commit.enqueue_record(&record).map(|t| (*shard, t))
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut failure = None;
+        for (shard, ticket) in tickets {
+            if let Err(e) = self.shards[shard].inner().commit.wait_ticket(ticket) {
+                failure = Some(e);
+                break;
             }
+        }
+        if let Some(e) = failure {
+            // Discharge the obligations so GRE does not stall, and let
+            // the parts' drops roll back their private stamps: the
+            // epoch becomes an empty commit. Known anomaly (shared with
+            // the plain engine's WAL-error path): shards whose flush
+            // already succeeded retain a durable copy of the record, so
+            // a transaction reported as failed here can resurrect on
+            // the next `open`. WAL flush errors are effectively fatal
+            // for the data directory; callers should treat them as
+            // such rather than retry.
+            for _ in 0..parts.len() {
+                self.clock.finish_apply(&self.epochs, epoch);
+            }
+            drop(parts);
+            return Err(e);
         }
         for (_, txn) in parts {
             txn.apply_external(epoch);

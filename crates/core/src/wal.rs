@@ -12,9 +12,14 @@
 //! length and a checksum; a torn tail (crash in the middle of a group write)
 //! is detected and discarded.
 
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
 
 use crate::error::{Error, Result};
 use crate::types::{Label, Timestamp, VertexId};
@@ -240,8 +245,73 @@ pub enum SyncMode {
     /// `ColdAccessSimulator` plays the same role for cold reads; this is
     /// its write-side counterpart, used by `shard_scaling` to measure the
     /// engine's commit concurrency independently of the benchmark host's
-    /// filesystem-journal behaviour.
+    /// filesystem-journal behaviour. The sleep is paid once per *batch*, in
+    /// [`WalWriter::sync`], matching real fsync semantics.
     Simulated(std::time::Duration),
+    /// Fault-injection mode for the crash-consistency harness: the log
+    /// device "dies" once `at` total bytes have been appended. Bytes below
+    /// the limit persist (and are fsynced, so the surviving prefix really is
+    /// durable on the host filesystem); bytes at or past it — including the
+    /// tail of a frame straddling the boundary — are silently dropped, and
+    /// every later write and sync still reports success. That models the
+    /// worst crash for group commit: committers of a torn batch get a
+    /// success ack whose records never reached the device. The tear is
+    /// observable only through [`WalWriter::torn`] / `GraphStats::wal_torn`.
+    CrashAt(u64),
+}
+
+/// Tuning knobs for the group-commit coordinator attached to each WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Largest number of transaction records flushed by one write + fsync.
+    /// The flush leader drains at most this many queued records per batch.
+    pub max_batch: usize,
+    /// How long a flush leader lingers for more committers to join before
+    /// flushing a batch smaller than `max_batch`. `Duration::ZERO` (the
+    /// default) flushes whatever is queued immediately: batching then comes
+    /// only from commits that pile up while a previous flush is in flight,
+    /// which adds no latency. A non-zero wait trades commit latency for
+    /// larger batches on slow log devices.
+    pub max_wait: std::time::Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 128,
+            max_wait: std::time::Duration::ZERO,
+        }
+    }
+}
+
+impl GroupCommitConfig {
+    /// Builder: sets the per-flush record cap (clamped to at least 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Builder: sets how long a flush leader lingers for joiners.
+    pub fn with_max_wait(mut self, max_wait: std::time::Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+}
+
+/// Point-in-time counters for one WAL, surfaced through `GraphStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Total bytes appended (see [`WalWriter::bytes_written`]).
+    pub bytes: u64,
+    /// Device syncs issued (`fsync`s, or simulated-latency sleeps).
+    pub fsyncs: u64,
+    /// Flushed commit batches (each covered by one write + one sync).
+    pub groups: u64,
+    /// Transaction records across all flushed batches; `group_records >
+    /// groups` means multi-record batches formed.
+    pub group_records: u64,
+    /// True once a `CrashAt` tear has dropped bytes (fault injection only).
+    pub torn: bool,
 }
 
 /// Appender for the write-ahead log.
@@ -250,6 +320,8 @@ pub struct WalWriter {
     path: std::path::PathBuf,
     sync: SyncMode,
     bytes_written: u64,
+    fsyncs: u64,
+    torn: bool,
 }
 
 impl WalWriter {
@@ -262,6 +334,8 @@ impl WalWriter {
             path: path.to_path_buf(),
             sync,
             bytes_written,
+            fsyncs: 0,
+            torn: false,
         })
     }
 
@@ -282,33 +356,235 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Appends a batch of records as one buffered write, without making them
+    /// durable. Callers pair this with [`WalWriter::sync`]; the split lets a
+    /// flush leader pay the sync cost (fsync latency, or the `Simulated`
+    /// sleep) exactly once per batch rather than once per append.
+    pub fn append_frames(&mut self, records: &[WalRecord]) -> Result<()> {
+        let mut buf = Vec::with_capacity(records.len() * 64);
+        for record in records {
+            let payload = record.encode_payload();
+            put_u32(&mut buf, RECORD_MAGIC);
+            put_u32(&mut buf, payload.len() as u32);
+            buf.extend_from_slice(&payload);
+            put_u64(&mut buf, checksum(&payload));
+        }
+        if let SyncMode::CrashAt(limit) = self.sync {
+            // The device died at byte `limit`: persist the prefix below it,
+            // drop the rest on the floor, and keep reporting success.
+            let room = limit.saturating_sub(self.bytes_written) as usize;
+            let keep = buf.len().min(room);
+            if keep < buf.len() {
+                self.torn = true;
+            }
+            buf.truncate(keep);
+        }
+        self.file.write_all(&buf)?;
+        self.bytes_written += buf.len() as u64;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Makes previously appended frames durable according to the sync mode:
+    /// a real `fsync`, nothing, one simulated-latency sleep per batch, or
+    /// (under `CrashAt`, once torn) a lying no-op success.
+    pub fn sync(&mut self) -> Result<()> {
+        match self.sync {
+            SyncMode::Fsync => {
+                self.file.get_ref().sync_data()?;
+                self.fsyncs += 1;
+            }
+            SyncMode::NoSync => {}
+            SyncMode::Simulated(latency) => {
+                std::thread::sleep(latency);
+                self.fsyncs += 1;
+            }
+            SyncMode::CrashAt(_) => {
+                // Keep the surviving prefix honest on the host filesystem;
+                // the ack itself is the lie being injected.
+                self.file.get_ref().sync_data()?;
+                if !self.torn {
+                    self.fsyncs += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Appends a batch of records (one commit group) and makes them durable
     /// according to the sync mode. This is the group-commit write: a single
     /// buffered write + fsync covers every transaction of the group.
     pub fn append_group(&mut self, records: &[WalRecord]) -> Result<()> {
-        for record in records {
-            let payload = record.encode_payload();
-            let mut frame = Vec::with_capacity(payload.len() + 20);
-            put_u32(&mut frame, RECORD_MAGIC);
-            put_u32(&mut frame, payload.len() as u32);
-            frame.extend_from_slice(&payload);
-            put_u64(&mut frame, checksum(&payload));
-            self.file.write_all(&frame)?;
-            self.bytes_written += frame.len() as u64;
-        }
-        self.file.flush()?;
-        match self.sync {
-            SyncMode::Fsync => self.file.get_ref().sync_data()?,
-            SyncMode::NoSync => {}
-            SyncMode::Simulated(latency) => std::thread::sleep(latency),
-        }
-        Ok(())
+        self.append_frames(records)?;
+        self.sync()
     }
 
     /// Total bytes written to the WAL so far (for write-amplification
     /// accounting in the evaluation harness).
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
+    }
+
+    /// Device syncs issued so far (fsyncs or simulated flushes).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// True once a [`SyncMode::CrashAt`] fault has dropped bytes.
+    pub fn torn(&self) -> bool {
+        self.torn
+    }
+}
+
+/// Group-commit coordinator wrapped around one [`WalWriter`] (§5 of the
+/// paper, extended across transactions): committers enqueue their records
+/// and block until a flush covers them; the first committer to find no
+/// flush in progress becomes the *flush leader*, optionally lingers
+/// [`GroupCommitConfig::max_wait`] for more joiners, drains up to
+/// [`GroupCommitConfig::max_batch`] records, writes them as one buffered
+/// batch, issues a single sync for the whole group, then wakes everyone
+/// whose records are now durable. Leadership is transient — it lasts for
+/// one flush — so while a leader sits in `fsync`, newly arriving
+/// committers queue up and the next leader flushes them all at once.
+pub struct GroupWal {
+    writer: Mutex<WalWriter>,
+    queue: Mutex<GroupQueue>,
+    queue_cv: Condvar,
+    config: GroupCommitConfig,
+    groups: AtomicU64,
+    group_records: AtomicU64,
+}
+
+struct GroupQueue {
+    /// Records accepted but not yet covered by a completed flush, in
+    /// enqueue order (== epoch order: enqueues happen under the commit
+    /// clock's tracker lock).
+    pending: VecDeque<WalRecord>,
+    /// Total records ever enqueued; a committer's ticket is this count
+    /// right after its own records were pushed.
+    enqueued: u64,
+    /// Total records covered by completed flushes. `durable >= ticket`
+    /// means that committer's records hit the device.
+    durable: u64,
+    /// True while some committer is draining/writing/syncing a batch.
+    flush_in_progress: bool,
+    /// Sticky first I/O failure: a WAL that can no longer persist must
+    /// fail every later commit rather than ack writes it silently lost.
+    poisoned: Option<String>,
+}
+
+impl GroupWal {
+    /// Wraps an open writer in a group-commit coordinator.
+    pub fn new(writer: WalWriter, config: GroupCommitConfig) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+            queue: Mutex::new(GroupQueue {
+                pending: VecDeque::new(),
+                enqueued: 0,
+                durable: 0,
+                flush_in_progress: false,
+                poisoned: None,
+            }),
+            queue_cv: Condvar::new(),
+            config,
+            groups: AtomicU64::new(0),
+            group_records: AtomicU64::new(0),
+        }
+    }
+
+    /// Accepts a committer's records into the flush queue and returns the
+    /// ticket to pass to [`GroupWal::wait_durable`]. Never blocks on I/O.
+    /// Multi-record submissions stay contiguous in the log.
+    pub fn enqueue(&self, records: Vec<WalRecord>) -> u64 {
+        debug_assert!(!records.is_empty());
+        let mut q = self.queue.lock();
+        q.enqueued += records.len() as u64;
+        q.pending.extend(records);
+        let ticket = q.enqueued;
+        // Wake a leader lingering for joiners (and idle followers, who
+        // re-check and go back to sleep).
+        self.queue_cv.notify_all();
+        ticket
+    }
+
+    /// Blocks until every record at or below `ticket` is durable, flushing
+    /// batches as the leader whenever no other flush is in progress.
+    pub fn wait_durable(&self, ticket: u64) -> Result<()> {
+        let mut q = self.queue.lock();
+        loop {
+            if q.durable >= ticket {
+                return Ok(());
+            }
+            if let Some(msg) = &q.poisoned {
+                return Err(Error::WalUnavailable(msg.clone()));
+            }
+            if q.flush_in_progress {
+                // Follower: a leader's sync will cover us (or the next
+                // leader will). Condvar handoff, no spinning.
+                self.queue_cv.wait(&mut q);
+                continue;
+            }
+            // Leader for one batch. Optionally linger for joiners.
+            q.flush_in_progress = true;
+            if !self.config.max_wait.is_zero() {
+                let deadline = Instant::now() + self.config.max_wait;
+                while q.pending.len() < self.config.max_batch {
+                    let now = Instant::now();
+                    if now >= deadline
+                        || self
+                            .queue_cv
+                            .wait_for(&mut q, deadline - now)
+                            .timed_out()
+                    {
+                        break;
+                    }
+                }
+            }
+            let take = q.pending.len().min(self.config.max_batch.max(1));
+            let batch: Vec<WalRecord> = q.pending.drain(..take).collect();
+            drop(q);
+            let flushed = {
+                let mut w = self.writer.lock();
+                w.append_frames(&batch).and_then(|()| w.sync())
+            };
+            q = self.queue.lock();
+            q.flush_in_progress = false;
+            match flushed {
+                Ok(()) => {
+                    q.durable += batch.len() as u64;
+                    self.groups.fetch_add(1, Ordering::Relaxed);
+                    self.group_records
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    // The drained records are gone and their committers
+                    // must not be acked; fail them (and all later ones).
+                    q.poisoned = Some(e.to_string());
+                }
+            }
+            self.queue_cv.notify_all();
+        }
+    }
+
+    /// Snapshot of the WAL counters (bytes, syncs, batches, tear flag).
+    pub fn stats(&self) -> WalStats {
+        let w = self.writer.lock();
+        WalStats {
+            bytes: w.bytes_written(),
+            fsyncs: w.fsyncs(),
+            groups: self.groups.load(Ordering::Relaxed),
+            group_records: self.group_records.load(Ordering::Relaxed),
+            torn: w.torn(),
+        }
+    }
+
+    /// Runs `f` with the underlying writer locked (checkpoint pruning uses
+    /// this to rewrite the log). Queued-but-unflushed records are *not*
+    /// visible to `f`; they land after it returns, appended by their flush
+    /// leader — correct for pruning, which only drops already-durable
+    /// records at or below a snapshot epoch.
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut WalWriter) -> R) -> R {
+        f(&mut self.writer.lock())
     }
 }
 
@@ -445,6 +721,103 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let records = read_wal(&path).unwrap();
         assert_eq!(records.len(), 1, "replay stops at the first bad checksum");
+    }
+
+    #[test]
+    fn crash_at_drops_bytes_past_the_limit_but_keeps_acking() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let full_len = {
+            let probe = dir.path().join("probe.log");
+            let mut w = WalWriter::open(&probe, SyncMode::NoSync).unwrap();
+            w.append_group(&[sample_record(1)]).unwrap();
+            w.append_group(&[sample_record(2)]).unwrap();
+            w.bytes_written()
+        };
+        // Tear inside the second record's frame.
+        let cut = full_len - 5;
+        let mut w = WalWriter::open(&path, SyncMode::CrashAt(cut)).unwrap();
+        w.append_group(&[sample_record(1)]).unwrap();
+        assert!(!w.torn());
+        w.append_group(&[sample_record(2)]).unwrap();
+        assert!(w.torn(), "the cut lands inside the second frame");
+        // The device keeps lying: later appends still report success and
+        // write nothing.
+        w.append_group(&[sample_record(3)]).unwrap();
+        assert_eq!(w.bytes_written(), cut);
+        drop(w);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), cut);
+        let records = read_wal(&path).unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![1],
+            "only the intact prefix below the tear replays"
+        );
+    }
+
+    #[test]
+    fn group_wal_flushes_every_committer_and_batches_under_contention() {
+        use std::sync::Arc;
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let writer = WalWriter::open(&path, SyncMode::Fsync).unwrap();
+        let wal = Arc::new(GroupWal::new(
+            writer,
+            GroupCommitConfig::default().with_max_batch(8),
+        ));
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 16;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let ticket =
+                            wal.enqueue(vec![sample_record((t * PER_THREAD + i + 1) as Timestamp)]);
+                        wal.wait_durable(ticket).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.group_records, THREADS * PER_THREAD);
+        assert_eq!(stats.fsyncs, stats.groups, "one fsync per flushed batch");
+        assert!(!stats.torn);
+        let mut epochs: Vec<_> = read_wal(&path).unwrap().iter().map(|r| r.epoch).collect();
+        epochs.sort_unstable();
+        assert_eq!(epochs, (1..=(THREADS * PER_THREAD) as Timestamp).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_wal_linger_still_flushes_a_lone_committer() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let writer = WalWriter::open(&path, SyncMode::NoSync).unwrap();
+        let cfg = GroupCommitConfig::default()
+            .with_max_batch(64)
+            .with_max_wait(std::time::Duration::from_millis(5));
+        let wal = GroupWal::new(writer, cfg);
+        let ticket = wal.enqueue(vec![sample_record(1)]);
+        wal.wait_durable(ticket).unwrap();
+        assert_eq!(wal.stats().group_records, 1);
+        assert_eq!(read_wal(&path).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn group_wal_multi_record_submission_stays_contiguous() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal.log");
+        let writer = WalWriter::open(&path, SyncMode::NoSync).unwrap();
+        let wal = GroupWal::new(writer, GroupCommitConfig::default());
+        let t1 = wal.enqueue(vec![sample_record(1), sample_record(2)]);
+        let t2 = wal.enqueue(vec![sample_record(3)]);
+        wal.wait_durable(t2).unwrap();
+        wal.wait_durable(t1).unwrap();
+        let epochs: Vec<_> = read_wal(&path).unwrap().iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3], "enqueue order is file order");
     }
 
     #[test]

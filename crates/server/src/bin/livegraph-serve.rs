@@ -3,7 +3,7 @@
 //! ```text
 //! livegraph-serve [--addr 127.0.0.1:7687] [--workers 8] [--shards N]
 //!                 [--data-dir PATH] [--capacity BYTES] [--max-vertices N]
-//!                 [--no-sync]
+//!                 [--no-sync] [--group-commit-batch N] [--group-commit-wait-us N]
 //! ```
 //!
 //! With `--data-dir`, the engine recovers any existing checkpoint + WAL
@@ -11,12 +11,18 @@
 //! snapshots into the same directory. `--shards N` (N ≥ 2) hosts the
 //! sharded multi-writer engine instead of the plain one (note: sharded v1
 //! is WAL-only; `Checkpoint` requests are rejected as unsupported).
+//!
+//! `--group-commit-batch N` caps how many transactions one WAL fsync may
+//! cover, and `--group-commit-wait-us N` lets a flush leader linger that
+//! many microseconds for more committers to join its batch (0, the default,
+//! adds no latency — batching then comes only from commits arriving while a
+//! previous fsync is in flight). Both only matter with `--data-dir`.
 
 use std::process::exit;
 use std::sync::Arc;
 
 use livegraph_core::{
-    LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, SyncMode,
+    GroupCommitConfig, LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, SyncMode,
 };
 use livegraph_server::{Engine, Server, ServerConfig};
 
@@ -28,6 +34,7 @@ struct Args {
     capacity: usize,
     max_vertices: usize,
     sync: SyncMode,
+    group_commit: GroupCommitConfig,
 }
 
 impl Default for Args {
@@ -40,6 +47,7 @@ impl Default for Args {
             capacity: 1 << 30,
             max_vertices: 1 << 24,
             sync: SyncMode::Fsync,
+            group_commit: GroupCommitConfig::default(),
         }
     }
 }
@@ -47,7 +55,8 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: livegraph-serve [--addr HOST:PORT] [--workers N] [--shards N] \
-         [--data-dir PATH] [--capacity BYTES] [--max-vertices N] [--no-sync]"
+         [--data-dir PATH] [--capacity BYTES] [--max-vertices N] [--no-sync] \
+         [--group-commit-batch N] [--group-commit-wait-us N]"
     );
     exit(2)
 }
@@ -72,6 +81,19 @@ fn parse_args() -> Args {
                 args.max_vertices = parse_num(&value("--max-vertices"), "--max-vertices")
             }
             "--no-sync" => args.sync = SyncMode::NoSync,
+            "--group-commit-batch" => {
+                args.group_commit = args
+                    .group_commit
+                    .with_max_batch(parse_num(&value("--group-commit-batch"), "--group-commit-batch"))
+            }
+            "--group-commit-wait-us" => {
+                args.group_commit = args.group_commit.with_max_wait(
+                    std::time::Duration::from_micros(parse_num(
+                        &value("--group-commit-wait-us"),
+                        "--group-commit-wait-us",
+                    ) as u64),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -94,7 +116,8 @@ fn main() {
     let mut base = LiveGraphOptions::default()
         .with_capacity(args.capacity)
         .with_max_vertices(args.max_vertices)
-        .with_sync_mode(args.sync);
+        .with_sync_mode(args.sync)
+        .with_group_commit(args.group_commit);
     if let Some(dir) = &args.data_dir {
         base.data_dir = Some(dir.into());
     }

@@ -59,6 +59,7 @@ fn engine_error(e: &Error) -> Response {
         Error::TransactionClosed => ErrorCode::TransactionClosed,
         Error::Storage(_) => ErrorCode::Storage,
         Error::Io(_) => ErrorCode::Io,
+        Error::WalUnavailable(_) => ErrorCode::Io,
         Error::Corruption(_) => ErrorCode::Corruption,
         Error::TooManyWorkers { .. } => ErrorCode::TooManyWorkers,
         Error::EpochUnavailable { .. } => ErrorCode::EpochUnavailable,

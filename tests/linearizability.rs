@@ -21,7 +21,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 use livegraph::core::{
-    LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, Timestamp,
+    GroupCommitConfig, LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, SyncMode,
+    Timestamp,
 };
 
 const VERTICES: u64 = 24;
@@ -106,6 +107,10 @@ trait Engine: Send + Sync {
     fn snapshot_at(&self, epoch: Timestamp) -> Snapshot;
     fn compact(&self);
     fn name(&self) -> &'static str;
+    /// `(flushed_wal_batches, records_across_batches)` for durable engines,
+    /// `None` for in-memory ones. The group-commit oracle variants use this
+    /// to pin that multi-transaction batches actually formed.
+    fn wal_batching(&self) -> Option<(u64, u64)>;
 }
 
 fn engine_snapshot(
@@ -140,11 +145,15 @@ fn engine_snapshot(
     out
 }
 
-struct PlainEngine(LiveGraph);
+struct PlainEngine {
+    graph: LiveGraph,
+    /// Keeps the data directory alive for durable configurations.
+    _dir: Option<tempfile::TempDir>,
+}
 
 impl Engine for PlainEngine {
     fn setup(&self) -> Timestamp {
-        let mut txn = self.0.begin_write().unwrap();
+        let mut txn = self.graph.begin_write().unwrap();
         for v in 0..VERTICES {
             assert_eq!(txn.create_vertex(format!("init-{v}").as_bytes()).unwrap(), v);
         }
@@ -152,7 +161,7 @@ impl Engine for PlainEngine {
     }
 
     fn try_txn(&self, ops: &[TestOp]) -> Result<(Timestamp, Vec<TestOp>), ()> {
-        let mut txn = self.0.begin_write().unwrap();
+        let mut txn = self.graph.begin_write().unwrap();
         let mut effective = Vec::with_capacity(ops.len());
         for op in ops {
             let r = match op {
@@ -171,7 +180,7 @@ impl Engine for PlainEngine {
     }
 
     fn snapshot_at(&self, epoch: Timestamp) -> Snapshot {
-        let read = self.0.begin_read_at(epoch).unwrap();
+        let read = self.graph.begin_read_at(epoch).unwrap();
         engine_snapshot(
             |v| read.get_vertex(v).map(|p| p.to_vec()),
             |v, l| read.edges(v, l).map(|e| (e.dst, e.properties.to_vec())).collect(),
@@ -181,19 +190,29 @@ impl Engine for PlainEngine {
     }
 
     fn compact(&self) {
-        self.0.compact();
+        self.graph.compact();
     }
 
     fn name(&self) -> &'static str {
         "livegraph"
     }
+
+    fn wal_batching(&self) -> Option<(u64, u64)> {
+        self._dir.as_ref()?;
+        let s = self.graph.stats();
+        Some((s.wal_groups, s.wal_group_records))
+    }
 }
 
-struct ShardedEngine(ShardedGraph);
+struct ShardedEngine {
+    graph: ShardedGraph,
+    /// Keeps the data directory alive for durable configurations.
+    _dir: Option<tempfile::TempDir>,
+}
 
 impl Engine for ShardedEngine {
     fn setup(&self) -> Timestamp {
-        let mut txn = self.0.begin_write().unwrap();
+        let mut txn = self.graph.begin_write().unwrap();
         for v in 0..VERTICES {
             assert_eq!(txn.create_vertex(format!("init-{v}").as_bytes()).unwrap(), v);
         }
@@ -201,7 +220,7 @@ impl Engine for ShardedEngine {
     }
 
     fn try_txn(&self, ops: &[TestOp]) -> Result<(Timestamp, Vec<TestOp>), ()> {
-        let mut txn = self.0.begin_write().unwrap();
+        let mut txn = self.graph.begin_write().unwrap();
         let mut effective = Vec::with_capacity(ops.len());
         for op in ops {
             let r = match op {
@@ -220,7 +239,7 @@ impl Engine for ShardedEngine {
     }
 
     fn snapshot_at(&self, epoch: Timestamp) -> Snapshot {
-        let read = self.0.begin_read_at(epoch).unwrap();
+        let read = self.graph.begin_read_at(epoch).unwrap();
         engine_snapshot(
             |v| read.get_vertex(v).map(|p| p.to_vec()),
             |v, l| read.edges(v, l).map(|e| (e.dst, e.properties.to_vec())).collect(),
@@ -230,11 +249,17 @@ impl Engine for ShardedEngine {
     }
 
     fn compact(&self) {
-        self.0.compact();
+        self.graph.compact();
     }
 
     fn name(&self) -> &'static str {
         "sharded"
+    }
+
+    fn wal_batching(&self) -> Option<(u64, u64)> {
+        self._dir.as_ref()?;
+        let s = self.graph.stats();
+        Some((s.wal_groups(), s.wal_group_records()))
     }
 }
 
@@ -369,6 +394,19 @@ fn run_oracle(engine: Arc<dyn Engine>) {
         checked_epochs += 1;
     }
     assert!(checked_epochs > 0);
+    // Durable group-commit variants: batching must have actually happened,
+    // otherwise this run pinned nothing about epoch visibility under
+    // multi-transaction WAL batches.
+    if let Some((groups, records)) = engine.wal_batching() {
+        assert!(
+            records > groups,
+            "{}: {} records in {} flushed batches — group commit never \
+             batched more than one transaction",
+            engine.name(),
+            records,
+            groups
+        );
+    }
     println!(
         "{}: verified {} committed txns across {} epochs",
         engine.name(),
@@ -378,8 +416,8 @@ fn run_oracle(engine: Arc<dyn Engine>) {
 }
 
 fn plain_engine() -> Arc<dyn Engine> {
-    Arc::new(PlainEngine(
-        LiveGraph::open(
+    Arc::new(PlainEngine {
+        graph: LiveGraph::open(
             LiveGraphOptions::in_memory()
                 .with_capacity(1 << 26)
                 .with_max_vertices(1 << 12)
@@ -389,12 +427,13 @@ fn plain_engine() -> Arc<dyn Engine> {
                 .with_history_retention(1 << 40),
         )
         .unwrap(),
-    ))
+        _dir: None,
+    })
 }
 
 fn sharded_engine(shards: usize) -> Arc<dyn Engine> {
-    Arc::new(ShardedEngine(
-        ShardedGraph::open(
+    Arc::new(ShardedEngine {
+        graph: ShardedGraph::open(
             ShardedGraphOptions::in_memory(shards).with_base(
                 LiveGraphOptions::in_memory()
                     .with_capacity(1 << 24)
@@ -404,7 +443,58 @@ fn sharded_engine(shards: usize) -> Arc<dyn Engine> {
             ),
         )
         .unwrap(),
-    ))
+        _dir: None,
+    })
+}
+
+/// Group-commit tuning for the durable oracle variants: a simulated flush
+/// latency gives concurrent committers a window to pile into each other's
+/// batches, and `max_batch > 1` lets the flush leader take them all.
+fn grouped() -> (SyncMode, GroupCommitConfig) {
+    (
+        SyncMode::Simulated(std::time::Duration::from_micros(100)),
+        GroupCommitConfig::default()
+            .with_max_batch(8)
+            .with_max_wait(std::time::Duration::from_micros(100)),
+    )
+}
+
+fn durable_plain_engine_grouped() -> Arc<dyn Engine> {
+    let dir = tempfile::tempdir().unwrap();
+    let (sync, group_commit) = grouped();
+    Arc::new(PlainEngine {
+        graph: LiveGraph::open(
+            LiveGraphOptions::durable(dir.path())
+                .with_capacity(1 << 26)
+                .with_max_vertices(1 << 12)
+                .with_auto_compaction(false)
+                .with_history_retention(1 << 40)
+                .with_sync_mode(sync)
+                .with_group_commit(group_commit),
+        )
+        .unwrap(),
+        _dir: Some(dir),
+    })
+}
+
+fn durable_sharded_engine_grouped(shards: usize) -> Arc<dyn Engine> {
+    let dir = tempfile::tempdir().unwrap();
+    let (sync, group_commit) = grouped();
+    Arc::new(ShardedEngine {
+        graph: ShardedGraph::open(
+            ShardedGraphOptions::durable(shards, dir.path()).with_base(
+                LiveGraphOptions::durable(dir.path())
+                    .with_capacity(1 << 24)
+                    .with_max_vertices(1 << 12)
+                    .with_auto_compaction(false)
+                    .with_history_retention(1 << 40)
+                    .with_sync_mode(sync)
+                    .with_group_commit(group_commit),
+            ),
+        )
+        .unwrap(),
+        _dir: Some(dir),
+    })
 }
 
 #[test]
@@ -415,4 +505,14 @@ fn concurrent_history_matches_serial_epoch_order_on_livegraph() {
 #[test]
 fn concurrent_history_matches_serial_epoch_order_on_sharded_graph() {
     run_oracle(sharded_engine(3));
+}
+
+#[test]
+fn group_commit_batches_never_reorder_epoch_visibility_on_livegraph() {
+    run_oracle(durable_plain_engine_grouped());
+}
+
+#[test]
+fn group_commit_batches_never_reorder_epoch_visibility_on_sharded_graph() {
+    run_oracle(durable_sharded_engine_grouped(3));
 }
