@@ -22,16 +22,17 @@ use crate::wal::{read_wal, SyncMode, WalOp, WalRecord, WalWriter};
 /// Number of operations bundled per checkpoint record / recovery batch.
 const CHECKPOINT_BATCH: usize = 4096;
 
-fn checkpoint_path(dir: &Path) -> PathBuf {
+pub(crate) fn checkpoint_path(dir: &Path) -> PathBuf {
     dir.join("checkpoint.dat")
 }
 
-fn wal_path(dir: &Path) -> PathBuf {
+pub(crate) fn wal_path(dir: &Path) -> PathBuf {
     dir.join("wal.log")
 }
 
 /// Writes a checkpoint of the latest committed snapshot and prunes the WAL.
-pub(crate) fn write_checkpoint(graph: &GraphInner) -> Result<()> {
+/// Returns the snapshot epoch (which becomes the WAL prune floor).
+pub(crate) fn write_checkpoint(graph: &GraphInner) -> Result<Timestamp> {
     let dir = graph
         .options
         .data_dir
@@ -61,10 +62,15 @@ pub(crate) fn write_checkpoint(graph: &GraphInner) -> Result<()> {
                 Vec::new()
             };
             wal.rewrite(&remaining)?;
+            // Publish the floor while the WAL lock pins the file contents,
+            // so a tail can never observe a pruned log with a stale floor.
+            graph
+                .prune_floor
+                .fetch_max(snapshot_epoch, std::sync::atomic::Ordering::AcqRel);
         }
         Ok(())
     })?;
-    Ok(())
+    Ok(snapshot_epoch)
 }
 
 fn dump_snapshot(graph: &GraphInner, dir: &Path, epoch: Timestamp) -> Result<()> {
@@ -189,6 +195,11 @@ fn recover_inner(graph: &GraphInner, dir: &Path) -> Result<()> {
     if max_epoch > 0 {
         graph.epochs.reset_to(max_epoch);
     }
+    // Epochs at or below the checkpoint are not in the WAL; replication
+    // resume requests below this floor need a fresh bootstrap.
+    graph
+        .prune_floor
+        .fetch_max(checkpoint_epoch, std::sync::atomic::Ordering::AcqRel);
     Ok(())
 }
 
@@ -201,37 +212,51 @@ fn apply_record(graph: &GraphInner, record: &WalRecord) -> Result<()> {
 fn replay_ops(graph: &GraphInner, ops: &[WalOp]) -> Result<()> {
     for chunk in ops.chunks(CHECKPOINT_BATCH) {
         let mut txn = crate::txn::WriteTxn::begin(graph)?;
-        for op in chunk {
-            match op {
-                WalOp::CreateVertex { vertex, properties } => {
-                    txn.create_vertex_with_id(*vertex, properties)?;
-                }
-                WalOp::PutVertex { vertex, properties } => {
-                    ensure_vertex(graph, &mut txn, *vertex)?;
-                    txn.put_vertex(*vertex, properties)?;
-                }
-                WalOp::PutEdge {
-                    src,
-                    label,
-                    dst,
-                    properties,
-                } => {
-                    ensure_vertex(graph, &mut txn, *src)?;
-                    ensure_vertex(graph, &mut txn, *dst)?;
-                    txn.put_edge(*src, *label, *dst, properties)?;
-                }
-                WalOp::DeleteEdge { src, label, dst } => {
-                    if graph.vertex_exists(*src) {
-                        txn.delete_edge(*src, *label, *dst)?;
-                    }
-                }
-                WalOp::DeleteVertex { vertex } => {
-                    ensure_vertex(graph, &mut txn, *vertex)?;
-                    txn.delete_vertex(*vertex)?;
+        apply_ops_in(graph, &mut txn, chunk)?;
+        txn.commit()?;
+    }
+    Ok(())
+}
+
+/// Re-executes logged operations inside an already-open transaction.
+/// Shared between recovery replay (which chunks ops across transactions for
+/// memory locality) and replication apply (which must keep all of one
+/// epoch's operations in a single transaction so the replica consumes
+/// exactly one epoch per shipped epoch).
+pub(crate) fn apply_ops_in(
+    graph: &GraphInner,
+    txn: &mut crate::txn::WriteTxn<'_>,
+    ops: &[WalOp],
+) -> Result<()> {
+    for op in ops {
+        match op {
+            WalOp::CreateVertex { vertex, properties } => {
+                txn.create_vertex_with_id(*vertex, properties)?;
+            }
+            WalOp::PutVertex { vertex, properties } => {
+                ensure_vertex(graph, txn, *vertex)?;
+                txn.put_vertex(*vertex, properties)?;
+            }
+            WalOp::PutEdge {
+                src,
+                label,
+                dst,
+                properties,
+            } => {
+                ensure_vertex(graph, txn, *src)?;
+                ensure_vertex(graph, txn, *dst)?;
+                txn.put_edge(*src, *label, *dst, properties)?;
+            }
+            WalOp::DeleteEdge { src, label, dst } => {
+                if graph.vertex_exists(*src) {
+                    txn.delete_edge(*src, *label, *dst)?;
                 }
             }
+            WalOp::DeleteVertex { vertex } => {
+                ensure_vertex(graph, txn, *vertex)?;
+                txn.delete_vertex(*vertex)?;
+            }
         }
-        txn.commit()?;
     }
     Ok(())
 }

@@ -213,6 +213,12 @@ impl CommitCoordinator {
         self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
     }
 
+    /// The group-commit coordinator itself, if durability is configured
+    /// (WAL tails wait on its flush condvar between polls).
+    pub(crate) fn group_wal(&self) -> Option<&GroupWal> {
+        self.wal.as_ref()
+    }
+
     /// Runs `f` while holding the WAL file exclusively (used by
     /// checkpointing to prune the log without racing flush leaders).
     pub fn with_wal_locked<R>(&self, f: impl FnOnce(Option<&mut WalWriter>) -> R) -> R {

@@ -284,6 +284,12 @@ pub(crate) struct GraphInner {
     /// Set while recovery replays the checkpoint/WAL, so committed replays
     /// are not re-appended to the WAL.
     pub(crate) recovery_mode: AtomicBool,
+    /// Highest epoch pruned out of the WAL (the snapshot epoch of the last
+    /// checkpoint, restored from the checkpoint file on recovery). The WAL
+    /// on disk holds exactly the records with epochs above this floor, so a
+    /// replication tail can resume from epoch `e` iff `e >= prune_floor` —
+    /// otherwise the replica must re-bootstrap from the checkpoint.
+    pub(crate) prune_floor: std::sync::atomic::AtomicI64,
     pub(crate) options: LiveGraphOptions,
 }
 
@@ -610,6 +616,7 @@ impl LiveGraph {
             scan_counters: ScanCounters::new(options.max_workers),
             free_vertex_ids: parking_lot::Mutex::new(Vec::new()),
             recovery_mode: AtomicBool::new(false),
+            prune_floor: std::sync::atomic::AtomicI64::new(0),
             store,
             options,
         };
@@ -670,7 +677,16 @@ impl LiveGraph {
     /// Writes a checkpoint of the latest committed snapshot into the data
     /// directory and prunes the WAL. Requires a durable configuration.
     pub fn checkpoint(&self) -> Result<()> {
-        crate::checkpoint::write_checkpoint(&self.inner)
+        crate::checkpoint::write_checkpoint(&self.inner).map(|_| ())
+    }
+
+    /// Highest epoch pruned out of the WAL by checkpointing (0 if the WAL
+    /// has never been pruned). The on-disk log holds exactly the records
+    /// with epochs above this floor; see
+    /// [`LiveGraph::wal_tail`](crate::replication::WalTail) for how
+    /// replication uses it to decide between resume and re-bootstrap.
+    pub fn wal_prune_floor(&self) -> Timestamp {
+        self.inner.prune_floor.load(Ordering::Acquire)
     }
 
     /// The oldest snapshot epoch any *currently active* transaction has

@@ -59,6 +59,7 @@ mod graph;
 mod index;
 mod locks;
 pub mod props;
+pub mod replication;
 pub mod sharded;
 pub mod tel;
 mod txn;
@@ -70,6 +71,7 @@ pub use compaction::CompactionStats;
 pub use error::{Error, Result};
 pub use props::{PropBuilder, PropError, PropMap, PropValue};
 pub use graph::{GraphStats, LiveGraph, LiveGraphOptions, ScanStats};
+pub use replication::{install_bootstrap, local_durable_epoch, TailChunk, WalTail};
 pub use sharded::{
     ShardedGraph, ShardedGraphOptions, ShardedReadTxn, ShardedStats, ShardedWriteTxn,
 };

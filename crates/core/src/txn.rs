@@ -169,15 +169,6 @@ impl<'g> ReadTxn<'g> {
         LabelIter::new(self.graph, vertex)
     }
 
-    /// The labels as an owned `Vec`.
-    ///
-    /// Deprecated shim kept for one more release; every in-repo caller has
-    /// been migrated to the [`ReadTxn::labels`] iterator.
-    #[deprecated(since = "0.1.0", note = "use the allocation-free `labels` iterator")]
-    pub fn labels_vec(&self, vertex: VertexId) -> Vec<Label> {
-        self.graph.labels_of(vertex)
-    }
-
     /// Sequentially scans the adjacency list of `(vertex, label)`.
     pub fn edges(&self, vertex: VertexId, label: Label) -> EdgeIter<'_> {
         match self.graph.find_tel(vertex, label) {
@@ -1665,25 +1656,6 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, vec![(3, b), (7, b), (7, c)]);
-    }
-
-    /// The deprecated `labels_vec` shim must keep matching the iterator for
-    /// the one release it is retained (all in-repo callers are migrated).
-    #[test]
-    #[allow(deprecated)]
-    fn labels_vec_shim_matches_labels_iterator() {
-        let g = graph();
-        let mut txn = g.begin_write().unwrap();
-        let a = txn.create_vertex(b"a").unwrap();
-        let b = txn.create_vertex(b"b").unwrap();
-        txn.put_edge(a, 5, b, b"").unwrap();
-        txn.put_edge(a, 2, b, b"").unwrap();
-        txn.commit().unwrap();
-
-        let r = g.begin_read().unwrap();
-        for v in [a, b, 9999] {
-            assert_eq!(r.labels_vec(v), r.labels(v).collect::<Vec<_>>());
-        }
     }
 
     #[test]

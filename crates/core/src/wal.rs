@@ -322,6 +322,7 @@ pub struct WalWriter {
     bytes_written: u64,
     fsyncs: u64,
     torn: bool,
+    generation: u64,
 }
 
 impl WalWriter {
@@ -336,6 +337,7 @@ impl WalWriter {
             bytes_written,
             fsyncs: 0,
             torn: false,
+            generation: 0,
         })
     }
 
@@ -353,7 +355,21 @@ impl WalWriter {
         let file = OpenOptions::new().create(true).append(true).open(&self.path)?;
         self.bytes_written = file.metadata()?.len();
         self.file = BufWriter::new(file);
+        // Byte offsets held by WAL tails refer to the replaced file; the
+        // generation bump tells them to re-scan from the start.
+        self.generation += 1;
         Ok(())
+    }
+
+    /// Path of the log file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rewrite counter: bumped whenever [`WalWriter::rewrite`] replaces the
+    /// file, invalidating any byte offset captured against the old one.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Appends a batch of records as one buffered write, without making them
@@ -566,6 +582,24 @@ impl GroupWal {
         }
     }
 
+    /// Blocks until the count of durably flushed records differs from
+    /// `last` (or the WAL is poisoned), or `timeout` elapses; returns the
+    /// current count either way. WAL tails use this to sleep between polls
+    /// instead of spinning: every flush (and every enqueue) signals the
+    /// queue condvar, so a tail wakes as soon as new records can possibly
+    /// be on the device.
+    pub fn wait_durable_change(&self, last: u64, timeout: std::time::Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queue.lock();
+        while q.durable == last && q.poisoned.is_none() {
+            let now = Instant::now();
+            if now >= deadline || self.queue_cv.wait_for(&mut q, deadline - now).timed_out() {
+                break;
+            }
+        }
+        q.durable
+    }
+
     /// Snapshot of the WAL counters (bytes, syncs, batches, tear flag).
     pub fn stats(&self) -> WalStats {
         let w = self.writer.lock();
@@ -593,8 +627,19 @@ impl GroupWal {
 /// A truncated or corrupt tail terminates the scan without an error (that is
 /// the expected crash state); corruption *before* valid records is reported.
 pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>> {
+    read_wal_from(path, 0).map(|(records, _)| records)
+}
+
+/// Reads complete records starting at byte `offset`, returning them together
+/// with the offset just past the last complete frame (the resume point for
+/// the next incremental read). This is the WAL-tailing primitive: `offset`
+/// must be a frame boundary previously returned by this function (or 0).
+pub fn read_wal_from(path: &Path, offset: u64) -> Result<(Vec<WalRecord>, u64)> {
+    use std::io::{Seek, SeekFrom};
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
     let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    file.read_to_end(&mut bytes)?;
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos + 16 <= bytes.len() {
@@ -607,7 +652,7 @@ pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>> {
         let payload_end = payload_start + len;
         let frame_end = payload_end + 8;
         if frame_end > bytes.len() {
-            break; // torn tail
+            break; // torn (or still being appended) tail
         }
         let payload = &bytes[payload_start..payload_end];
         let stored = u64::from_le_bytes(bytes[payload_end..frame_end].try_into().unwrap());
@@ -617,7 +662,7 @@ pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>> {
         records.push(WalRecord::decode_payload(payload)?);
         pos = frame_end;
     }
-    Ok(records)
+    Ok((records, offset + pos as u64))
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@
 //! livegraph-serve [--addr 127.0.0.1:7687] [--workers 8] [--shards N]
 //!                 [--data-dir PATH] [--capacity BYTES] [--max-vertices N]
 //!                 [--no-sync] [--group-commit-batch N] [--group-commit-wait-us N]
+//!                 [--replicate-from HOST:PORT] [--sync-replicas N]
+//!                 [--commit-timeout-ms N]
 //! ```
 //!
 //! With `--data-dir`, the engine recovers any existing checkpoint + WAL
@@ -17,14 +19,28 @@
 //! many microseconds for more committers to join its batch (0, the default,
 //! adds no latency — batching then comes only from commits arriving while a
 //! previous fsync is in flight). Both only matter with `--data-dir`.
+//!
+//! `--replicate-from HOST:PORT` starts this server as a read-only replica
+//! of the named primary: it bootstraps from the primary's checkpoint if its
+//! `--data-dir` (required) holds no usable WAL tail, then tails committed
+//! epochs over the wire, serving reads at its replicated epoch. Replicas
+//! require the plain engine (`--shards 1`). On the primary side,
+//! `--sync-replicas N` makes each commit wait (up to
+//! `--commit-timeout-ms`, default 5000) until N replicas confirmed the
+//! commit epoch durable before the client sees `Committed`.
 
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
 use livegraph_core::{
     GroupCommitConfig, LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, SyncMode,
 };
-use livegraph_server::{Engine, Server, ServerConfig};
+use livegraph_server::{
+    bootstrap_replica, start_replica, Engine, ReplicaOptions, ReplicationState, Server,
+    ServerConfig,
+};
 
 struct Args {
     addr: String,
@@ -35,6 +51,9 @@ struct Args {
     max_vertices: usize,
     sync: SyncMode,
     group_commit: GroupCommitConfig,
+    replicate_from: Option<String>,
+    sync_replicas: usize,
+    commit_timeout_ms: u64,
 }
 
 impl Default for Args {
@@ -48,6 +67,9 @@ impl Default for Args {
             max_vertices: 1 << 24,
             sync: SyncMode::Fsync,
             group_commit: GroupCommitConfig::default(),
+            replicate_from: None,
+            sync_replicas: 0,
+            commit_timeout_ms: 5000,
         }
     }
 }
@@ -56,7 +78,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: livegraph-serve [--addr HOST:PORT] [--workers N] [--shards N] \
          [--data-dir PATH] [--capacity BYTES] [--max-vertices N] [--no-sync] \
-         [--group-commit-batch N] [--group-commit-wait-us N]"
+         [--group-commit-batch N] [--group-commit-wait-us N] \
+         [--replicate-from HOST:PORT] [--sync-replicas N] [--commit-timeout-ms N]"
     );
     exit(2)
 }
@@ -94,6 +117,14 @@ fn parse_args() -> Args {
                     ) as u64),
                 )
             }
+            "--replicate-from" => args.replicate_from = Some(value("--replicate-from")),
+            "--sync-replicas" => {
+                args.sync_replicas = parse_num(&value("--sync-replicas"), "--sync-replicas")
+            }
+            "--commit-timeout-ms" => {
+                args.commit_timeout_ms =
+                    parse_num(&value("--commit-timeout-ms"), "--commit-timeout-ms") as u64
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -111,8 +142,43 @@ fn parse_num(s: &str, flag: &str) -> usize {
     })
 }
 
+fn resolve(addr: &str) -> SocketAddr {
+    match addr.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("livegraph-serve: cannot resolve --replicate-from address {addr:?}");
+            exit(2)
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+
+    // Replica mode: bootstrap from the primary's checkpoint (if the local
+    // WAL tail is unusable) *before* opening the engine, so recovery below
+    // replays the installed snapshot plus whatever tail survived.
+    let primary = args.replicate_from.as_deref().map(resolve);
+    if let Some(primary) = primary {
+        if args.shards > 1 {
+            eprintln!("livegraph-serve: --replicate-from requires the plain engine (--shards 1)");
+            exit(2)
+        }
+        let Some(dir) = &args.data_dir else {
+            eprintln!("livegraph-serve: --replicate-from requires --data-dir");
+            exit(2)
+        };
+        match bootstrap_replica(dir, primary, &ReplicaOptions::default()) {
+            Ok(epoch) => {
+                eprintln!("livegraph-serve: replica bootstrapped through epoch {epoch}")
+            }
+            Err(e) => {
+                eprintln!("livegraph-serve: bootstrap from {primary} failed: {e}");
+                exit(1)
+            }
+        }
+    }
+
     let mut base = LiveGraphOptions::default()
         .with_capacity(args.capacity)
         .with_max_vertices(args.max_vertices)
@@ -163,10 +229,22 @@ fn main() {
         }
     };
 
+    let engine = Arc::new(engine);
+    let replication = Arc::new(if primary.is_some() {
+        ReplicationState::replica()
+    } else {
+        ReplicationState::primary(
+            args.sync_replicas,
+            Duration::from_millis(args.commit_timeout_ms),
+        )
+    });
+
     let server = match Server::start(
-        Arc::new(engine),
+        engine.clone(),
         args.addr.as_str(),
-        ServerConfig::default().with_workers(args.workers),
+        ServerConfig::default()
+            .with_workers(args.workers)
+            .with_replication(replication.clone()),
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -176,8 +254,22 @@ fn main() {
     };
     println!("livegraph-serve: listening on {}", server.local_addr());
 
-    // Serve until the process is killed.
+    let _runner = primary.map(|primary| {
+        eprintln!("livegraph-serve: replicating from {primary} (read-only until promoted)");
+        start_replica(engine, replication.clone(), primary, ReplicaOptions::default())
+    });
+
+    // Serve until the process is killed. A replica that falls behind the
+    // primary's pruned WAL cannot recover in place; surface that instead of
+    // silently serving ever-staler reads.
     loop {
-        std::thread::park();
+        std::thread::sleep(Duration::from_secs(1));
+        if replication.replication_failed() {
+            eprintln!(
+                "livegraph-serve: replication failed permanently (fell behind the primary's \
+                 retained WAL); wipe the data directory and restart to re-seed"
+            );
+            exit(1)
+        }
     }
 }

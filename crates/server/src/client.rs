@@ -11,6 +11,7 @@
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -136,10 +137,25 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a LiveGraph server.
+    /// Connects to a LiveGraph server with no socket timeouts (a hung
+    /// server blocks the caller indefinitely — prefer
+    /// [`Client::connect_with_timeout`] for anything unattended).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Self::connect_with_timeout(addr, None)
+    }
+
+    /// Connects with a read/write timeout on the underlying socket: a
+    /// request against a hung or partitioned server surfaces
+    /// [`ClientError::Io`] (poisoning the connection) after `io_timeout`
+    /// instead of blocking forever. `None` disables the timeouts.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
@@ -148,6 +164,15 @@ impl Client {
             poisoned: false,
             open_txns: Vec::new(),
         })
+    }
+
+    /// Changes the socket read/write timeout of an existing connection
+    /// (`None` disables it). Cloned halves share the socket, so this
+    /// affects both directions.
+    pub fn set_io_timeout(&mut self, io_timeout: Option<Duration>) -> io::Result<()> {
+        let stream = self.writer.get_ref();
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)
     }
 
     /// True once a transport/protocol error has made this connection's
@@ -475,6 +500,16 @@ impl Client {
         }
     }
 
+    /// Admin: promote a read-only replica to a serving primary (failover).
+    /// Returns the epoch the server serves writes from. Idempotent — on a
+    /// server that already accepts writes it just reports the epoch.
+    pub fn promote(&mut self) -> ClientResult<Timestamp> {
+        match self.roundtrip(&Request::Promote)? {
+            Response::Promoted { epoch } => Ok(epoch),
+            other => self.unexpected("Promoted", &other),
+        }
+    }
+
     /// Consumes the client, closing the write half eagerly so the server
     /// sees the disconnect immediately even if the OS would keep the socket
     /// lingering.
@@ -494,30 +529,60 @@ fn handle_of(txn: Option<RemoteTxn>) -> TxnHandle {
 // Connection pool
 // ---------------------------------------------------------------------------
 
+/// Re-dial attempts when a checkout must replace a poisoned (or missing)
+/// connection. Dials back off exponentially with jitter between attempts,
+/// so a pool whose server just restarted rides out the gap instead of
+/// failing every checkout during it.
+const DIAL_ATTEMPTS: usize = 5;
+
+/// First re-dial backoff; doubles per failed attempt up to
+/// [`DIAL_BACKOFF_CAP`], jittered ±50% so concurrent workers spread out.
+const DIAL_BACKOFF: Duration = Duration::from_millis(25);
+
+/// Re-dial backoff cap.
+const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(400);
+
 /// A pool of client connections to one server, lent out to concurrent
 /// workers. Poisoned connections are discarded instead of returned; a
-/// checkout from an empty pool dials a fresh connection.
+/// checkout from an empty pool dials a fresh connection, retrying with
+/// capped exponential backoff + jitter if the server is momentarily away.
 pub struct ClientPool {
     addr: std::net::SocketAddr,
+    io_timeout: Option<Duration>,
     idle: Mutex<Vec<Client>>,
 }
 
 impl ClientPool {
     /// Dials `initial` connections to `addr` eagerly (so steady-state
-    /// benchmarks never measure connection setup).
+    /// benchmarks never measure connection setup), without socket
+    /// timeouts.
     pub fn connect(addr: impl ToSocketAddrs, initial: usize) -> io::Result<ClientPool> {
+        Self::connect_with_timeout(addr, initial, None)
+    }
+
+    /// Like [`ClientPool::connect`], but every pooled connection carries a
+    /// socket read/write timeout (see [`Client::connect_with_timeout`]).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        initial: usize,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<ClientPool> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
-        let mut idle = Vec::with_capacity(initial);
-        for _ in 0..initial {
-            idle.push(Client::connect(addr)?);
-        }
-        Ok(ClientPool {
+        let pool = ClientPool {
             addr,
-            idle: Mutex::new(idle),
-        })
+            io_timeout,
+            idle: Mutex::new(Vec::with_capacity(initial)),
+        };
+        for _ in 0..initial {
+            // Eager dials fail fast (no retry loop): at construction time a
+            // dead server is a configuration error, not a transient fault.
+            let client = Client::connect_with_timeout(addr, io_timeout)?;
+            pool.idle.lock().push(client);
+        }
+        Ok(pool)
     }
 
     /// The server address this pool dials.
@@ -525,12 +590,31 @@ impl ClientPool {
         self.addr
     }
 
+    /// Dials a replacement connection with capped exponential backoff +
+    /// jitter: checkouts right after a server restart (every pooled
+    /// connection poisoned at once) reconnect instead of erroring out.
+    fn dial(&self) -> io::Result<Client> {
+        let mut backoff = DIAL_BACKOFF;
+        let mut last_err = None;
+        for attempt in 0..DIAL_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(crate::replication::jittered(backoff));
+                backoff = (backoff * 2).min(DIAL_BACKOFF_CAP);
+            }
+            match Client::connect_with_timeout(self.addr, self.io_timeout) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one dial attempted"))
+    }
+
     /// Checks out a connection (dialing a new one if the pool is empty).
     pub fn get(&self) -> io::Result<PooledClient<'_>> {
         let existing = self.idle.lock().pop();
         let client = match existing {
             Some(client) => client,
-            None => Client::connect(self.addr)?,
+            None => self.dial()?,
         };
         Ok(PooledClient {
             client: Some(client),

@@ -13,7 +13,10 @@
 //!   `livegraph-serve` binary);
 //! * [`Session`] — the per-connection transaction table (public for tests
 //!   and embedding);
-//! * [`Client`] / [`ClientPool`] — the blocking client.
+//! * [`Client`] / [`ClientPool`] — the blocking client;
+//! * [`replication`] — WAL-shipping replication: epoch-consistent read
+//!   replicas, semi-sync commit acknowledgement, failover promotion, and a
+//!   fault-injecting link proxy for chaos tests.
 //!
 //! ## Quick start
 //! ```
@@ -48,11 +51,15 @@
 mod client;
 mod engine;
 pub mod protocol;
+pub mod replication;
 mod server;
 mod session;
 
 pub use client::{Client, ClientError, ClientPool, ClientResult, PooledClient, RemoteTxn};
 pub use engine::Engine;
 pub use protocol::{ErrorCode, Request, Response, StatsReply, TxnHandle};
+pub use replication::{
+    bootstrap_replica, start_replica, FaultProxy, ReplicaOptions, ReplicaRunner, ReplicationState,
+};
 pub use server::{Server, ServerConfig};
 pub use session::{Session, AUTOCOMMIT_RETRIES, NEIGHBOR_CHUNK_DSTS};

@@ -177,6 +177,31 @@ pub enum Request {
     /// Admin: write a checkpoint of the latest committed snapshot and prune
     /// the WAL (durable configurations only).
     Checkpoint,
+    /// Replication: a replica introduces itself and asks for the WAL stream
+    /// above its last durable epoch. Must be the *first* request on the
+    /// connection; the server takes the connection over for streaming
+    /// ([`Response::BootstrapChunk`] frames if the resume point predates the
+    /// retained WAL tail, then an unbounded sequence of
+    /// [`Response::WalBatch`] frames, all echoing this request's correlation
+    /// id).
+    ReplicaHello {
+        /// Highest epoch durable in the replica's local data directory
+        /// (0 for an empty replica).
+        last_epoch: Timestamp,
+    },
+    /// Replication: the replica reports that every epoch up to
+    /// `durable_epoch` is applied and durable locally. One-way — the
+    /// primary sends no response — so acks never contend with the
+    /// primary-to-replica stream direction.
+    ReplicaAck {
+        /// Highest contiguously applied-and-durable epoch on the replica.
+        durable_epoch: Timestamp,
+    },
+    /// Admin: promote this replica server to a serving primary (failover).
+    /// Stops the replication client, lifts the read-only gate, and replies
+    /// [`Response::Promoted`]. Idempotent; on a server that never was a
+    /// replica it simply reports the current epoch.
+    Promote,
 }
 
 /// A response frame body.
@@ -237,6 +262,33 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// One chunk of a checkpoint file shipped to a bootstrapping replica
+    /// (reply to [`Request::ReplicaHello`] when its resume point predates
+    /// the primary's retained WAL tail).
+    BootstrapChunk {
+        /// Snapshot epoch of the checkpoint being shipped; the replica
+        /// resumes the WAL stream from here.
+        checkpoint_epoch: Timestamp,
+        /// True on the final chunk.
+        last: bool,
+        /// Raw checkpoint-file bytes.
+        data: Vec<u8>,
+    },
+    /// A batch of committed WAL records: one or more *complete* epochs, in
+    /// epoch order. `payloads` are `WalRecord::encode_payload` bytes — the
+    /// exact bytes the primary logged, minus the file framing.
+    WalBatch {
+        /// The primary's global write epoch when the batch was cut (lets
+        /// the replica compute its replication lag).
+        primary_epoch: Timestamp,
+        /// Encoded `WalRecord` payloads, in epoch order.
+        payloads: Vec<Vec<u8>>,
+    },
+    /// Reply to [`Request::Promote`]: the server now accepts writes.
+    Promoted {
+        /// The epoch the promoted server starts serving writes from.
+        epoch: Timestamp,
     },
 }
 
@@ -299,6 +351,13 @@ pub enum ErrorCode {
     /// The hosted engine does not support this operation (e.g. `Checkpoint`
     /// on the sharded engine, which is WAL-only).
     Unsupported = 11,
+    /// This server is a read replica: writes, checkpoints and other
+    /// primary-only operations are rejected until promotion.
+    ReadOnlyReplica = 12,
+    /// The commit is durable on the primary but the configured number of
+    /// replicas did not acknowledge it in time; the client must treat the
+    /// commit as *not* acknowledged.
+    ReplicationTimeout = 13,
 }
 
 impl ErrorCode {
@@ -315,6 +374,8 @@ impl ErrorCode {
             9 => ErrorCode::UnknownTxn,
             10 => ErrorCode::BadRequest,
             11 => ErrorCode::Unsupported,
+            12 => ErrorCode::ReadOnlyReplica,
+            13 => ErrorCode::ReplicationTimeout,
             _ => return None,
         })
     }
@@ -334,6 +395,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::UnknownTxn => "unknown-txn",
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::Unsupported => "unsupported",
+            ErrorCode::ReadOnlyReplica => "read-only-replica",
+            ErrorCode::ReplicationTimeout => "replication-timeout",
         };
         f.write_str(name)
     }
@@ -501,6 +564,9 @@ mod op {
     pub const NEIGHBORS: u8 = 14;
     pub const STATS: u8 = 15;
     pub const CHECKPOINT: u8 = 16;
+    pub const REPLICA_HELLO: u8 = 17;
+    pub const REPLICA_ACK: u8 = 18;
+    pub const PROMOTE: u8 = 19;
 }
 
 mod tag {
@@ -516,6 +582,9 @@ mod tag {
     pub const NEIGHBOR_CHUNK: u8 = 10;
     pub const STATS: u8 = 11;
     pub const ERROR: u8 = 12;
+    pub const BOOTSTRAP_CHUNK: u8 = 13;
+    pub const WAL_BATCH: u8 = 14;
+    pub const PROMOTED: u8 = 15;
 }
 
 impl Request {
@@ -625,6 +694,15 @@ impl Request {
             }
             Request::Stats => put_u8(buf, op::STATS),
             Request::Checkpoint => put_u8(buf, op::CHECKPOINT),
+            Request::ReplicaHello { last_epoch } => {
+                put_u8(buf, op::REPLICA_HELLO);
+                put_i64(buf, *last_epoch);
+            }
+            Request::ReplicaAck { durable_epoch } => {
+                put_u8(buf, op::REPLICA_ACK);
+                put_i64(buf, *durable_epoch);
+            }
+            Request::Promote => put_u8(buf, op::PROMOTE),
         }
     }
 
@@ -688,6 +766,13 @@ impl Request {
             },
             op::STATS => Request::Stats,
             op::CHECKPOINT => Request::Checkpoint,
+            op::REPLICA_HELLO => Request::ReplicaHello {
+                last_epoch: c.i64()?,
+            },
+            op::REPLICA_ACK => Request::ReplicaAck {
+                durable_epoch: c.i64()?,
+            },
+            op::PROMOTE => Request::Promote,
             other => return Err(ProtocolError::BadOpcode(other)),
         };
         c.finish()?;
@@ -764,6 +849,31 @@ impl Response {
                 put_u8(buf, *code as u8);
                 put_bytes(buf, message.as_bytes());
             }
+            Response::BootstrapChunk {
+                checkpoint_epoch,
+                last,
+                data,
+            } => {
+                put_u8(buf, tag::BOOTSTRAP_CHUNK);
+                put_i64(buf, *checkpoint_epoch);
+                put_bool(buf, *last);
+                put_bytes(buf, data);
+            }
+            Response::WalBatch {
+                primary_epoch,
+                payloads,
+            } => {
+                put_u8(buf, tag::WAL_BATCH);
+                put_i64(buf, *primary_epoch);
+                put_u32(buf, payloads.len() as u32);
+                for payload in payloads {
+                    put_bytes(buf, payload);
+                }
+            }
+            Response::Promoted { epoch } => {
+                put_u8(buf, tag::PROMOTED);
+                put_i64(buf, *epoch);
+            }
         }
     }
 
@@ -818,6 +928,28 @@ impl Response {
                 message: String::from_utf8(c.bytes()?)
                     .map_err(|_| ProtocolError::BadValue("error message utf-8"))?,
             },
+            tag::BOOTSTRAP_CHUNK => Response::BootstrapChunk {
+                checkpoint_epoch: c.i64()?,
+                last: c.boolean()?,
+                data: c.bytes()?,
+            },
+            tag::WAL_BATCH => {
+                let primary_epoch = c.i64()?;
+                let n = c.u32()? as usize;
+                // Each payload costs at least its 4-byte length prefix.
+                if n > (MAX_FRAME_LEN as usize) / 4 {
+                    return Err(ProtocolError::BadValue("wal batch length"));
+                }
+                let mut payloads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    payloads.push(c.bytes()?);
+                }
+                Response::WalBatch {
+                    primary_epoch,
+                    payloads,
+                }
+            }
+            tag::PROMOTED => Response::Promoted { epoch: c.i64()? },
             other => return Err(ProtocolError::BadTag(other)),
         };
         c.finish()?;
@@ -994,6 +1126,9 @@ mod tests {
             }),
             Just(Request::Stats),
             Just(Request::Checkpoint),
+            (0i64..1 << 40).prop_map(|last_epoch| Request::ReplicaHello { last_epoch }),
+            (0i64..1 << 40).prop_map(|durable_epoch| Request::ReplicaAck { durable_epoch }),
+            Just(Request::Promote),
         ]
     }
 
@@ -1010,6 +1145,8 @@ mod tests {
             Just(ErrorCode::UnknownTxn),
             Just(ErrorCode::BadRequest),
             Just(ErrorCode::Unsupported),
+            Just(ErrorCode::ReadOnlyReplica),
+            Just(ErrorCode::ReplicationTimeout),
         ]
     }
 
@@ -1052,6 +1189,22 @@ mod tests {
                     .prop_map(|v| String::from_utf8(v).expect("ascii"))
             )
                 .prop_map(|(code, message)| Response::Error { code, message }),
+            (0i64..1 << 40, any::<bool>(), bytes_strategy()).prop_map(
+                |(checkpoint_epoch, last, data)| Response::BootstrapChunk {
+                    checkpoint_epoch,
+                    last,
+                    data,
+                }
+            ),
+            (
+                0i64..1 << 40,
+                proptest::collection::vec(bytes_strategy(), 0..6)
+            )
+                .prop_map(|(primary_epoch, payloads)| Response::WalBatch {
+                    primary_epoch,
+                    payloads,
+                }),
+            (0i64..1 << 40).prop_map(|epoch| Response::Promoted { epoch }),
         ]
     }
 

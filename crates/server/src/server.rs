@@ -9,8 +9,9 @@
 //! keeps the server indefinitely accept-loop-stable instead. Connections
 //! beyond the pool size queue in the channel until a handler frees up.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -19,11 +20,40 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use crate::engine::Engine;
-use crate::protocol::{read_request, write_response};
+use crate::protocol::{read_request, write_response, Request};
+use crate::replication::{self, ReplicationState};
 use crate::session::Session;
 
+/// Live-connection registry, so shutdown can sever in-flight sessions
+/// (blocked in `read_request`) instead of waiting for clients to hang up.
+#[derive(Default)]
+struct ConnTracker {
+    next_id: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTracker {
+    fn track(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().insert(id, clone);
+        }
+        id
+    }
+
+    fn untrack(&self, id: u64) {
+        self.conns.lock().remove(&id);
+    }
+
+    fn kill_all(&self) {
+        for (_, stream) in self.conns.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
 /// Server tuning knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Connection-handler threads (= maximum concurrently served
     /// sessions; further connections queue).
@@ -39,6 +69,12 @@ pub struct ServerConfig {
     /// want this on; only bulk one-directional streams benefit from
     /// Nagling).
     pub nodelay: bool,
+    /// Replication role state shared with sessions and streaming threads.
+    /// `None` hosts a plain writable primary (no semi-sync gate); pass
+    /// [`ReplicationState::replica`] to host a read-only replica, or
+    /// [`ReplicationState::primary`] with `sync_replicas > 0` for
+    /// semi-synchronous commits.
+    pub replication: Option<Arc<ReplicationState>>,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +82,7 @@ impl Default for ServerConfig {
         Self {
             workers: 8,
             nodelay: true,
+            replication: None,
         }
     }
 }
@@ -54,6 +91,12 @@ impl ServerConfig {
     /// Sets the handler-thread count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the replication role state (see [`ServerConfig::replication`]).
+    pub fn with_replication(mut self, state: Arc<ReplicationState>) -> Self {
+        self.replication = Some(state);
         self
     }
 }
@@ -67,6 +110,8 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     handlers: Vec<JoinHandle<()>>,
     connections: Arc<AtomicU64>,
+    replication: Arc<ReplicationState>,
+    tracker: Arc<ConnTracker>,
 }
 
 impl Server {
@@ -81,6 +126,8 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
+        let replication = config.replication.clone().unwrap_or_default();
+        let tracker = Arc::new(ConnTracker::default());
         let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
 
@@ -89,9 +136,11 @@ impl Server {
             let engine = Arc::clone(&engine);
             let rx = Arc::clone(&rx);
             let connections = Arc::clone(&connections);
+            let replication = Arc::clone(&replication);
+            let tracker = Arc::clone(&tracker);
             let nodelay = config.nodelay;
             handlers.push(std::thread::spawn(move || {
-                handler_loop(&engine, &rx, &connections, nodelay)
+                handler_loop(&engine, &replication, &tracker, &rx, &connections, nodelay)
             }));
         }
 
@@ -106,6 +155,8 @@ impl Server {
             acceptor: Some(acceptor),
             handlers,
             connections,
+            replication,
+            tracker,
         })
     }
 
@@ -119,8 +170,15 @@ impl Server {
         self.connections.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting and joins every thread. In-flight sessions run until
-    /// their client disconnects.
+    /// The replication role state this server serves under (promotion,
+    /// semi-sync watermarks, lag probes).
+    pub fn replication(&self) -> &Arc<ReplicationState> {
+        &self.replication
+    }
+
+    /// Stops accepting, severs every live connection (in-flight requests
+    /// see a transport error, exactly like a crash from the client's point
+    /// of view) and joins every thread.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -129,11 +187,18 @@ impl Server {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Stop replication machinery first: wakes semi-sync commit waiters
+        // and replica streaming threads so handler threads can exit.
+        self.replication.halt();
         // Unblock the acceptor's blocking `accept` with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // Sever live sessions: handler threads blocked in `read_request`
+        // observe EOF/reset and drop their sessions (rolling back whatever
+        // they held).
+        self.tracker.kill_all();
         // The acceptor dropped its channel sender on exit; handlers drain
         // the queue and then observe the hangup.
         for handler in self.handlers.drain(..) {
@@ -171,6 +236,8 @@ fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &Atomic
 
 fn handler_loop(
     engine: &Engine,
+    replication: &ReplicationState,
+    tracker: &ConnTracker,
     rx: &Mutex<Receiver<TcpStream>>,
     connections: &AtomicU64,
     nodelay: bool,
@@ -185,19 +252,42 @@ fn handler_loop(
         if nodelay {
             let _ = stream.set_nodelay(true);
         }
+        let id = tracker.track(&stream);
         // Any connection error (including a client vanishing mid-frame)
         // ends the session; Session's drop rolls back whatever it held.
-        let _ = serve_connection(engine, stream);
+        let _ = serve_connection(engine, replication, stream);
+        tracker.untrack(id);
     }
 }
 
-/// Runs one connection's request loop to completion.
-fn serve_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
+/// Runs one connection's request loop to completion. A connection whose
+/// *first* request is [`Request::ReplicaHello`] is handed over to the
+/// replication streamer instead of a request/response session.
+fn serve_connection(
+    engine: &Engine,
+    replication: &ReplicationState,
+    stream: TcpStream,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut session = Session::new(engine);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut session = Session::with_replication(engine, Some(replication));
     let mut scratch = Vec::with_capacity(256);
+    let mut first = true;
     while let Some((corr, request)) = read_request(&mut reader, &mut scratch)? {
+        if first {
+            first = false;
+            if let Request::ReplicaHello { last_epoch } = request {
+                drop(writer); // the streamer owns the write half
+                return replication::serve_replica(
+                    engine,
+                    replication,
+                    &stream,
+                    reader,
+                    corr,
+                    last_epoch,
+                );
+            }
+        }
         session.handle_request(request, &mut |resp| write_response(&mut writer, corr, resp))?;
         // Flush once per request, after all of its frames: a pipelining
         // client keeps the pipe busy with its own queued requests.

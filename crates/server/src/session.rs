@@ -23,11 +23,12 @@
 use std::collections::HashMap;
 use std::io;
 
-use livegraph_core::types::VertexId;
+use livegraph_core::types::{Timestamp, VertexId};
 use livegraph_core::Error;
 
 use crate::engine::{is_retryable, Engine, ReadHandle, WriteHandle};
 use crate::protocol::{ErrorCode, Request, Response, TxnHandle};
+use crate::replication::ReplicationState;
 
 /// Server-side retry budget for auto-commit writes that hit a
 /// first-updater-wins conflict.
@@ -48,6 +49,10 @@ enum TxnSlot<'g> {
 /// The per-connection transaction table and request interpreter.
 pub struct Session<'g> {
     engine: &'g Engine,
+    /// Replication role shared with the hosting server: gates writes on
+    /// read-only replicas and blocks semi-sync commits on replica acks.
+    /// `None` behaves like a plain writable primary (in-process tests).
+    replication: Option<&'g ReplicationState>,
     txns: HashMap<u32, TxnSlot<'g>>,
     next_txn: u32,
 }
@@ -100,12 +105,47 @@ where
 }
 
 impl<'g> Session<'g> {
-    /// Creates an empty session over `engine`.
+    /// Creates an empty session over `engine` with no replication role
+    /// (always writable, no commit gate).
     pub fn new(engine: &'g Engine) -> Self {
+        Self::with_replication(engine, None)
+    }
+
+    /// Creates an empty session over `engine` sharing the hosting
+    /// server's replication role state.
+    pub fn with_replication(
+        engine: &'g Engine,
+        replication: Option<&'g ReplicationState>,
+    ) -> Self {
         Self {
             engine,
+            replication,
             txns: HashMap::new(),
             next_txn: 1,
+        }
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.replication.is_some_and(ReplicationState::is_read_only)
+    }
+
+    /// Semi-sync commit gate: `None` when the commit may be acknowledged,
+    /// otherwise the error to emit instead. The commit already happened
+    /// locally either way — a timeout means "replica durability
+    /// unconfirmed", not "rolled back".
+    fn commit_gate(&self, epoch: Timestamp) -> Option<Response> {
+        let state = self.replication?;
+        if state.wait_for_acks(epoch) {
+            None
+        } else {
+            Some(session_error(
+                ErrorCode::ReplicationTimeout,
+                format!(
+                    "commit epoch {epoch} was not acknowledged by {} replica(s) within the \
+                     commit timeout; its replica durability is unconfirmed",
+                    state.sync_replicas()
+                ),
+            ))
         }
     }
 
@@ -137,14 +177,19 @@ impl<'g> Session<'g> {
                     Err(e) => emit(&engine_error(&e)),
                 }
             }
-            Request::BeginWrite => match self.engine.begin_write() {
-                Ok(handle) => {
-                    let epoch = handle.epoch();
-                    let txn = self.insert(TxnSlot::Write(handle));
-                    emit(&Response::TxnBegun { txn, epoch })
+            Request::BeginWrite => {
+                if self.is_read_only() {
+                    return emit(&read_only_error());
                 }
-                Err(e) => emit(&engine_error(&e)),
-            },
+                match self.engine.begin_write() {
+                    Ok(handle) => {
+                        let epoch = handle.epoch();
+                        let txn = self.insert(TxnSlot::Write(handle));
+                        emit(&Response::TxnBegun { txn, epoch })
+                    }
+                    Err(e) => emit(&engine_error(&e)),
+                }
+            }
             Request::Commit { txn } => match self.txns.remove(&txn.0) {
                 Some(TxnSlot::Read(handle)) => {
                     // Committing a read transaction just releases its pin.
@@ -153,7 +198,10 @@ impl<'g> Session<'g> {
                     emit(&Response::Committed { epoch })
                 }
                 Some(TxnSlot::Write(handle)) => match handle.commit() {
-                    Ok(epoch) => emit(&Response::Committed { epoch }),
+                    Ok(epoch) => match self.commit_gate(epoch) {
+                        None => emit(&Response::Committed { epoch }),
+                        Some(err) => emit(&err),
+                    },
                     Err(e) => emit(&engine_error(&e)),
                 },
                 None => emit(&unknown_txn(txn)),
@@ -323,14 +371,41 @@ impl<'g> Session<'g> {
                 }
             }
             Request::Stats => emit(&Response::Stats(self.engine.stats())),
-            Request::Checkpoint => match self.engine.checkpoint() {
-                Some(Ok(())) => emit(&Response::Done),
-                Some(Err(e)) => emit(&engine_error(&e)),
-                None => emit(&session_error(
-                    ErrorCode::Unsupported,
-                    "the sharded engine is WAL-only (no checkpointing)",
-                )),
-            },
+            Request::Checkpoint => {
+                if self.is_read_only() {
+                    // The replica's apply thread owns local durability
+                    // (periodic checkpoints); operator-driven ones would
+                    // race it for no benefit.
+                    return emit(&read_only_error());
+                }
+                match self.engine.checkpoint() {
+                    Some(Ok(())) => emit(&Response::Done),
+                    Some(Err(e)) => emit(&engine_error(&e)),
+                    None => emit(&session_error(
+                        ErrorCode::Unsupported,
+                        "the sharded engine is WAL-only (no checkpointing)",
+                    )),
+                }
+            }
+            Request::ReplicaHello { .. } => emit(&session_error(
+                ErrorCode::BadRequest,
+                "a replication handshake must be the first request on its connection",
+            )),
+            Request::ReplicaAck { .. } => emit(&session_error(
+                ErrorCode::BadRequest,
+                "unexpected replication ack on a client session",
+            )),
+            Request::Promote => {
+                // Failover: lift the read-only gate and stop the
+                // replication client. Idempotent — promoting a server
+                // that already serves writes just reports its epoch.
+                if let Some(state) = self.replication {
+                    state.promote();
+                }
+                emit(&Response::Promoted {
+                    epoch: self.engine.stats().read_epoch,
+                })
+            }
         }
     }
 
@@ -356,9 +431,17 @@ impl<'g> Session<'g> {
         mut op: impl FnMut(&mut WriteHandle<'g>) -> livegraph_core::Result<R>,
         ok: impl FnOnce(R) -> Response,
     ) -> Response {
+        if self.is_read_only() {
+            // Explicit write transactions cannot exist here (BeginWrite is
+            // gated too), but auto-commit writes land directly.
+            return read_only_error();
+        }
         if txn.is_auto() {
             return match self.autocommit(&mut op) {
-                Ok(r) => ok(r),
+                Ok((r, epoch)) => match self.commit_gate(epoch) {
+                    None => ok(r),
+                    Some(err) => err,
+                },
                 Err(e) => engine_error(&e),
             };
         }
@@ -384,11 +467,11 @@ impl<'g> Session<'g> {
     fn autocommit<R>(
         &self,
         op: &mut impl FnMut(&mut WriteHandle<'g>) -> livegraph_core::Result<R>,
-    ) -> livegraph_core::Result<R> {
+    ) -> livegraph_core::Result<(R, Timestamp)> {
         let mut last = None;
         for _ in 0..AUTOCOMMIT_RETRIES {
             let mut handle = self.engine.begin_write()?;
-            match op(&mut handle).and_then(|r| handle.commit().map(|_| r)) {
+            match op(&mut handle).and_then(|r| handle.commit().map(|epoch| (r, epoch))) {
                 Ok(r) => return Ok(r),
                 Err(e) if is_retryable(&e) => last = Some(e),
                 Err(e) => return Err(e),
@@ -430,6 +513,14 @@ fn unknown_txn(txn: TxnHandle) -> Response {
     session_error(
         ErrorCode::UnknownTxn,
         format!("no open transaction with handle {}", txn.0),
+    )
+}
+
+fn read_only_error() -> Response {
+    session_error(
+        ErrorCode::ReadOnlyReplica,
+        "this server is a read-only replica; write to the primary, or promote this \
+         replica first",
     )
 }
 

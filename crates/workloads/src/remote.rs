@@ -7,6 +7,9 @@
 //! one auto-commit request per operation and retry on write conflicts
 //! exactly like the in-process backends do.
 
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use livegraph_server::{Client, ClientError, ClientPool};
 
 use livegraph_core::DEFAULT_LABEL;
@@ -25,9 +28,16 @@ use crate::backends::LinkBenchBackend;
 /// into an application client without request deduplication.
 const TRANSPORT_RETRIES: usize = 3;
 
-/// LinkBench backend running against a LiveGraph server over TCP.
+/// LinkBench backend running against a LiveGraph server over TCP,
+/// optionally fanning reads out across a set of read replicas.
 pub struct RemoteBackend {
+    /// Connections to the primary; all writes (and, with no replicas,
+    /// reads too) go here.
     pool: ClientPool,
+    /// One pool per read replica. Reads round-robin across these; writes
+    /// never touch them (replicas reject writes until promoted).
+    read_pools: Vec<ClientPool>,
+    next_read: AtomicUsize,
 }
 
 impl RemoteBackend {
@@ -39,6 +49,33 @@ impl RemoteBackend {
     pub fn connect(addr: impl std::net::ToSocketAddrs, connections: usize) -> std::io::Result<Self> {
         Ok(Self {
             pool: ClientPool::connect(addr, connections)?,
+            read_pools: Vec::new(),
+            next_read: AtomicUsize::new(0),
+        })
+    }
+
+    /// Like [`RemoteBackend::connect`], but fans read operations out
+    /// round-robin across `replicas` (each with its own `connections`-sized
+    /// pool) while writes keep going to the primary at `addr`.
+    ///
+    /// Replica reads are *epoch-consistent but possibly stale*: each
+    /// replica serves a fully-applied epoch prefix of the primary's
+    /// history, so a read may miss the newest writes but never observes a
+    /// torn transaction. LinkBench's read mix tolerates that (a miss on a
+    /// just-created node counts like any other read miss); do not use this
+    /// constructor for workloads that assert read-your-writes.
+    pub fn connect_with_replicas(
+        addr: impl std::net::ToSocketAddrs,
+        replicas: &[SocketAddr],
+        connections: usize,
+    ) -> std::io::Result<Self> {
+        Ok(Self {
+            pool: ClientPool::connect(addr, connections)?,
+            read_pools: replicas
+                .iter()
+                .map(|r| ClientPool::connect(r, connections))
+                .collect::<std::io::Result<_>>()?,
+            next_read: AtomicUsize::new(0),
         })
     }
 
@@ -51,10 +88,30 @@ impl RemoteBackend {
     /// Runs one operation with conflict + transport retries. Conflicts are
     /// normal SI behaviour; transport errors poison the connection (the
     /// pool discards it) and the op is re-driven over a fresh one.
-    fn with_client<R>(&self, mut op: impl FnMut(&mut Client) -> Result<R, ClientError>) -> R {
+    fn with_client<R>(&self, op: impl FnMut(&mut Client) -> Result<R, ClientError>) -> R {
+        self.with_client_in(&self.pool, op)
+    }
+
+    /// Runs a read against the next replica pool in round-robin order (or
+    /// the primary when no replicas were configured).
+    fn with_read_client<R>(&self, op: impl FnMut(&mut Client) -> Result<R, ClientError>) -> R {
+        let pool = if self.read_pools.is_empty() {
+            &self.pool
+        } else {
+            let n = self.next_read.fetch_add(1, Ordering::Relaxed);
+            &self.read_pools[n % self.read_pools.len()]
+        };
+        self.with_client_in(pool, op)
+    }
+
+    fn with_client_in<R>(
+        &self,
+        pool: &ClientPool,
+        mut op: impl FnMut(&mut Client) -> Result<R, ClientError>,
+    ) -> R {
         let mut transport_failures = 0;
         loop {
-            let mut client = match self.pool.get() {
+            let mut client = match pool.get() {
                 Ok(c) => c,
                 Err(e) => panic!("remote backend could not (re)connect: {e}"),
             };
@@ -79,7 +136,7 @@ impl LinkBenchBackend for RemoteBackend {
     }
 
     fn get_node(&self, id: u64) -> Option<Vec<u8>> {
-        self.with_client(|c| c.get_vertex(None, id))
+        self.with_read_client(|c| c.get_vertex(None, id))
     }
 
     fn update_node(&self, id: u64, properties: &[u8]) -> bool {
@@ -111,7 +168,7 @@ impl LinkBenchBackend for RemoteBackend {
     }
 
     fn get_link(&self, src: u64, dst: u64) -> bool {
-        self.with_client(|c| c.get_edge(None, src, DEFAULT_LABEL, dst))
+        self.with_read_client(|c| c.get_edge(None, src, DEFAULT_LABEL, dst))
             .is_some()
     }
 
@@ -119,12 +176,12 @@ impl LinkBenchBackend for RemoteBackend {
         if limit == 0 {
             return 0;
         }
-        self.with_client(|c| c.neighbors(None, src, DEFAULT_LABEL, limit as u64))
+        self.with_read_client(|c| c.neighbors(None, src, DEFAULT_LABEL, limit as u64))
             .len()
     }
 
     fn count_links(&self, src: u64) -> usize {
-        self.with_client(|c| c.degree(None, src, DEFAULT_LABEL)) as usize
+        self.with_read_client(|c| c.degree(None, src, DEFAULT_LABEL)) as usize
     }
 
     fn name(&self) -> &'static str {
@@ -183,6 +240,24 @@ mod tests {
             backend.delete_link(a, b);
             assert!(!backend.get_link(a, b));
             assert_eq!(backend.count_links(a), 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_fanout_round_robins_across_replica_pools() {
+        // Both "replicas" are the primary itself: this pins the routing
+        // (reads drain the replica pools, writes the primary pool) without
+        // standing up real replication, which tests/replication.rs covers.
+        let server = loopback_server();
+        {
+            let addr = server.local_addr();
+            let backend = RemoteBackend::connect_with_replicas(addr, &[addr, addr], 1).unwrap();
+            let a = backend.add_node(b"a");
+            for _ in 0..4 {
+                assert_eq!(backend.get_node(a), Some(b"a".to_vec()));
+            }
+            assert_eq!(backend.next_read.load(Ordering::Relaxed), 4);
         }
         server.shutdown();
     }
