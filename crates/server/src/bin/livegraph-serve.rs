@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! livegraph-serve [--addr 127.0.0.1:7687] [--workers 8] [--shards N]
+//!                 [--reactor] [--event-threads N]
 //!                 [--data-dir PATH] [--capacity BYTES] [--max-vertices N]
 //!                 [--no-sync] [--group-commit-batch N] [--group-commit-wait-us N]
 //!                 [--replicate-from HOST:PORT] [--sync-replicas N]
 //!                 [--commit-timeout-ms N]
 //! ```
+//!
+//! `--reactor` serves connections on the epoll event loop instead of the
+//! blocking thread-per-connection pool: `--event-threads N` (default 2)
+//! loop threads multiplex *all* connections, so connection count is no
+//! longer capped by `--workers` (which the reactor ignores). The blocking
+//! pool remains the default.
 //!
 //! With `--data-dir`, the engine recovers any existing checkpoint + WAL
 //! before the listener opens, and remote `Checkpoint` admin requests persist
@@ -38,13 +45,15 @@ use livegraph_core::{
     GroupCommitConfig, LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, SyncMode,
 };
 use livegraph_server::{
-    bootstrap_replica, start_replica, Engine, ReplicaOptions, ReplicationState, Server,
-    ServerConfig,
+    bootstrap_replica, start_replica, Engine, ReactorConfig, ReactorServer, ReplicaOptions,
+    ReplicationState, Server, ServerConfig,
 };
 
 struct Args {
     addr: String,
     workers: usize,
+    reactor: bool,
+    event_threads: usize,
     shards: usize,
     data_dir: Option<String>,
     capacity: usize,
@@ -61,6 +70,8 @@ impl Default for Args {
         Self {
             addr: "127.0.0.1:7687".into(),
             workers: 8,
+            reactor: false,
+            event_threads: 2,
             shards: 1,
             data_dir: None,
             capacity: 1 << 30,
@@ -76,7 +87,8 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: livegraph-serve [--addr HOST:PORT] [--workers N] [--shards N] \
+        "usage: livegraph-serve [--addr HOST:PORT] [--workers N] [--reactor] \
+         [--event-threads N] [--shards N] \
          [--data-dir PATH] [--capacity BYTES] [--max-vertices N] [--no-sync] \
          [--group-commit-batch N] [--group-commit-wait-us N] \
          [--replicate-from HOST:PORT] [--sync-replicas N] [--commit-timeout-ms N]"
@@ -97,6 +109,10 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--addr" => args.addr = value("--addr"),
             "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--reactor" => args.reactor = true,
+            "--event-threads" => {
+                args.event_threads = parse_num(&value("--event-threads"), "--event-threads")
+            }
             "--shards" => args.shards = parse_num(&value("--shards"), "--shards"),
             "--data-dir" => args.data_dir = Some(value("--data-dir")),
             "--capacity" => args.capacity = parse_num(&value("--capacity"), "--capacity"),
@@ -239,20 +255,47 @@ fn main() {
         )
     });
 
-    let server = match Server::start(
-        engine.clone(),
-        args.addr.as_str(),
-        ServerConfig::default()
-            .with_workers(args.workers)
-            .with_replication(replication.clone()),
-    ) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("livegraph-serve: failed to bind {}: {e}", args.addr);
-            exit(1)
+    // Keep whichever server is running alive for the lifetime of main;
+    // both flavors host the identical protocol and session semantics.
+    enum Running {
+        Blocking(Server),
+        Reactor(ReactorServer),
+    }
+
+    let running = if args.reactor {
+        match ReactorServer::start(
+            engine.clone(),
+            args.addr.as_str(),
+            ReactorConfig::default()
+                .with_event_threads(args.event_threads)
+                .with_replication(replication.clone()),
+        ) {
+            Ok(s) => Running::Reactor(s),
+            Err(e) => {
+                eprintln!("livegraph-serve: failed to bind {}: {e}", args.addr);
+                exit(1)
+            }
+        }
+    } else {
+        match Server::start(
+            engine.clone(),
+            args.addr.as_str(),
+            ServerConfig::default()
+                .with_workers(args.workers)
+                .with_replication(replication.clone()),
+        ) {
+            Ok(s) => Running::Blocking(s),
+            Err(e) => {
+                eprintln!("livegraph-serve: failed to bind {}: {e}", args.addr);
+                exit(1)
+            }
         }
     };
-    println!("livegraph-serve: listening on {}", server.local_addr());
+    let local_addr = match &running {
+        Running::Blocking(s) => s.local_addr(),
+        Running::Reactor(s) => s.local_addr(),
+    };
+    println!("livegraph-serve: listening on {local_addr}");
 
     let _runner = primary.map(|primary| {
         eprintln!("livegraph-serve: replicating from {primary} (read-only until promoted)");

@@ -99,6 +99,15 @@ impl From<io::Error> for ClientError {
 /// Result alias for client operations.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// Default socket read/write timeout applied by [`Client::connect`] and
+/// [`ClientPool::connect`]. Generous enough that no healthy request —
+/// including a semi-sync commit waiting out its replica-acknowledgement
+/// window — ever trips it, but bounded, so a hung or partitioned server
+/// surfaces an error instead of blocking the caller forever. Opt out with
+/// [`Client::connect_unbounded`] or pass an explicit timeout (or `None`)
+/// to [`Client::connect_with_timeout`].
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// A remote transaction held by a [`Client`].
 ///
 /// This is a plain handle, not a guard: dropping it does *not* abort the
@@ -134,13 +143,32 @@ pub struct Client {
     /// vertex locks for as long as the *connection* lives, so a pooled
     /// connection must roll these back before it is lent out again.
     open_txns: Vec<u32>,
+    /// Correlation ids of requests sent whose replies have not been fully
+    /// consumed, in send order, with a flag for streaming (`Neighbors`)
+    /// replies. Normally empty between public calls — but a caller that
+    /// panics between send and receive (or abandons a connection
+    /// mid-operation) leaves entries here, and a pooled connection with
+    /// unconsumed replies MUST drain or discard them before it is lent to
+    /// the next borrower, who would otherwise read the previous borrower's
+    /// stale frames.
+    pending_replies: Vec<(u64, bool)>,
 }
 
 impl Client {
-    /// Connects to a LiveGraph server with no socket timeouts (a hung
-    /// server blocks the caller indefinitely — prefer
-    /// [`Client::connect_with_timeout`] for anything unattended).
+    /// Connects to a LiveGraph server with the default socket timeout
+    /// ([`DEFAULT_IO_TIMEOUT`]): a request against a hung or partitioned
+    /// server errors out (poisoning the connection) instead of blocking
+    /// the caller forever. Use [`Client::connect_unbounded`] to opt out,
+    /// or [`Client::connect_with_timeout`] to choose the bound.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Self::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Connects with socket timeouts explicitly disabled: a hung server
+    /// blocks the caller indefinitely. Only for callers that knowingly
+    /// wait unboundedly (e.g. an operator console attached to a server
+    /// that may stall for minutes under maintenance).
+    pub fn connect_unbounded(addr: impl ToSocketAddrs) -> io::Result<Client> {
         Self::connect_with_timeout(addr, None)
     }
 
@@ -163,6 +191,7 @@ impl Client {
             scratch: Vec::with_capacity(256),
             poisoned: false,
             open_txns: Vec::new(),
+            pending_replies: Vec::new(),
         })
     }
 
@@ -173,6 +202,11 @@ impl Client {
         let stream = self.writer.get_ref();
         stream.set_read_timeout(io_timeout)?;
         stream.set_write_timeout(io_timeout)
+    }
+
+    /// The socket read timeout currently in force (`None` = unbounded).
+    pub fn io_timeout(&self) -> io::Result<Option<Duration>> {
+        self.writer.get_ref().read_timeout()
     }
 
     /// True once a transport/protocol error has made this connection's
@@ -190,7 +224,14 @@ impl Client {
             self.poisoned = true;
             return Err(e.into());
         }
+        self.pending_replies
+            .push((corr, matches!(req, Request::Neighbors { .. })));
         Ok(corr)
+    }
+
+    /// Marks `corr`'s reply as fully consumed.
+    fn complete(&mut self, corr: u64) {
+        self.pending_replies.retain(|&(c, _)| c != corr);
     }
 
     fn recv(&mut self, corr: u64) -> ClientResult<Response> {
@@ -220,7 +261,9 @@ impl Client {
     /// One request, one response.
     fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
         let corr = self.send(req)?;
-        match self.recv(corr)? {
+        let resp = self.recv(corr)?;
+        self.complete(corr);
+        match resp {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             resp => Ok(resp),
         }
@@ -473,14 +516,49 @@ impl Client {
                 Response::NeighborChunk { dsts: chunk, last } => {
                     dsts.extend_from_slice(&chunk);
                     if last {
+                        self.complete(corr);
                         return Ok(dsts);
                     }
                 }
                 Response::Error { code, message } => {
-                    return Err(ClientError::Server { code, message })
+                    self.complete(corr);
+                    return Err(ClientError::Server { code, message });
                 }
                 other => return self.unexpected("NeighborChunk", &other),
             }
+        }
+    }
+
+    /// True while a request's reply has been sent for but not fully read
+    /// (see the `pending_replies` field — only possible after a panic or
+    /// abandonment mid-operation).
+    pub fn has_pending_replies(&self) -> bool {
+        !self.pending_replies.is_empty()
+    }
+
+    /// Reads and discards every pending reply, in send order, so the
+    /// stream position is clean again. A transport/protocol error while
+    /// draining poisons the connection as usual (the pool then discards
+    /// it); on success the connection is safe to lend out.
+    fn drain_pending_replies(&mut self) {
+        while let Some(&(corr, streaming)) = self.pending_replies.first() {
+            if self.poisoned {
+                return;
+            }
+            loop {
+                match self.recv(corr) {
+                    Err(_) => return, // poisoned; the pool will discard it
+                    Ok(Response::NeighborChunk { last, .. }) if streaming => {
+                        if last {
+                            break;
+                        }
+                    }
+                    // Any non-chunk frame (including an error reply) is
+                    // terminal for both streaming and unary requests.
+                    Ok(_) => break,
+                }
+            }
+            self.pending_replies.remove(0);
         }
     }
 
@@ -554,10 +632,10 @@ pub struct ClientPool {
 
 impl ClientPool {
     /// Dials `initial` connections to `addr` eagerly (so steady-state
-    /// benchmarks never measure connection setup), without socket
-    /// timeouts.
+    /// benchmarks never measure connection setup), with the default socket
+    /// timeout ([`DEFAULT_IO_TIMEOUT`]) on every connection.
     pub fn connect(addr: impl ToSocketAddrs, initial: usize) -> io::Result<ClientPool> {
-        Self::connect_with_timeout(addr, initial, None)
+        Self::connect_with_timeout(addr, initial, Some(DEFAULT_IO_TIMEOUT))
     }
 
     /// Like [`ClientPool::connect`], but every pooled connection carries a
@@ -637,6 +715,14 @@ pub struct PooledClient<'p> {
 impl Drop for PooledClient<'_> {
     fn drop(&mut self) {
         if let Some(mut client) = self.client.take() {
+            // A borrower that panicked (or abandoned the connection)
+            // mid-operation may return it with replies still on the wire.
+            // Those MUST be consumed first: re-pooling as-is would hand the
+            // next borrower stale frames, and the rollback below would read
+            // them itself and mistake them for its own replies.
+            if client.has_pending_replies() {
+                client.drain_pending_replies();
+            }
             // A worker that errored out (or just forgot) may return the
             // connection with transactions still open; the server session
             // holds their epoch pins and vertex locks for as long as the
@@ -663,5 +749,128 @@ impl std::ops::Deref for PooledClient<'_> {
 impl std::ops::DerefMut for PooledClient<'_> {
     fn deref_mut(&mut self) -> &mut Client {
         self.client.as_mut().expect("client present until drop")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::server::{Server, ServerConfig};
+    use livegraph_core::{LiveGraph, LiveGraphOptions, DEFAULT_LABEL};
+    use std::sync::Arc;
+
+    fn start_server() -> Server {
+        let engine = Arc::new(Engine::Plain(
+            LiveGraph::open(
+                LiveGraphOptions::in_memory()
+                    .with_capacity(1 << 22)
+                    .with_max_vertices(1 << 13),
+            )
+            .unwrap(),
+        ));
+        Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap()
+    }
+
+    /// Pins the satellite-1 fix: `Client::connect` must apply the bounded
+    /// default timeout, and the unbounded variant must be an explicit
+    /// opt-in — verified against a server that accepts connections but
+    /// never replies, where an unbounded read would hang forever.
+    #[test]
+    fn connect_default_timeout_is_bounded_against_silent_server() {
+        // A listener that never calls accept: the kernel completes the
+        // handshake via the backlog, so connects succeed but no byte is
+        // ever written back — the "accepts but never replies" server.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(
+            client.io_timeout().unwrap(),
+            Some(DEFAULT_IO_TIMEOUT),
+            "default connect must carry the bounded timeout"
+        );
+        let unbounded = Client::connect_unbounded(addr).unwrap();
+        assert_eq!(
+            unbounded.io_timeout().unwrap(),
+            None,
+            "unbounded connect is the explicit opt-out"
+        );
+
+        // With a short timeout the hang becomes a surfaced, poisoning
+        // error rather than an indefinite block.
+        client.set_io_timeout(Some(Duration::from_millis(50))).unwrap();
+        let err = client.ping().expect_err("silent server must time out");
+        assert!(matches!(err, ClientError::Io(_)), "got {err}");
+        assert!(client.is_poisoned());
+    }
+
+    /// Satellite-3 regression: a pooled connection returned with a sent
+    /// request whose reply was never read (borrower panicked between send
+    /// and receive) must drain the stale frame before re-pooling; the next
+    /// borrower must never see it.
+    #[test]
+    fn pooled_connection_with_unconsumed_reply_is_drained_before_reuse() {
+        let server = start_server();
+        let pool = ClientPool::connect(server.local_addr(), 1).unwrap();
+
+        {
+            let mut borrowed = pool.get().unwrap();
+            // Simulate a borrower dying between send and recv.
+            borrowed.send(&Request::Ping).unwrap();
+            assert!(borrowed.has_pending_replies());
+        } // drop: must drain the in-flight Pong, then re-pool
+
+        assert_eq!(pool.idle_count(), 1, "drained connection returns to pool");
+        let mut again = pool.get().unwrap();
+        assert!(!again.has_pending_replies());
+        // Without the drain this read would pick up the stale Pong with the
+        // previous borrower's correlation id and poison the connection.
+        again.ping().expect("next borrower sees a clean stream");
+        let v = again.create_vertex_auto(b"clean").unwrap();
+        assert_eq!(again.get_vertex(None, v).unwrap().unwrap(), b"clean");
+        drop(again);
+        server.shutdown();
+    }
+
+    /// Same, for a streaming reply: an abandoned `Neighbors` request spans
+    /// multiple chunk frames, all of which must be consumed.
+    #[test]
+    fn pooled_connection_with_unconsumed_neighbor_stream_is_drained() {
+        let server = start_server();
+        let pool = ClientPool::connect(server.local_addr(), 1).unwrap();
+
+        let hub = {
+            let mut c = pool.get().unwrap();
+            let hub = c.create_vertex_auto(b"hub").unwrap();
+            let txn = c.begin_write().unwrap();
+            for _ in 0..(crate::session::NEIGHBOR_CHUNK_DSTS + 10) {
+                let dst = c.create_vertex(txn, b"d").unwrap();
+                c.put_edge(Some(txn), hub, DEFAULT_LABEL, dst, b"").unwrap();
+            }
+            c.commit(txn).unwrap();
+            hub
+        };
+
+        {
+            let mut borrowed = pool.get().unwrap();
+            borrowed
+                .send(&Request::Neighbors {
+                    txn: TxnHandle::AUTO,
+                    vertex: hub,
+                    label: DEFAULT_LABEL,
+                    limit: 0,
+                })
+                .unwrap();
+        } // drop: must drain a multi-chunk stream
+
+        let mut again = pool.get().unwrap();
+        again.ping().expect("stream fully drained");
+        assert_eq!(
+            again.neighbors(None, hub, DEFAULT_LABEL, 0).unwrap().len(),
+            crate::session::NEIGHBOR_CHUNK_DSTS + 10
+        );
+        drop(again);
+        server.shutdown();
     }
 }

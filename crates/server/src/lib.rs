@@ -50,14 +50,20 @@
 
 mod client;
 mod engine;
+mod pipeline;
 pub mod protocol;
+pub mod reactor;
 pub mod replication;
 mod server;
 mod session;
 
-pub use client::{Client, ClientError, ClientPool, ClientResult, PooledClient, RemoteTxn};
+pub use client::{
+    Client, ClientError, ClientPool, ClientResult, PooledClient, RemoteTxn, DEFAULT_IO_TIMEOUT,
+};
 pub use engine::Engine;
+pub use pipeline::{PipelinedClient, DEFAULT_PIPELINE_DEPTH};
 pub use protocol::{ErrorCode, Request, Response, StatsReply, TxnHandle};
+pub use reactor::{ReactorConfig, ReactorServer};
 pub use replication::{
     bootstrap_replica, start_replica, FaultProxy, ReplicaOptions, ReplicaRunner, ReplicationState,
 };

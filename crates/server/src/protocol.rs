@@ -1036,6 +1036,127 @@ pub fn read_request(r: &mut impl Read, scratch: &mut Vec<u8>) -> io::Result<Opti
     }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental frame decoding (nonblocking transports)
+// ---------------------------------------------------------------------------
+
+/// Incremental frame accumulator for nonblocking transports.
+///
+/// The blocking readers above ([`read_request`] / [`read_response`]) park the
+/// calling thread until a whole frame arrives. A reactor cannot do that: a
+/// nonblocking read returns whatever bytes the kernel has, which may end
+/// mid-length-prefix, mid-body, or hold twenty complete pipelined frames.
+/// `FrameAccum` buffers those bytes and peels off complete frames as they
+/// become available:
+///
+/// ```
+/// use livegraph_server::protocol::{self, FrameAccum, Request};
+///
+/// let mut wire = Vec::new();
+/// protocol::write_request(&mut wire, 7, &Request::Ping).unwrap();
+///
+/// let mut accum = FrameAccum::new();
+/// accum.push(&wire[..3]); // partial length prefix: nothing to decode yet
+/// assert!(accum.next_request().unwrap().is_none());
+/// accum.push(&wire[3..]);
+/// assert_eq!(accum.next_request().unwrap(), Some((7, Request::Ping)));
+/// ```
+///
+/// Errors are sticky in intent: a [`ProtocolError`] (bad length prefix, bad
+/// opcode, trailing bytes) means the stream is desynchronized and the
+/// connection must be dropped — there is no way to resynchronize a
+/// length-prefixed stream after a corrupt prefix.
+#[derive(Debug, Default)]
+pub struct FrameAccum {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily to keep `push` amortized
+    /// O(bytes) rather than memmoving on every decoded frame.
+    pos: usize,
+}
+
+/// Compact the consumed prefix away once it exceeds this many bytes.
+const ACCUM_COMPACT_AT: usize = 64 * 1024;
+
+impl FrameAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when no undecoded bytes are buffered (i.e. the stream ended on
+    /// a clean frame boundary).
+    pub fn is_empty(&self) -> bool {
+        self.pending_bytes() == 0
+    }
+
+    /// Locates the next complete frame without consuming it. Returns
+    /// `(corr, body_start, frame_end)` as offsets into `self.buf`.
+    fn peek_frame(&self) -> Result<Option<(u64, usize, usize)>, ProtocolError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if !(FRAME_MIN..=MAX_FRAME_LEN).contains(&len) {
+            return Err(ProtocolError::BadFrameLen(len));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let corr = u64::from_le_bytes(avail[4..12].try_into().unwrap());
+        Ok(Some((corr, self.pos + 12, self.pos + total)))
+    }
+
+    fn consume(&mut self, frame_end: usize) {
+        self.pos = frame_end;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= ACCUM_COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Decodes the next complete request frame, or `Ok(None)` if more bytes
+    /// are needed. A returned error poisons the stream (drop the
+    /// connection); the offending bytes are left in place.
+    pub fn next_request(&mut self) -> Result<Option<(u64, Request)>, ProtocolError> {
+        match self.peek_frame()? {
+            None => Ok(None),
+            Some((corr, body_start, frame_end)) => {
+                let req = Request::decode(&self.buf[body_start..frame_end])?;
+                self.consume(frame_end);
+                Ok(Some((corr, req)))
+            }
+        }
+    }
+
+    /// Decodes the next complete response frame, or `Ok(None)` if more
+    /// bytes are needed. Same error semantics as [`Self::next_request`].
+    pub fn next_response(&mut self) -> Result<Option<(u64, Response)>, ProtocolError> {
+        match self.peek_frame()? {
+            None => Ok(None),
+            Some((corr, body_start, frame_end)) => {
+                let resp = Response::decode(&self.buf[body_start..frame_end])?;
+                self.consume(frame_end);
+                Ok(Some((corr, resp)))
+            }
+        }
+    }
+}
+
 /// Reads one response frame; `Ok(None)` on clean EOF.
 pub fn read_response(r: &mut impl Read, scratch: &mut Vec<u8>) -> io::Result<Option<(u64, Response)>> {
     match read_frame(r, scratch)? {
@@ -1233,6 +1354,93 @@ mod tests {
             for cut in 0..body.len() {
                 prop_assert!(Request::decode(&body[..cut]).is_err());
             }
+        }
+
+        /// The incremental decoder must produce exactly the frames the
+        /// blocking reader would, no matter how the kernel fragments the
+        /// byte stream across nonblocking reads.
+        #[test]
+        fn frame_accum_is_split_invariant(
+            reqs in proptest::collection::vec(request_strategy(), 1..8),
+            splits in proptest::collection::vec(1usize..32, 0..24),
+        ) {
+            let mut wire = Vec::new();
+            for (i, req) in reqs.iter().enumerate() {
+                write_request(&mut wire, i as u64, req).unwrap();
+            }
+            let mut accum = FrameAccum::new();
+            let mut decoded = Vec::new();
+            let mut fed = 0;
+            // Feed the wire bytes in arbitrary-size segments, draining all
+            // complete frames after each push (as a reactor would).
+            for split in splits.iter().chain(std::iter::repeat(&usize::MAX)) {
+                if fed == wire.len() {
+                    break;
+                }
+                let take = (*split).min(wire.len() - fed);
+                accum.push(&wire[fed..fed + take]);
+                fed += take;
+                while let Some((corr, req)) = accum.next_request().unwrap() {
+                    decoded.push((corr, req));
+                }
+            }
+            prop_assert!(accum.is_empty(), "stream ended on a frame boundary");
+            let expect: Vec<(u64, Request)> =
+                reqs.into_iter().enumerate().map(|(i, r)| (i as u64, r)).collect();
+            prop_assert_eq!(decoded, expect);
+        }
+
+        /// Garbage corpus: arbitrary byte soup fed in arbitrary chunks must
+        /// decode or error — never panic, never loop forever.
+        #[test]
+        fn frame_accum_is_total_on_garbage(
+            soup in proptest::collection::vec(0u8..=255, 0..256),
+            splits in proptest::collection::vec(1usize..48, 0..16),
+        ) {
+            let mut accum = FrameAccum::new();
+            let mut fed = 0;
+            'feed: for split in splits.iter().chain(std::iter::repeat(&usize::MAX)) {
+                if fed == soup.len() {
+                    break;
+                }
+                let take = (*split).min(soup.len() - fed);
+                accum.push(&soup[fed..fed + take]);
+                fed += take;
+                loop {
+                    match accum.next_request() {
+                        Ok(Some(_)) => continue,
+                        Ok(None) => break,
+                        // Desynchronized: a real connection drops here.
+                        Err(_) => break 'feed,
+                    }
+                }
+            }
+        }
+
+        /// A truncated-but-valid prefix yields every complete frame and
+        /// then reports "need more bytes" — truncation is pending state,
+        /// not an error (the error only surfaces when the *transport*
+        /// reports EOF with `pending_bytes() > 0`).
+        #[test]
+        fn frame_accum_truncation_is_pending_not_error(
+            reqs in proptest::collection::vec(request_strategy(), 1..5),
+            cut_back in 1usize..9,
+        ) {
+            let mut wire = Vec::new();
+            for (i, req) in reqs.iter().enumerate() {
+                write_request(&mut wire, i as u64, req).unwrap();
+            }
+            let cut = wire.len().saturating_sub(cut_back.min(wire.len() - 1)).max(1);
+            let mut accum = FrameAccum::new();
+            accum.push(&wire[..cut]);
+            let mut n = 0;
+            while let Some((corr, req)) = accum.next_request().unwrap() {
+                prop_assert_eq!(corr, n as u64);
+                prop_assert_eq!(&req, &reqs[n]);
+                n += 1;
+            }
+            prop_assert!(n < reqs.len(), "the last frame was cut");
+            prop_assert!(!accum.is_empty(), "partial frame bytes remain pending");
         }
     }
 

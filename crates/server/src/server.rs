@@ -1,7 +1,9 @@
 //! The thread-pooled TCP server.
 //!
 //! One acceptor thread hands incoming connections to a fixed pool of
-//! connection-handler threads over a channel. The pool size bounds both the
+//! connection-handler threads over a condvar-backed queue (see
+//! [`ConnQueue`] for why it is not a mutexed mpsc receiver). The pool size
+//! bounds both the
 //! number of concurrently served sessions *and* the engine worker slots the
 //! service layer consumes: worker slots are allocated per OS thread and
 //! never returned (see `core::epoch`), so a thread-per-connection design
@@ -9,15 +11,14 @@
 //! keeps the server indefinitely accept-loop-stable instead. Connections
 //! beyond the pool size queue in the channel until a handler frees up.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::engine::Engine;
 use crate::protocol::{read_request, write_response, Request};
@@ -48,6 +49,69 @@ impl ConnTracker {
     fn kill_all(&self) {
         for (_, stream) in self.conns.lock().drain() {
             let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Handoff queue between the acceptor and the handler pool.
+///
+/// This used to be an `mpsc::Receiver` behind a `Mutex`, which held the
+/// lock *across the blocking `recv()`*: every idle handler serialized on
+/// the one mutex (a lock convoy — the comment above the dequeue claimed
+/// the lock was "held only while dequeuing", which was exactly what the
+/// code did not do). Here the mutex is held only to push or pop; idle
+/// handlers park on the condvar and a new connection wakes exactly one.
+struct ConnQueue {
+    state: Mutex<ConnQueueState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct ConnQueueState {
+    pending: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new() -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new(ConnQueueState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a connection; false once the queue is closed (the
+    /// connection is dropped by the caller).
+    fn push(&self, stream: TcpStream) -> bool {
+        let mut st = self.state.lock();
+        if st.closed {
+            return false;
+        }
+        st.pending.push_back(stream);
+        drop(st);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Marks the queue closed and wakes every parked handler. Already
+    /// queued connections are still drained by `pop`.
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a connection is available; `None` once the queue is
+    /// closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(stream) = st.pending.pop_front() {
+                return Some(stream);
+            }
+            if st.closed {
+                return None;
+            }
+            self.cv.wait(&mut st);
         }
     }
 }
@@ -112,6 +176,7 @@ pub struct Server {
     connections: Arc<AtomicU64>,
     replication: Arc<ReplicationState>,
     tracker: Arc<ConnTracker>,
+    queue: Arc<ConnQueue>,
 }
 
 impl Server {
@@ -128,25 +193,25 @@ impl Server {
         let connections = Arc::new(AtomicU64::new(0));
         let replication = config.replication.clone().unwrap_or_default();
         let tracker = Arc::new(ConnTracker::default());
-        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(ConnQueue::new());
 
         let mut handlers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers.max(1) {
             let engine = Arc::clone(&engine);
-            let rx = Arc::clone(&rx);
+            let queue = Arc::clone(&queue);
             let connections = Arc::clone(&connections);
             let replication = Arc::clone(&replication);
             let tracker = Arc::clone(&tracker);
             let nodelay = config.nodelay;
             handlers.push(std::thread::spawn(move || {
-                handler_loop(&engine, &replication, &tracker, &rx, &connections, nodelay)
+                handler_loop(&engine, &replication, &tracker, &queue, &connections, nodelay)
             }));
         }
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown))
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || accept_loop(&listener, &queue, &shutdown))
         };
 
         Ok(Server {
@@ -157,6 +222,7 @@ impl Server {
             connections,
             replication,
             tracker,
+            queue,
         })
     }
 
@@ -199,8 +265,9 @@ impl Server {
         // observe EOF/reset and drop their sessions (rolling back whatever
         // they held).
         self.tracker.kill_all();
-        // The acceptor dropped its channel sender on exit; handlers drain
-        // the queue and then observe the hangup.
+        // Close the handoff queue: handlers drain any still-queued
+        // connections and then observe the closure and exit.
+        self.queue.close();
         for handler in self.handlers.drain(..) {
             let _ = handler.join();
         }
@@ -213,14 +280,14 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, queue: &ConnQueue, shutdown: &AtomicBool) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if shutdown.load(Ordering::SeqCst) {
                     return; // `stream` is the shutdown wake-up; drop both.
                 }
-                if tx.send(stream).is_err() {
+                if !queue.push(stream) {
                     return;
                 }
             }
@@ -228,8 +295,17 @@ fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &Atomic
             // Transient accept failures (per-process fd pressure, aborted
             // handshakes) must not kill the service — but EMFILE-style
             // errors fail instantly, so back off instead of burning a core
-            // exactly when the process is resource-starved.
-            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            // exactly when the process is resource-starved. The nap is
+            // sliced so the shutdown flag is observed within ~1ms rather
+            // than after the full backoff.
+            Err(_) => {
+                for _ in 0..10 {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
         }
     }
 }
@@ -238,16 +314,14 @@ fn handler_loop(
     engine: &Engine,
     replication: &ReplicationState,
     tracker: &ConnTracker,
-    rx: &Mutex<Receiver<TcpStream>>,
+    queue: &ConnQueue,
     connections: &AtomicU64,
     nodelay: bool,
 ) {
-    loop {
-        // Hold the lock only while dequeuing, not while serving.
-        let stream = match rx.lock().recv() {
-            Ok(stream) => stream,
-            Err(_) => return, // acceptor gone: shutdown
-        };
+    // `pop` parks on the queue's condvar (lock held only while dequeuing —
+    // see `ConnQueue`), and returns `None` once the queue closes at
+    // shutdown.
+    while let Some(stream) = queue.pop() {
         connections.fetch_add(1, Ordering::Relaxed);
         if nodelay {
             let _ = stream.set_nodelay(true);

@@ -9,8 +9,11 @@
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use livegraph_server::{Client, ClientError, ClientPool};
+use parking_lot::Mutex;
+
+use livegraph_server::{Client, ClientError, ClientPool, PipelinedClient};
 
 use livegraph_core::DEFAULT_LABEL;
 
@@ -28,12 +31,61 @@ use crate::backends::LinkBenchBackend;
 /// into an application client without request deduplication.
 const TRANSPORT_RETRIES: usize = 3;
 
+/// A fixed set of pipelined connections shared by all driver threads,
+/// checked out round-robin. Unlike [`ClientPool`], a connection is not
+/// exclusively borrowed — [`PipelinedClient`] is `&self`-shared, so many
+/// driver threads keep requests in flight on the *same* socket and the
+/// per-operation round trip overlaps instead of serializing.
+struct PipelinedSet {
+    addr: SocketAddr,
+    depth: usize,
+    /// Slots are individually replaceable: when a connection poisons, the
+    /// first thread to notice re-dials it; others racing on the same slot
+    /// see the fresh `Arc` and retry on it.
+    conns: Vec<Mutex<Arc<PipelinedClient>>>,
+    next: AtomicUsize,
+}
+
+impl PipelinedSet {
+    fn connect(addr: SocketAddr, connections: usize, depth: usize) -> std::io::Result<Self> {
+        let conns = (0..connections.max(1))
+            .map(|_| Ok(Mutex::new(Arc::new(PipelinedClient::connect(addr, depth)?))))
+            .collect::<std::io::Result<_>>()?;
+        Ok(Self {
+            addr,
+            depth,
+            conns,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Round-robin checkout (shared, not exclusive).
+    fn get(&self) -> (usize, Arc<PipelinedClient>) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.conns.len();
+        (i, Arc::clone(&self.conns[i].lock()))
+    }
+
+    /// Replaces slot `i` with a fresh connection, unless another thread
+    /// already did (then the current occupant is returned as-is).
+    fn replace(&self, i: usize, poisoned: &Arc<PipelinedClient>) -> std::io::Result<Arc<PipelinedClient>> {
+        let mut slot = self.conns[i].lock();
+        if Arc::ptr_eq(&slot, poisoned) {
+            *slot = Arc::new(PipelinedClient::connect(self.addr, self.depth)?);
+        }
+        Ok(Arc::clone(&slot))
+    }
+}
+
 /// LinkBench backend running against a LiveGraph server over TCP,
 /// optionally fanning reads out across a set of read replicas.
 pub struct RemoteBackend {
     /// Connections to the primary; all writes (and, with no replicas,
-    /// reads too) go here.
+    /// reads too) go here. In pipelined mode this shrinks to one admin
+    /// connection and the operations ride `pipelined` instead.
     pool: ClientPool,
+    /// When present (see [`RemoteBackend::connect_pipelined`]), every
+    /// LinkBench operation runs over these shared pipelined connections.
+    pipelined: Option<PipelinedSet>,
     /// One pool per read replica. Reads round-robin across these; writes
     /// never touch them (replicas reject writes until promoted).
     read_pools: Vec<ClientPool>,
@@ -49,6 +101,32 @@ impl RemoteBackend {
     pub fn connect(addr: impl std::net::ToSocketAddrs, connections: usize) -> std::io::Result<Self> {
         Ok(Self {
             pool: ClientPool::connect(addr, connections)?,
+            pipelined: None,
+            read_pools: Vec::new(),
+            next_read: AtomicUsize::new(0),
+        })
+    }
+
+    /// Connects in pipelined mode: `connections` shared
+    /// [`PipelinedClient`] connections with up to `depth` requests in
+    /// flight each. Driver threads do not borrow a connection exclusively
+    /// per operation — they overlap their requests on shared sockets, so
+    /// remote throughput is no longer bounded by (client threads ×
+    /// round-trip time). Works against both the thread-pooled server and
+    /// the reactor (`--reactor`); with the reactor, `connections` is not
+    /// limited by the server's worker count.
+    pub fn connect_pipelined(
+        addr: impl std::net::ToSocketAddrs,
+        connections: usize,
+        depth: usize,
+    ) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Ok(Self {
+            pool: ClientPool::connect(addr, 1)?,
+            pipelined: Some(PipelinedSet::connect(addr, connections, depth)?),
             read_pools: Vec::new(),
             next_read: AtomicUsize::new(0),
         })
@@ -71,6 +149,7 @@ impl RemoteBackend {
     ) -> std::io::Result<Self> {
         Ok(Self {
             pool: ClientPool::connect(addr, connections)?,
+            pipelined: None,
             read_pools: replicas
                 .iter()
                 .map(|r| ClientPool::connect(r, connections))
@@ -104,6 +183,36 @@ impl RemoteBackend {
         self.with_client_in(pool, op)
     }
 
+    /// Runs one operation over a shared pipelined connection, with the
+    /// same conflict/transport retry policy as [`Self::with_client_in`]:
+    /// a poisoned connection is re-dialed in place (all threads sharing
+    /// it fail over to the replacement) and the op re-driven.
+    fn with_pipelined<R>(
+        &self,
+        set: &PipelinedSet,
+        op: impl Fn(&PipelinedClient) -> Result<R, ClientError>,
+    ) -> R {
+        let (slot, mut conn) = set.get();
+        let mut transport_failures = 0;
+        loop {
+            match op(&conn) {
+                Ok(r) => return r,
+                Err(e) if e.is_write_conflict() => continue,
+                Err(e) if e.poisons_connection() => {
+                    transport_failures += 1;
+                    if transport_failures > TRANSPORT_RETRIES {
+                        panic!("remote backend gave up after {transport_failures} transport failures: {e}");
+                    }
+                    conn = match set.replace(slot, &conn) {
+                        Ok(c) => c,
+                        Err(e) => panic!("remote backend could not re-dial pipelined connection: {e}"),
+                    };
+                }
+                Err(e) => panic!("unexpected server error in workload: {e}"),
+            }
+        }
+    }
+
     fn with_client_in<R>(
         &self,
         pool: &ClientPool,
@@ -132,35 +241,61 @@ impl RemoteBackend {
 
 impl LinkBenchBackend for RemoteBackend {
     fn add_node(&self, properties: &[u8]) -> u64 {
-        self.with_client(|c| c.create_vertex_auto(properties))
+        match &self.pipelined {
+            Some(set) => self.with_pipelined(set, |c| c.create_vertex_auto(properties)),
+            None => self.with_client(|c| c.create_vertex_auto(properties)),
+        }
     }
 
     fn get_node(&self, id: u64) -> Option<Vec<u8>> {
-        self.with_read_client(|c| c.get_vertex(None, id))
+        match &self.pipelined {
+            Some(set) => self.with_pipelined(set, |c| c.get_vertex(id)),
+            None => self.with_read_client(|c| c.get_vertex(None, id)),
+        }
     }
 
     fn update_node(&self, id: u64, properties: &[u8]) -> bool {
-        self.with_client(|c| match c.put_vertex(None, id, properties) {
+        let update = |r: Result<(), ClientError>| match r {
             Ok(()) => Ok(true),
             Err(e) if e.is_vertex_not_found() => Ok(false),
             Err(e) => Err(e),
-        })
+        };
+        match &self.pipelined {
+            Some(set) => self.with_pipelined(set, |c| update(c.put_vertex(id, properties))),
+            None => self.with_client(|c| update(c.put_vertex(None, id, properties))),
+        }
     }
 
     fn add_link(&self, src: u64, dst: u64, properties: &[u8]) {
-        self.with_client(|c| match c.put_edge(None, src, DEFAULT_LABEL, dst, properties) {
+        let lenient = |r: Result<bool, ClientError>| match r {
             Ok(_) => Ok(()),
             Err(e) if e.is_vertex_not_found() => Ok(()), // ignore dangling ids
             Err(e) => Err(e),
-        })
+        };
+        match &self.pipelined {
+            Some(set) => self.with_pipelined(set, |c| {
+                lenient(c.put_edge(src, DEFAULT_LABEL, dst, properties))
+            }),
+            None => self.with_client(|c| {
+                lenient(c.put_edge(None, src, DEFAULT_LABEL, dst, properties))
+            }),
+        }
     }
 
     fn delete_link(&self, src: u64, dst: u64) {
-        self.with_client(|c| match c.delete_edge(None, src, DEFAULT_LABEL, dst) {
+        let lenient = |r: Result<bool, ClientError>| match r {
             Ok(_) => Ok(()),
             Err(e) if e.is_vertex_not_found() => Ok(()),
             Err(e) => Err(e),
-        })
+        };
+        match &self.pipelined {
+            Some(set) => {
+                self.with_pipelined(set, |c| lenient(c.delete_edge(src, DEFAULT_LABEL, dst)))
+            }
+            None => {
+                self.with_client(|c| lenient(c.delete_edge(None, src, DEFAULT_LABEL, dst)))
+            }
+        }
     }
 
     fn update_link(&self, src: u64, dst: u64, properties: &[u8]) {
@@ -168,24 +303,40 @@ impl LinkBenchBackend for RemoteBackend {
     }
 
     fn get_link(&self, src: u64, dst: u64) -> bool {
-        self.with_read_client(|c| c.get_edge(None, src, DEFAULT_LABEL, dst))
-            .is_some()
+        match &self.pipelined {
+            Some(set) => self.with_pipelined(set, |c| c.get_edge(src, DEFAULT_LABEL, dst)),
+            None => self.with_read_client(|c| c.get_edge(None, src, DEFAULT_LABEL, dst)),
+        }
+        .is_some()
     }
 
     fn get_link_list(&self, src: u64, limit: usize) -> usize {
         if limit == 0 {
             return 0;
         }
-        self.with_read_client(|c| c.neighbors(None, src, DEFAULT_LABEL, limit as u64))
-            .len()
+        match &self.pipelined {
+            Some(set) => {
+                self.with_pipelined(set, |c| c.neighbors(src, DEFAULT_LABEL, limit as u64))
+            }
+            None => self.with_read_client(|c| c.neighbors(None, src, DEFAULT_LABEL, limit as u64)),
+        }
+        .len()
     }
 
     fn count_links(&self, src: u64) -> usize {
-        self.with_read_client(|c| c.degree(None, src, DEFAULT_LABEL)) as usize
+        let count = match &self.pipelined {
+            Some(set) => self.with_pipelined(set, |c| c.degree(src, DEFAULT_LABEL)),
+            None => self.with_read_client(|c| c.degree(None, src, DEFAULT_LABEL)),
+        };
+        count as usize
     }
 
     fn name(&self) -> &'static str {
-        "remote"
+        if self.pipelined.is_some() {
+            "remote-pipelined"
+        } else {
+            "remote"
+        }
     }
 }
 
@@ -258,6 +409,58 @@ mod tests {
                 assert_eq!(backend.get_node(a), Some(b"a".to_vec()));
             }
             assert_eq!(backend.next_read.load(Ordering::Relaxed), 4);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_backend_runs_the_linkbench_surface_against_the_reactor() {
+        use livegraph_server::{ReactorConfig, ReactorServer};
+        let graph = LiveGraph::open(
+            LiveGraphOptions::in_memory()
+                .with_capacity(1 << 22)
+                .with_max_vertices(1 << 12),
+        )
+        .unwrap();
+        let server = ReactorServer::start(
+            Arc::new(Engine::Plain(graph)),
+            "127.0.0.1:0",
+            ReactorConfig::default(),
+        )
+        .unwrap();
+        {
+            let backend =
+                Arc::new(RemoteBackend::connect_pipelined(server.local_addr(), 2, 16).unwrap());
+            assert_eq!(backend.name(), "remote-pipelined");
+            let a = backend.add_node(b"a");
+            let b = backend.add_node(b"b");
+            assert_eq!(backend.get_node(a), Some(b"a".to_vec()));
+            assert!(backend.update_node(a, b"a2"));
+            assert!(!backend.update_node(999_999, b"nope"));
+            backend.add_link(a, b, b"ab");
+            assert!(backend.get_link(a, b));
+            assert_eq!(backend.count_links(a), 1);
+            assert_eq!(backend.get_link_list(a, 10), 1);
+            backend.delete_link(a, b);
+            assert!(!backend.get_link(a, b));
+
+            // Concurrent drivers overlapping requests on 2 shared sockets.
+            let seed = backend.add_node(b"seed");
+            let mut handles = Vec::new();
+            for _ in 0..4u64 {
+                let backend = Arc::clone(&backend);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..25u64 {
+                        let n = backend.add_node(b"n");
+                        backend.add_link(seed, n, b"");
+                        backend.get_link_list(seed, 10);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(backend.count_links(seed), 100);
         }
         server.shutdown();
     }

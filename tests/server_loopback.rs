@@ -10,7 +10,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use livegraph::core::{LiveGraph, LiveGraphOptions, SyncMode, DEFAULT_LABEL};
-use livegraph::server::{Client, ClientError, Engine, ErrorCode, Server, ServerConfig};
+use livegraph::server::{
+    Client, ClientError, Engine, ErrorCode, ReactorConfig, ReactorServer, Server, ServerConfig,
+};
 use livegraph::workloads::{
     load_base_graph, run_workload, DriverConfig, LinkBenchBackend, LiveGraphBackend, OpMix,
     RemoteBackend,
@@ -32,6 +34,19 @@ fn start(engine: Engine, workers: usize) -> (Arc<Engine>, Server) {
         Arc::clone(&engine),
         "127.0.0.1:0",
         ServerConfig::default().with_workers(workers),
+    )
+    .unwrap();
+    (engine, server)
+}
+
+/// Same engine hosting, but on the epoll reactor: all connections
+/// multiplexed on two event-loop threads instead of a thread each.
+fn start_reactor(engine: Engine) -> (Arc<Engine>, ReactorServer) {
+    let engine = Arc::new(engine);
+    let server = ReactorServer::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ReactorConfig::default().with_event_threads(2),
     )
     .unwrap();
     (engine, server)
@@ -141,13 +156,12 @@ fn snapshot_state_remote(
     state
 }
 
-#[test]
-fn multi_client_sessions_are_snapshot_isolated_and_match_the_oracle() {
-    let (engine, server) = start(Engine::Plain(small_graph()), 4);
-    let graph = engine.as_plain().unwrap();
-
+/// The snapshot-isolation oracle scenario, runnable against either server
+/// flavor: concurrent remote writers, then remote readers pinned at every
+/// commit epoch compared against the in-process oracle on the same engine.
+fn si_oracle_scenario(addr: std::net::SocketAddr, graph: &LiveGraph) {
     // Seed a few vertices.
-    let mut seeder = Client::connect(server.local_addr()).unwrap();
+    let mut seeder = Client::connect(addr).unwrap();
     let txn = seeder.begin_write().unwrap();
     let mut ids = Vec::new();
     for i in 0..6u32 {
@@ -157,7 +171,6 @@ fn multi_client_sessions_are_snapshot_isolated_and_match_the_oracle() {
 
     // Two concurrent writer clients commit interleaved batches; every
     // commit epoch is recorded.
-    let addr = server.local_addr();
     let ids2 = ids.clone();
     let writers: Vec<_> = (0..2)
         .map(|w| {
@@ -219,6 +232,19 @@ fn multi_client_sessions_are_snapshot_isolated_and_match_the_oracle() {
 
     drop(reader);
     drop(seeder);
+}
+
+#[test]
+fn multi_client_sessions_are_snapshot_isolated_and_match_the_oracle() {
+    let (engine, server) = start(Engine::Plain(small_graph()), 4);
+    si_oracle_scenario(server.local_addr(), engine.as_plain().unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn reactor_sessions_are_snapshot_isolated_and_match_the_oracle() {
+    let (engine, server) = start_reactor(Engine::Plain(small_graph()));
+    si_oracle_scenario(server.local_addr(), engine.as_plain().unwrap());
     server.shutdown();
 }
 
@@ -235,13 +261,12 @@ fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
     }
 }
 
-#[test]
-fn disconnect_mid_write_txn_leaves_no_locks_or_epoch_pins() {
-    let (engine, server) = start(Engine::Plain(small_graph()), 2);
-    let graph = engine.as_plain().unwrap();
-
+/// The disconnect-cleanup scenario, runnable against either server flavor:
+/// a client vanishing mid-write-transaction must leave no vertex locks or
+/// epoch pins behind, and the server keeps serving.
+fn disconnect_cleanup_scenario(addr: std::net::SocketAddr, graph: &LiveGraph) {
     // Seed two vertices.
-    let mut setup = Client::connect(server.local_addr()).unwrap();
+    let mut setup = Client::connect(addr).unwrap();
     let txn = setup.begin_write().unwrap();
     let a = setup.create_vertex(txn, b"a").unwrap();
     let b = setup.create_vertex(txn, b"b").unwrap();
@@ -249,7 +274,7 @@ fn disconnect_mid_write_txn_leaves_no_locks_or_epoch_pins() {
 
     // Client A begins a write transaction, locks `a` by touching it, and
     // then vanishes without committing or aborting.
-    let mut doomed = Client::connect(server.local_addr()).unwrap();
+    let mut doomed = Client::connect(addr).unwrap();
     let txn = doomed.begin_write().unwrap();
     doomed
         .put_edge(Some(txn), a, DEFAULT_LABEL, b, b"never-committed")
@@ -275,11 +300,24 @@ fn disconnect_mid_write_txn_leaves_no_locks_or_epoch_pins() {
     assert_eq!(read.get_edge(a, DEFAULT_LABEL, b), Some(&b"after-disconnect"[..]));
     assert_eq!(read.degree(a, DEFAULT_LABEL), 1);
 
-    // The handler thread survived and serves the next connection.
-    let mut again = Client::connect(server.local_addr()).unwrap();
+    // The serving thread survived and serves the next connection.
+    let mut again = Client::connect(addr).unwrap();
     again.ping().unwrap();
     drop(again);
     drop(setup);
+}
+
+#[test]
+fn disconnect_mid_write_txn_leaves_no_locks_or_epoch_pins() {
+    let (engine, server) = start(Engine::Plain(small_graph()), 2);
+    disconnect_cleanup_scenario(server.local_addr(), engine.as_plain().unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn reactor_disconnect_mid_write_txn_leaves_no_locks_or_epoch_pins() {
+    let (engine, server) = start_reactor(Engine::Plain(small_graph()));
+    disconnect_cleanup_scenario(server.local_addr(), engine.as_plain().unwrap());
     server.shutdown();
 }
 
