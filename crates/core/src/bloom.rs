@@ -83,6 +83,8 @@ impl BloomFilter {
             }
             let word = bit / 64;
             let mask = 1u64 << (bit % 64);
+            // ORDERING: Relaxed — bloom bits are advisory; a racing reader
+            // that misses a bit takes the conservative scan path.
             self.word(block, word).fetch_or(mask, Ordering::Relaxed);
         }
     }
@@ -103,6 +105,9 @@ impl BloomFilter {
             }
             let word = bit / 64;
             let mask = 1u64 << (bit % 64);
+            // ORDERING: Relaxed — entries below the committed log size are
+            // published by LS's Release store, never through bloom bits;
+            // stale bits only cost an extra scan.
             if self.word(block, word).load(Ordering::Relaxed) & mask == 0 {
                 return false;
             }
@@ -114,6 +119,7 @@ impl BloomFilter {
     pub fn clear(&self) {
         for block in 0..self.num_blocks() {
             for word in 0..BLOOM_BLOCK_BYTES / 8 {
+                // ORDERING: Relaxed — runs on private (compaction) blocks.
                 self.word(block, word).store(0, Ordering::Relaxed);
             }
         }

@@ -64,6 +64,8 @@ pub(crate) fn write_checkpoint(graph: &GraphInner) -> Result<Timestamp> {
             wal.rewrite(&remaining)?;
             // Publish the floor while the WAL lock pins the file contents,
             // so a tail can never observe a pruned log with a stale floor.
+            // ORDERING: AcqRel — pairs with the Acquire in
+            // `wal_prune_floor`, publishing the on-disk checkpoint state.
             graph
                 .prune_floor
                 .fetch_max(snapshot_epoch, std::sync::atomic::Ordering::AcqRel);
@@ -89,6 +91,7 @@ fn dump_snapshot(graph: &GraphInner, dir: &Path, epoch: Timestamp) -> Result<()>
         Ok(())
     };
 
+    // ORDERING: Acquire — pairs with the AcqRel id-allocation RMWs.
     let vertex_count = graph.next_vertex.load(std::sync::atomic::Ordering::Acquire);
     for vertex in 0..vertex_count {
         if let Some(props) = graph.read_vertex_version(vertex, epoch, 0) {
@@ -159,10 +162,13 @@ pub(crate) fn recover(graph: &GraphInner) -> Result<()> {
     let Some(dir) = graph.options.data_dir.clone() else {
         return Ok(());
     };
+    // ORDERING: Release stores bracket replay; pair with the Acquire load
+    // in the commit path, which skips WAL logging while replay runs.
     graph
         .recovery_mode
         .store(true, std::sync::atomic::Ordering::Release);
     let result = recover_inner(graph, &dir);
+    // ORDERING: Release — replayed state precedes the flag clear.
     graph
         .recovery_mode
         .store(false, std::sync::atomic::Ordering::Release);
@@ -197,6 +203,7 @@ fn recover_inner(graph: &GraphInner, dir: &Path) -> Result<()> {
     }
     // Epochs at or below the checkpoint are not in the WAL; replication
     // resume requests below this floor need a fresh bootstrap.
+    // ORDERING: AcqRel — pairs with the Acquire in `wal_prune_floor`.
     graph
         .prune_floor
         .fetch_max(checkpoint_epoch, std::sync::atomic::Ordering::AcqRel);

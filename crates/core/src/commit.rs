@@ -19,9 +19,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
-use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Arc, Condvar, Mutex};
 
 use crate::epoch::EpochManager;
 use crate::error::Result;
@@ -63,7 +62,8 @@ struct ApplyTracker {
 /// is still applying — and (b) a cross-shard transaction becomes visible on
 /// all shards at once: `GRE` only reaches its epoch after every per-shard
 /// part has applied.
-pub(crate) struct GroupClock {
+#[doc(hidden)]
+pub struct GroupClock {
     tracker: Mutex<ApplyTracker>,
     /// Signalled whenever `GRE` advances; committers waiting for session
     /// consistency sleep here instead of spin-yielding (on oversubscribed
@@ -73,7 +73,8 @@ pub(crate) struct GroupClock {
 }
 
 impl GroupClock {
-    pub(crate) fn new() -> Arc<Self> {
+    #[doc(hidden)]
+    pub fn new() -> Arc<Self> {
         Arc::new(Self {
             tracker: Mutex::new(ApplyTracker::default()),
             gre_cv: Condvar::new(),
@@ -82,14 +83,21 @@ impl GroupClock {
 
     /// Blocks until `GRE >= epoch` (i.e. until every transaction of every
     /// epoch up to and including `epoch` has finished its apply phase).
-    pub(crate) fn wait_for_gre(&self, epochs: &EpochManager, epoch: Timestamp) {
+    #[doc(hidden)]
+    pub fn wait_for_gre(&self, epochs: &EpochManager, epoch: Timestamp) {
         // Fast path: the caller's own `finish_apply` usually advanced GRE
         // already (it always does when no other commits are in flight).
-        for _ in 0..64 {
+        // Under the model checker a single probe suffices — extra spins only
+        // multiply the interleavings the checker must explore.
+        #[cfg(livegraph_loom)]
+        const SPINS: usize = 1;
+        #[cfg(not(livegraph_loom))]
+        const SPINS: usize = 64;
+        for _ in 0..SPINS {
             if epochs.gre() >= epoch {
                 return;
             }
-            std::hint::spin_loop();
+            crate::sync::hint::spin_loop();
         }
         let mut t = self.tracker.lock();
         while epochs.gre() < epoch {
@@ -106,7 +114,8 @@ impl GroupClock {
     /// in a log in the opposite order of their epochs, so a torn tail is
     /// always an epoch-prefix — the invariant the crash-recovery oracle
     /// checks. `log` must not block (a [`GroupWal`] enqueue never does).
-    pub(crate) fn begin_group_with<R>(
+    #[doc(hidden)]
+    pub fn begin_group_with<R>(
         &self,
         epochs: &EpochManager,
         participants: usize,
@@ -121,7 +130,8 @@ impl GroupClock {
 
     /// Marks one obligation of `epoch` as applied and advances `GRE` across
     /// every fully-applied prefix of epochs.
-    pub(crate) fn finish_apply(&self, epochs: &EpochManager, epoch: Timestamp) {
+    #[doc(hidden)]
+    pub fn finish_apply(&self, epochs: &EpochManager, epoch: Timestamp) {
         let mut t = self.tracker.lock();
         if let Some(count) = t.outstanding.get_mut(&epoch) {
             *count -= 1;

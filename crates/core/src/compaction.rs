@@ -85,6 +85,8 @@ impl CompactionState {
 
     /// Counts a commit and reports whether the worker is due for a pass.
     pub(crate) fn should_compact(&self, worker: usize, interval: u64) -> bool {
+        // ORDERING: Relaxed — per-worker pacing counter, touched only by
+        // the owning worker thread; no data is published through it.
         let n = self.commits[worker].fetch_add(1, Ordering::Relaxed) + 1;
         if n >= interval.max(1) {
             self.commits[worker].store(0, Ordering::Relaxed);
@@ -103,6 +105,7 @@ impl CompactionState {
     /// Snapshot of compaction statistics.
     pub(crate) fn stats(&self) -> CompactionStats {
         CompactionStats {
+            // ORDERING: Relaxed — stats snapshot tolerates torn totals.
             passes: self.passes.load(Ordering::Relaxed),
             vertices_compacted: self.vertices_compacted.load(Ordering::Relaxed),
             blocks_freed: self.blocks_freed.load(Ordering::Relaxed),
@@ -149,6 +152,7 @@ fn run_pass(graph: &GraphInner, worker: usize, dirty: Vec<VertexId>) {
         }
     }
     free_retired(graph);
+    // ORDERING: Relaxed — statistics counter, no publication.
     state.passes.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -172,6 +176,7 @@ fn compact_vertex(graph: &GraphInner, vertex: VertexId, safe: Timestamp) -> bool
         if block.is_deleted() && ts > 0 && ts <= safe {
             reclaim_deleted_vertex(graph, vertex);
             graph.locks.unlock(vertex);
+            // ORDERING: Relaxed — statistics counter, no publication.
             state.vertices_compacted.fetch_add(1, Ordering::Relaxed);
             return true;
         }
@@ -251,6 +256,7 @@ fn compact_vertex(graph: &GraphInner, vertex: VertexId, safe: Timestamp) -> bool
             let updated = li.update(label, new_ptr);
             debug_assert!(updated);
             state.retire(graph.epochs.gre(), tel_ptr, tel.order());
+            // ORDERING: Relaxed — statistics counter, no publication.
             state
                 .entries_dropped
                 .fetch_add(dead as u64, Ordering::Relaxed);
@@ -291,6 +297,7 @@ fn compact_vertex(graph: &GraphInner, vertex: VertexId, safe: Timestamp) -> bool
 
     graph.locks.unlock(vertex);
     if touched {
+        // ORDERING: Relaxed — statistics counter, no publication.
         state.vertices_compacted.fetch_add(1, Ordering::Relaxed);
     }
     true
@@ -345,6 +352,7 @@ fn free_retired(graph: &GraphInner) {
     for block in retired.drain(..) {
         if block.epoch < min {
             graph.store.free(block.ptr, block.order);
+            // ORDERING: Relaxed — statistics counter, no publication.
             state.blocks_freed.fetch_add(1, Ordering::Relaxed);
         } else {
             kept.push(block);

@@ -10,7 +10,7 @@
 //! slot*. The slot index feeds into transaction ids (`TID = worker ‖ seq`),
 //! the reading-epoch table and the per-worker dirty sets used by compaction.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 use crate::error::{Error, Result};
 use crate::types::{make_txn_id, Timestamp, TxnId};
@@ -57,12 +57,17 @@ impl EpochManager {
     /// Current global read epoch.
     #[inline]
     pub fn gre(&self) -> Timestamp {
+        // ORDERING: Acquire pairs with the Release store in `publish_gre`,
+        // so a reader that observes epoch E also sees every version the
+        // commit tracker applied up to E.
         self.gre.load(Ordering::Acquire)
     }
 
     /// Current global write epoch.
     #[inline]
     pub fn gwe(&self) -> Timestamp {
+        // ORDERING: Acquire pairs with the AcqRel `advance_gwe` RMW so the
+        // debug invariant TRE <= GWE observes a current value.
         self.gwe.load(Ordering::Acquire)
     }
 
@@ -70,6 +75,8 @@ impl EpochManager {
     /// (the write timestamp assigned to the current commit group).
     #[inline]
     pub fn advance_gwe(&self) -> Timestamp {
+        // ORDERING: AcqRel makes successive group timestamps form a single
+        // modification order each committer both observes and extends.
         self.gwe.fetch_add(1, Ordering::AcqRel) + 1
     }
 
@@ -78,14 +85,19 @@ impl EpochManager {
     #[inline]
     pub fn publish_gre(&self, epoch: Timestamp) {
         debug_assert!(epoch >= self.gre());
+        // ORDERING: Release pairs with the Acquire load in `gre`; all block
+        // writes applied for epochs <= `epoch` happen-before this store.
         self.gre.store(epoch, Ordering::Release);
     }
 
     /// Allocates a worker slot for the calling thread.
     pub fn allocate_worker(&self) -> Result<usize> {
+        // ORDERING: Relaxed — the counter only hands out unique indices; no
+        // other data is published through it.
         let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
         if slot >= self.slots.len() {
             // Roll back so the counter does not run away on repeated errors.
+            // ORDERING: Relaxed — same counter, still no data published.
             self.next_slot.fetch_sub(1, Ordering::Relaxed);
             return Err(Error::TooManyWorkers {
                 max_workers: self.slots.len(),
@@ -98,6 +110,8 @@ impl EpochManager {
     /// reading-epoch table and returns `(read_epoch, txn_id)`.
     pub fn begin(&self, worker: usize) -> (Timestamp, TxnId) {
         let tre = self.register(worker);
+        // ORDERING: Relaxed — the per-worker sequence is only touched by the
+        // owning thread; uniqueness needs atomicity, not ordering.
         let seq = self.seqs[worker].fetch_add(1, Ordering::Relaxed);
         (tre, make_txn_id(worker, seq))
     }
@@ -114,6 +128,7 @@ impl EpochManager {
     /// touched.
     pub fn begin_at(&self, worker: usize, epoch: Timestamp) -> (Timestamp, TxnId) {
         let tre = self.begin_read_at(worker, epoch);
+        // ORDERING: Relaxed — per-worker sequence, owner-thread only.
         let seq = self.seqs[worker].fetch_add(1, Ordering::Relaxed);
         (tre, make_txn_id(worker, seq))
     }
@@ -122,9 +137,15 @@ impl EpochManager {
     /// read). The epoch is registered in the reading-epoch table so that
     /// compaction keeps every version the transaction can still see.
     pub fn begin_read_at(&self, worker: usize, epoch: Timestamp) -> Timestamp {
+        // ORDERING: AcqRel on `active` orders the slot update after the
+        // count bump so `finish` cannot interleave an IDLE store between
+        // them; Release on the slot store pairs with the Acquire scans in
+        // `min_active_epoch` / `min_active_reader_epoch`.
         if self.active[worker].fetch_add(1, Ordering::AcqRel) == 0 {
             self.slots[worker].store(epoch, Ordering::Release);
         } else {
+            // ORDERING: AcqRel — RMW keeps the slot's minimum consistent
+            // with concurrent `finish`/`register` on the same worker.
             self.slots[worker].fetch_min(epoch, Ordering::AcqRel);
         }
         epoch
@@ -132,10 +153,14 @@ impl EpochManager {
 
     fn register(&self, worker: usize) -> Timestamp {
         let tre = self.gre();
+        // ORDERING: AcqRel on `active` + Release on the slot store — same
+        // protocol as `begin_read_at`; compaction's Acquire scan of the
+        // table must see the registered epoch before trusting the count.
         if self.active[worker].fetch_add(1, Ordering::AcqRel) == 0 {
             self.slots[worker].store(tre, Ordering::Release);
         } else {
             // Keep the minimum epoch of all this worker's live transactions.
+            // ORDERING: AcqRel — RMW against concurrent finish/register.
             self.slots[worker].fetch_min(tre, Ordering::AcqRel);
         }
         tre
@@ -144,6 +169,9 @@ impl EpochManager {
     /// Marks one of the worker's transactions as finished.
     #[inline]
     pub fn finish(&self, worker: usize) {
+        // ORDERING: AcqRel on `active` synchronizes with the fetch_add in
+        // register/begin_read_at so only the last finisher parks the slot;
+        // Release on the IDLE store pairs with compaction's Acquire scan.
         if self.active[worker].fetch_sub(1, Ordering::AcqRel) == 1 {
             self.slots[worker].store(IDLE_EPOCH, Ordering::Release);
         }
@@ -152,9 +180,14 @@ impl EpochManager {
     /// Fast-forwards both epochs after recovery so that new commits receive
     /// timestamps strictly greater than anything replayed from the WAL.
     pub fn reset_to(&self, epoch: Timestamp) {
+        // ORDERING: AcqRel — recovery publishes the fast-forwarded epochs to
+        // worker threads that start right after; pairs with the Acquire
+        // loads in `gre`/`gwe`.
         self.gwe.fetch_max(epoch, Ordering::AcqRel);
         let _ = self
             .gre
+            // ORDERING: AcqRel success / Acquire failure — same publication
+            // edge as above, expressed as a monotonic fetch_update.
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
                 Some(cur.max(epoch))
             });
@@ -167,6 +200,9 @@ impl EpochManager {
     pub fn min_active_epoch(&self) -> Timestamp {
         let mut min = self.gre();
         for slot in &self.slots {
+            // ORDERING: Acquire pairs with the Release slot stores in
+            // register/begin_read_at/finish; seeing IDLE here proves the
+            // worker's previous transaction fully finished.
             let v = slot.load(Ordering::Acquire);
             if v < min {
                 min = v;
@@ -183,6 +219,7 @@ impl EpochManager {
     pub fn min_active_reader_epoch(&self) -> Timestamp {
         self.slots
             .iter()
+            // ORDERING: Acquire — same pairing as `min_active_epoch`.
             .map(|s| s.load(Ordering::Acquire))
             .min()
             .unwrap_or(IDLE_EPOCH)

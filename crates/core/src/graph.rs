@@ -196,6 +196,8 @@ impl ScanCounters {
     #[inline]
     pub(crate) fn record_scan(&self, worker: usize, sealed: bool) {
         let slot = &self.per_worker[worker];
+        // ORDERING: Relaxed — monitoring counters; readers only want a
+        // statistically correct total, no data is published through them.
         if sealed {
             slot.sealed.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -204,10 +206,12 @@ impl ScanCounters {
     }
 
     pub(crate) fn record_lookup(&self, probe: crate::tel::EdgeProbe) {
+        // ORDERING: Relaxed — monitoring counters, no publication.
         self.edge_lookups.fetch_add(1, Ordering::Relaxed);
         if probe.bloom_negative {
             self.edge_lookup_bloom_negatives.fetch_add(1, Ordering::Relaxed);
         }
+        // ORDERING: Relaxed — monitoring counter, no publication.
         self.edge_lookup_entries_scanned
             .fetch_add(probe.entries_scanned as u64, Ordering::Relaxed);
     }
@@ -215,12 +219,14 @@ impl ScanCounters {
     fn snapshot(&self) -> ScanStats {
         let (mut sealed, mut checked) = (0u64, 0u64);
         for w in &self.per_worker {
+            // ORDERING: Relaxed — stats snapshot tolerates torn totals.
             sealed += w.sealed.load(Ordering::Relaxed);
             checked += w.checked.load(Ordering::Relaxed);
         }
         ScanStats {
             sealed_scans: sealed,
             checked_scans: checked,
+            // ORDERING: Relaxed — stats snapshot tolerates torn totals.
             edge_lookups: self.edge_lookups.load(Ordering::Relaxed),
             edge_lookup_entries_scanned: self.edge_lookup_entries_scanned.load(Ordering::Relaxed),
             edge_lookup_bloom_negatives: self.edge_lookup_bloom_negatives.load(Ordering::Relaxed),
@@ -437,6 +443,9 @@ impl GraphInner {
         tre: Timestamp,
         tid: TxnId,
     ) -> Option<&[u8]> {
+        // ORDERING: Acquire pairs with the Release bump of `next_vertex` in
+        // vertex allocation, so an id observed here has its index slot and
+        // lock-table entry initialized.
         if vertex >= self.next_vertex.load(Ordering::Acquire) {
             return None;
         }
@@ -458,6 +467,7 @@ impl GraphInner {
     /// True if the version of `vertex` visible at `tre` is a deletion
     /// tombstone (as opposed to the id simply never having been committed).
     pub(crate) fn vertex_deleted_at(&self, vertex: VertexId, tre: Timestamp) -> bool {
+        // ORDERING: Acquire — same allocation edge as `read_vertex_version`.
         if vertex >= self.next_vertex.load(Ordering::Acquire) {
             return false;
         }
@@ -492,6 +502,7 @@ impl GraphInner {
     /// True if `vertex` has been allocated (it may still lack a committed
     /// vertex block if its creating transaction is in flight or aborted).
     pub(crate) fn vertex_exists(&self, vertex: VertexId) -> bool {
+        // ORDERING: Acquire — same allocation edge as `read_vertex_version`.
         vertex < self.next_vertex.load(Ordering::Acquire)
     }
 
@@ -604,6 +615,7 @@ impl LiveGraph {
             }
         };
         let inner = GraphInner {
+            // ORDERING: Relaxed — process-unique id; atomicity suffices.
             id: GRAPH_IDS.fetch_add(1, Ordering::Relaxed),
             vertex_index: IndexArray::new(options.max_vertices)?,
             edge_index: IndexArray::new(options.max_vertices)?,
@@ -666,6 +678,7 @@ impl LiveGraph {
 
     /// Number of vertices ever created (including uncommitted/aborted ids).
     pub fn vertex_count(&self) -> u64 {
+        // ORDERING: Acquire — pairs with the Release bump in allocation.
         self.inner.next_vertex.load(Ordering::Acquire)
     }
 
@@ -686,6 +699,9 @@ impl LiveGraph {
     /// [`LiveGraph::wal_tail`](crate::replication::WalTail) for how
     /// replication uses it to decide between resume and re-bootstrap.
     pub fn wal_prune_floor(&self) -> Timestamp {
+        // ORDERING: Acquire pairs with the Release store after checkpoint
+        // pruning, so a floor observed here implies the checkpoint files
+        // that replace the pruned records are fully on disk.
         self.inner.prune_floor.load(Ordering::Acquire)
     }
 
@@ -705,6 +721,7 @@ impl LiveGraph {
         let wal = self.inner.commit.wal_stats();
         GraphStats {
             vertex_count: self.vertex_count(),
+            // ORDERING: Relaxed — monitoring counter, no publication.
             edge_insert_count: self.inner.edge_insert_count.load(Ordering::Relaxed),
             blocks: self.inner.store.stats(),
             compaction: self.inner.compaction.stats(),

@@ -45,18 +45,24 @@ impl IndexArray {
     /// Loads the pointer for `vertex` (`NULL_BLOCK` if unset).
     #[inline]
     pub fn get(&self, vertex: VertexId) -> BlockPtr {
+        // ORDERING: Acquire pairs with the Release in `set`/`swap`, so the
+        // block a loaded pointer leads to is fully initialised.
         self.slot(vertex).load(Ordering::Acquire)
     }
 
     /// Atomically publishes a new pointer for `vertex`.
     #[inline]
     pub fn set(&self, vertex: VertexId, ptr: BlockPtr) {
+        // ORDERING: Release — the block's contents are written before its
+        // pointer becomes reachable; pairs with the Acquire in `get`.
         self.slot(vertex).store(ptr, Ordering::Release);
     }
 
     /// Atomically swaps the pointer, returning the previous value.
     #[inline]
     pub fn swap(&self, vertex: VertexId, ptr: BlockPtr) -> BlockPtr {
+        // ORDERING: AcqRel — publishes the new block (Release) and takes
+        // ownership of the old one's contents (Acquire).
         self.slot(vertex).swap(ptr, Ordering::AcqRel)
     }
 }
@@ -95,7 +101,10 @@ impl<'a> LabelIndexRef<'a> {
 
     /// Initialises an empty label index block (count = 0).
     pub fn init(&self, order: u8) {
+        // ORDERING: Release — belt-and-braces; the block only becomes
+        // reachable via a Release index publication after init.
         self.count_atomic().store(0, Ordering::Release);
+        // SAFETY: in-bounds header byte; the block is still private.
         unsafe { self.ptr.add(8).write(order) };
     }
 
@@ -108,12 +117,16 @@ impl<'a> LabelIndexRef<'a> {
     /// Number of `(label, tel)` pairs stored.
     #[inline]
     pub fn count(&self) -> usize {
+        // ORDERING: Acquire pairs with the Release in `push`, so slots
+        // below the observed count are fully written.
         self.count_atomic().load(Ordering::Acquire) as usize
     }
 
     /// Size-class order of this block.
     #[inline]
     pub fn order(&self) -> u8 {
+        // SAFETY: in-bounds header byte, written once in `init` before the
+        // block became reachable and immutable afterwards.
         unsafe { self.ptr.add(8).read() }
     }
 
@@ -133,6 +146,8 @@ impl<'a> LabelIndexRef<'a> {
     /// Returns the label stored in slot `idx`.
     #[inline]
     pub fn label_at(&self, idx: usize) -> Label {
+        // SAFETY: slot `idx` is below `count`, so the label word was fully
+        // written before the count's Release publication.
         unsafe { (self.slot_ptr(idx) as *const u64).read() as Label }
     }
 
@@ -140,6 +155,8 @@ impl<'a> LabelIndexRef<'a> {
     #[inline]
     pub fn tel_at(&self, idx: usize) -> BlockPtr {
         // SAFETY: second word of the slot, 8-aligned.
+        // ORDERING: Acquire pairs with the Release in `update`, so the
+        // replacement TEL's contents are visible through the new pointer.
         unsafe { (*(self.slot_ptr(idx).add(8) as *const AtomicU64)).load(Ordering::Acquire) }
     }
 
@@ -157,6 +174,8 @@ impl<'a> LabelIndexRef<'a> {
             if self.label_at(i) == label {
                 // SAFETY: slot i exists; pointer word is atomically updated
                 // so concurrent readers see either the old or the new TEL.
+                // ORDERING: Release — the new TEL's contents are written
+                // before the pointer swing; pairs with `tel_at`'s Acquire.
                 unsafe {
                     (*(self.slot_ptr(i).add(8) as *const AtomicU64)).store(tel, Ordering::Release)
                 };
@@ -175,10 +194,14 @@ impl<'a> LabelIndexRef<'a> {
         if n >= self.slot_capacity() {
             return false;
         }
+        // SAFETY: slot `n` is in capacity and above the published count, so
+        // no reader can observe it until the count store below.
         unsafe {
             (self.slot_ptr(n) as *mut u64).write(label as u64);
             (self.slot_ptr(n).add(8) as *mut u64).write(tel);
         }
+        // ORDERING: Release publishes the slot writes above; pairs with
+        // the Acquire in `count`.
         self.count_atomic().store(n as u64 + 1, Ordering::Release);
         true
     }

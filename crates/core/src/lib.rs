@@ -60,12 +60,21 @@ mod index;
 mod locks;
 pub mod props;
 pub mod replication;
+pub mod seal;
 pub mod sharded;
+pub mod sync;
 pub mod tel;
 mod txn;
 pub mod types;
 mod vertex;
 pub mod wal;
+
+// Internal types surfaced (hidden) for the model-checked concurrency tests
+// in `tests/model_*.rs`, which drive them through the loom shims.
+#[doc(hidden)]
+pub use commit::GroupClock;
+#[doc(hidden)]
+pub use epoch::EpochManager;
 
 pub use compaction::CompactionStats;
 pub use error::{Error, Result};

@@ -52,6 +52,9 @@ impl VertexLockTable {
     /// Attempts to acquire the lock without blocking.
     #[inline]
     pub fn try_lock(&self, vertex: VertexId) -> bool {
+        // ORDERING: Acquire on success pairs with the Release in `unlock`,
+        // so the new holder sees the previous holder's writes; Relaxed on
+        // failure — nothing is learned from a lost race.
         self.word(vertex)
             .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
@@ -92,6 +95,8 @@ impl VertexLockTable {
     #[inline]
     pub fn unlock(&self, vertex: VertexId) {
         debug_assert!(self.is_locked(vertex), "unlock of an unlocked vertex");
+        // ORDERING: Release pairs with the Acquire in `try_lock`,
+        // publishing the critical section to the next holder.
         let prev = self.word(vertex).swap(UNLOCKED, Ordering::Release);
         debug_assert_eq!(prev, LOCKED, "unlock of an unlocked vertex");
     }
@@ -99,6 +104,7 @@ impl VertexLockTable {
     /// True if the vertex is currently locked (diagnostics only).
     #[inline]
     pub fn is_locked(&self, vertex: VertexId) -> bool {
+        // ORDERING: Relaxed — diagnostics only, no decision rides on it.
         self.word(vertex).load(Ordering::Relaxed) == LOCKED
     }
 }

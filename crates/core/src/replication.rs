@@ -120,6 +120,8 @@ impl<'g> WalTail<'g> {
     pub fn poll(&mut self, max_records: usize, wait: Duration) -> Result<TailChunk> {
         let deadline = Instant::now() + wait;
         loop {
+            // ORDERING: Acquire pairs with the AcqRel floor bump under the
+            // WAL lock, so a stale floor can never accompany a pruned log.
             let floor = self
                 .graph
                 .prune_floor

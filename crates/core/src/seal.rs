@@ -1,0 +1,219 @@
+//! The TEL **seal protocol**, factored out of [`crate::tel`] so the exact
+//! load/store discipline is written once and shared between:
+//!
+//! * the production TEL header, whose words live inside raw block memory
+//!   and are pointer-cast to `std` atomics ([`crate::tel::TelRef`]
+//!   implements [`SealWords`] over them), and
+//! * [`SealCell`], a facade-atomics implementation that the loom model
+//!   tests drive through exhaustive interleaving exploration (see
+//!   `crates/core/tests/model_seal.rs`).
+//!
+//! The protocol (paper §4.3, "sealed" fast path): the apply phase of a
+//! commit at epoch `E` publishes, in order, the commit timestamp `CT`,
+//! then the log/property sizes `LS`/`PS`, then the invalidation summary.
+//! Readers check the seal in the *reverse* order — summary, then `LS`,
+//! then `CT` last. The pairing gives the key torn-read guarantee: if any
+//! of the reader's earlier loads observed state from an in-flight commit,
+//! the release/acquire chain through that observed word forces the final
+//! `CT` load to observe `E` as well, and `E > TRE` for any commit the
+//! snapshot does not cover — so the reader falls back to the per-entry
+//! checked scan instead of trusting a torn log size. The loom test
+//! `model_seal.rs` pins exactly this property, and its seeded-bug twin
+//! proves the checker rejects the reversed store order.
+
+use crate::sync::atomic::Ordering;
+use crate::types::Timestamp;
+
+/// The four header words the seal protocol coordinates, exposed as
+/// ordering-parameterized accessors so the protocol functions below own
+/// every ordering decision. Implementations are dumb word accessors:
+/// `TelRef` over in-place `std` atomics, [`SealCell`] over facade atomics.
+pub trait SealWords {
+    /// Loads the commit timestamp (`CT`): epoch of the last applied commit.
+    fn commit_ts_load(&self, order: Ordering) -> Timestamp;
+    /// Stores the commit timestamp.
+    fn commit_ts_store(&self, ts: Timestamp, order: Ordering);
+    /// Loads the committed log size in bytes (`LS`).
+    fn log_size_load(&self, order: Ordering) -> u64;
+    /// Stores the committed log size.
+    fn log_size_store(&self, bytes: u64, order: Ordering);
+    /// Loads the committed-invalidation count (the seal summary).
+    fn inv_count_load(&self, order: Ordering) -> u32;
+    /// Stores the committed-invalidation count.
+    fn inv_count_store(&self, count: u32, order: Ordering);
+    /// Adds to the committed-invalidation count; returns the prior count.
+    fn inv_count_fetch_add(&self, count: u32, order: Ordering) -> u32;
+    /// Loads the largest invalidating epoch (informational).
+    fn max_inv_load(&self, order: Ordering) -> Timestamp;
+    /// Stores the largest invalidating epoch.
+    fn max_inv_store(&self, ts: Timestamp, order: Ordering);
+    /// Raises the largest invalidating epoch; returns the prior value.
+    fn max_inv_fetch_max(&self, ts: Timestamp, order: Ordering) -> Timestamp;
+}
+
+/// Apply-phase publication of a commit at `epoch` whose committed log now
+/// spans `log_bytes`: `CT` first, then `LS`.
+///
+/// Any invalidations must be recorded *after* this via
+/// [`record_invalidations`] — never before — so that a reader observing
+/// the inflated summary necessarily observes `CT = epoch` too.
+#[inline]
+pub fn publish_commit<W: SealWords + ?Sized>(w: &W, epoch: Timestamp, log_bytes: u64) {
+    // ORDERING: Release on both stores, CT strictly first. A reader's
+    // Acquire load of LS (or of the summary stored later) that observes
+    // this commit synchronizes-with the store and therefore forces its
+    // subsequent CT load to observe `epoch`, triggering the CT > TRE
+    // fallback for uncovered commits. Storing LS before CT would let a
+    // reader seal a torn log size — the model test's seeded-bug twin.
+    w.commit_ts_store(epoch, Ordering::Release);
+    w.log_size_store(log_bytes, Ordering::Release);
+}
+
+/// Apply-phase accounting of `count` freshly committed invalidations at
+/// `epoch`. Must be called *after* [`publish_commit`] for the same epoch:
+/// readers load the summary first and `CT` last, so an inflated summary is
+/// detected via `CT > TRE`, while a stale summary is impossible for epochs
+/// the reader's snapshot covers (GRE only advances past `epoch` once the
+/// whole apply — including this call — has finished).
+#[inline]
+pub fn record_invalidations<W: SealWords + ?Sized>(w: &W, count: u32, epoch: Timestamp) {
+    if count == 0 {
+        return;
+    }
+    // ORDERING: AcqRel RMWs — the release half keeps these ordered after
+    // the CT/LS publication on the reader's acquire chain; the acquire
+    // half orders concurrent appliers' summary updates with each other.
+    w.max_inv_fetch_max(epoch, Ordering::AcqRel);
+    w.inv_count_fetch_add(count, Ordering::AcqRel);
+}
+
+/// Wholesale summary overwrite. Only valid while no concurrent writer can
+/// touch the TEL (init, block upgrade, compaction rewrite — all run under
+/// the vertex lock or on private blocks).
+#[inline]
+pub fn reset_summary<W: SealWords + ?Sized>(w: &W, count: u32, max_ts: Timestamp) {
+    // ORDERING: Release stores publish the rewritten summary to readers
+    // that discover the block afterwards; mutual exclusion with writers is
+    // the caller's precondition, so no RMW is needed.
+    w.inv_count_store(count, Ordering::Release);
+    w.max_inv_store(max_ts, Ordering::Release);
+}
+
+/// Snapshot-coverage check for a reader at epoch `tre`: when the last
+/// applied commit is covered (`CT <= tre`), returns the committed log size
+/// and invalidation count; otherwise the caller must use the checked scan.
+///
+/// Load order matters (summary, then `LS`, then `CT` **last**) — see the
+/// module docs for why this pairing with [`publish_commit`] makes torn
+/// reads self-detecting.
+#[inline]
+pub fn covered_log<W: SealWords + ?Sized>(w: &W, tre: Timestamp) -> Option<(u64, u32)> {
+    // ORDERING: Acquire loads, summary first and CT last — the mirror
+    // image of the apply phase's store order. The final CT load is the
+    // guard: any torn observation of the earlier words implies this load
+    // observes the in-flight commit's epoch (> tre) and we bail out.
+    let inv = w.inv_count_load(Ordering::Acquire);
+    let log = w.log_size_load(Ordering::Acquire);
+    let ct = w.commit_ts_load(Ordering::Acquire);
+    if ct <= tre {
+        Some((log, inv))
+    } else {
+        None
+    }
+}
+
+/// Seal check: the committed log size, provided **every** entry in it is
+/// visible at `tre` without per-entry checks — the last commit is covered
+/// and no committed invalidation exists.
+#[inline]
+pub fn try_seal<W: SealWords + ?Sized>(w: &W, tre: Timestamp) -> Option<u64> {
+    match covered_log(w, tre) {
+        Some((log, 0)) => Some(log),
+        _ => None,
+    }
+}
+
+/// [`SealWords`] over facade atomics: the implementation the loom model
+/// tests explore. Under a normal build this is plain `std` atomics and is
+/// also used by this module's unit tests; it is not wired into the engine.
+#[derive(Debug, Default)]
+pub struct SealCell {
+    commit_ts: crate::sync::atomic::AtomicI64,
+    log_size: crate::sync::atomic::AtomicU64,
+    inv_count: crate::sync::atomic::AtomicU32,
+    max_inv: crate::sync::atomic::AtomicI64,
+}
+
+impl SealCell {
+    /// A cell in the freshly-initialized state (`CT = 0`, empty log).
+    pub fn new() -> Self {
+        SealCell {
+            commit_ts: crate::sync::atomic::AtomicI64::new(0),
+            log_size: crate::sync::atomic::AtomicU64::new(0),
+            inv_count: crate::sync::atomic::AtomicU32::new(0),
+            max_inv: crate::sync::atomic::AtomicI64::new(0),
+        }
+    }
+}
+
+impl SealWords for SealCell {
+    fn commit_ts_load(&self, order: Ordering) -> Timestamp {
+        self.commit_ts.load(order)
+    }
+    fn commit_ts_store(&self, ts: Timestamp, order: Ordering) {
+        self.commit_ts.store(ts, order)
+    }
+    fn log_size_load(&self, order: Ordering) -> u64 {
+        self.log_size.load(order)
+    }
+    fn log_size_store(&self, bytes: u64, order: Ordering) {
+        self.log_size.store(bytes, order)
+    }
+    fn inv_count_load(&self, order: Ordering) -> u32 {
+        self.inv_count.load(order)
+    }
+    fn inv_count_store(&self, count: u32, order: Ordering) {
+        self.inv_count.store(count, order)
+    }
+    fn inv_count_fetch_add(&self, count: u32, order: Ordering) -> u32 {
+        self.inv_count.fetch_add(count, order)
+    }
+    fn max_inv_load(&self, order: Ordering) -> Timestamp {
+        self.max_inv.load(order)
+    }
+    fn max_inv_store(&self, ts: Timestamp, order: Ordering) {
+        self.max_inv.store(ts, order)
+    }
+    fn max_inv_fetch_max(&self, ts: Timestamp, order: Ordering) -> Timestamp {
+        self.max_inv.fetch_max(ts, order)
+    }
+}
+
+#[cfg(all(test, not(livegraph_loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_requires_coverage_and_clean_summary() {
+        let c = SealCell::new();
+        publish_commit(&c, 5, 128);
+        assert_eq!(try_seal(&c, 4), None, "uncovered commit must not seal");
+        assert_eq!(try_seal(&c, 5), Some(128));
+        record_invalidations(&c, 2, 5);
+        assert_eq!(try_seal(&c, 5), None, "dirty summary must not seal");
+        assert_eq!(covered_log(&c, 5), Some((128, 2)));
+        reset_summary(&c, 0, 0);
+        assert_eq!(try_seal(&c, 9), Some(128));
+    }
+
+    #[test]
+    fn record_invalidations_accumulates_and_tracks_max() {
+        let c = SealCell::new();
+        record_invalidations(&c, 0, 7);
+        assert_eq!(c.inv_count_load(Ordering::Acquire), 0);
+        record_invalidations(&c, 2, 7);
+        record_invalidations(&c, 1, 3);
+        assert_eq!(c.inv_count_load(Ordering::Acquire), 3);
+        assert_eq!(c.max_inv_load(Ordering::Acquire), 7);
+    }
+}

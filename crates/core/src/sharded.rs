@@ -228,12 +228,15 @@ impl ShardedGraph {
 
     /// Number of vertex ids allocated globally (including aborted ids).
     pub fn vertex_count(&self) -> u64 {
+        // ORDERING: Acquire pairs with the AcqRel id-allocation RMWs, so an
+        // observed id's shard-side bookkeeping is visible.
         self.next_vertex.load(Ordering::Acquire)
     }
 
     /// True if `vertex` has been allocated globally.
     #[inline]
     fn vertex_allocated(&self, vertex: VertexId) -> bool {
+        // ORDERING: Acquire — same allocation edge as `vertex_count`.
         vertex < self.next_vertex.load(Ordering::Acquire)
     }
 
@@ -343,6 +346,8 @@ impl ShardedGraph {
         // commit under load no longer pays N serial device flushes.
         let recovering = self.shards[0]
             .inner()
+            // ORDERING: Acquire pairs with the Release stores in `recover`,
+            // bracketing replay so no durable work is enqueued during it.
             .recovery_mode
             .load(Ordering::Acquire);
         let (epoch, tickets) = self.clock.begin_group_with(&self.epochs, parts.len(), |epoch| {
@@ -398,10 +403,13 @@ impl ShardedGraph {
     /// Replays all shard WALs to one consistent cut (see module docs).
     fn recover(&self) -> Result<()> {
         for shard in &self.shards {
+            // ORDERING: Release pairs with the Acquire load in the commit
+            // path, which skips WAL work while replay is in progress.
             shard.inner().recovery_mode.store(true, Ordering::Release);
         }
         let result = self.recover_inner();
         for shard in &self.shards {
+            // ORDERING: Release — replayed state precedes the flag clear.
             shard.inner().recovery_mode.store(false, Ordering::Release);
         }
         result
@@ -621,6 +629,8 @@ impl<'g> ShardedWriteTxn<'g> {
 
     /// Creates a new vertex with a globally allocated id and returns it.
     pub fn create_vertex(&mut self, properties: &[u8]) -> Result<VertexId> {
+        // ORDERING: AcqRel — hands out unique ids and pairs with the
+        // Acquire loads in `vertex_count`/`vertex_allocated`.
         let id = self.graph.next_vertex.fetch_add(1, Ordering::AcqRel);
         if id as usize >= self.graph.options.base.max_vertices {
             return Err(Error::Storage(livegraph_storage::StorageError::OutOfSpace {
@@ -641,6 +651,8 @@ impl<'g> ShardedWriteTxn<'g> {
                 capacity: self.graph.options.base.max_vertices,
             }));
         }
+        // ORDERING: AcqRel — monotonic bump of the allocation watermark;
+        // pairs with the Acquire loads in `vertex_allocated`.
         self.graph.next_vertex.fetch_max(vertex + 1, Ordering::AcqRel);
         let shard = self.graph.shard_of(vertex);
         self.sub(shard)?.create_vertex_with_id(vertex, properties)
@@ -649,6 +661,7 @@ impl<'g> ShardedWriteTxn<'g> {
     /// Marks a global id as allocated (recovery replay of ops that
     /// reference ids whose vertex record was never committed).
     fn reserve_vertex(&mut self, vertex: VertexId) -> Result<()> {
+        // ORDERING: AcqRel — same watermark bump as `create_vertex_with_id`.
         self.graph.next_vertex.fetch_max(vertex + 1, Ordering::AcqRel);
         let shard = self.graph.shard_of(vertex);
         self.sub(shard)?.reserve_vertex_id(vertex);
@@ -719,6 +732,9 @@ impl<'g> ShardedWriteTxn<'g> {
             let shard = graph.shard_of(vertex);
             let sub = self.sub(shard)?;
             sub.reserve_vertex_id(vertex);
+            // LOCK ORDER: the loop walks `sorted`, ascending by the global
+            // (shard, vertex id) key, so all transactions acquire along
+            // one total order and a wait cycle cannot form.
             sub.acquire_lock(vertex)?;
         }
         Ok(())

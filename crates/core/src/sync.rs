@@ -1,0 +1,72 @@
+//! Synchronization facade for the model-checked concurrency kernels.
+//!
+//! Every module whose interleavings are pinned by loom model tests —
+//! `commit` (`GroupClock`, `CommitCoordinator`), `wal` (`GroupWal`
+//! flush-leader election), `epoch`, the seal protocol in `seal`, and the
+//! server's `Demux`/`ConnQueue` — must import
+//! its primitives from here instead of `std::sync` or `parking_lot`
+//! (enforced by `tools/repolint`). Under a normal build this module is a
+//! zero-cost re-export of the production primitives; under
+//! `RUSTFLAGS="--cfg livegraph_loom"` it resolves to the `loom` shims, so
+//! the *same* shipped code runs under exhaustive schedule exploration.
+//!
+//! The facade deliberately exposes the `parking_lot` API shape
+//! (non-poisoning `lock()`, `Condvar::wait(&mut guard)`), which the loom
+//! stand-in mirrors. See `docs/ARCHITECTURE.md` § "Concurrency
+//! verification" for the rules on writing model tests.
+
+#[cfg(not(livegraph_loom))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(not(livegraph_loom))]
+pub use std::sync::Arc;
+
+/// Atomic types and memory orderings.
+#[cfg(not(livegraph_loom))]
+pub mod atomic {
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+}
+
+/// Thread spawning/yielding for code exercised inside model tests.
+#[cfg(not(livegraph_loom))]
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Spin-loop hinting; a scheduling point under the model checker.
+#[cfg(not(livegraph_loom))]
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(livegraph_loom)]
+pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+/// Atomic types and memory orderings (loom-shimmed).
+#[cfg(livegraph_loom)]
+pub mod atomic {
+    pub use loom::sync::atomic::{
+        AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+}
+
+/// Thread spawning/yielding (loom-shimmed; model runs only).
+#[cfg(livegraph_loom)]
+pub mod thread {
+    pub use loom::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Spin-loop hinting (loom-shimmed: a scheduling point).
+#[cfg(livegraph_loom)]
+pub mod hint {
+    pub use loom::hint::spin_loop;
+}
+
+// Note: the loom shim re-exports `std::sync::atomic::Ordering`, so
+// `atomic::Ordering` is the `std` type under both configurations. The one
+// place that cannot route through the shimmed atomic *types* — the TEL
+// header words, which live inside raw block memory and are pointer-cast to
+// `std` atomics (see `crate::tel`) — can therefore still share ordering
+// constants with the generic, model-checked seal protocol in `crate::seal`.

@@ -30,11 +30,18 @@
 //! its transaction-private extended sizes.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
+// The header words are accessed by pointer-casting raw block memory, which
+// the loom-shimmed facade types cannot overlay — so the raw `std` atomic
+// types are used here, while every *ordering decision* for the seal
+// protocol lives in the shared, model-checked `crate::seal` functions
+// (`Ordering` below is the facade re-export, identical in both cfgs).
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64}; // repolint: allow(facade-import)
 
 use livegraph_storage::BlockPtr;
 
 use crate::bloom::{bloom_bytes_for_block, BloomFilter};
+use crate::seal::{self, SealWords};
+use crate::sync::atomic::Ordering;
 use crate::types::{Label, Timestamp, TxnId, VertexId, NULL_TS};
 
 /// Size of the fixed TEL header in bytes.
@@ -117,47 +124,61 @@ impl<'a> EdgeEntryRef<'a> {
 
     #[inline]
     fn set_dst(&self, dst: VertexId) {
+        // SAFETY: see `atomic_i64`; plain write — only transaction-private
+        // entries (negative creation ts) are mutated through this.
         unsafe { (self.ptr as *mut u64).write(dst) }
     }
 
     /// Creation timestamp (negative while transaction-private).
     #[inline]
     pub fn creation_ts(&self) -> Timestamp {
+        // ORDERING: Acquire pairs with the Release in `set_creation_ts`, so
+        // a reader that sees a positive (committed) ts also sees the entry
+        // payload written before the apply-phase publish.
         self.atomic_i64(8).load(Ordering::Acquire)
     }
 
     /// Atomically publishes a new creation timestamp.
     #[inline]
     pub fn set_creation_ts(&self, ts: Timestamp) {
+        // ORDERING: Release pairs with the Acquire in `creation_ts`.
         self.atomic_i64(8).store(ts, Ordering::Release);
     }
 
     /// Invalidation timestamp (`NULL_TS` if not invalidated).
     #[inline]
     pub fn invalidation_ts(&self) -> Timestamp {
+        // ORDERING: Acquire pairs with the Release in `set_invalidation_ts`.
         self.atomic_i64(16).load(Ordering::Acquire)
     }
 
     /// Atomically publishes a new invalidation timestamp.
     #[inline]
     pub fn set_invalidation_ts(&self, ts: Timestamp) {
+        // ORDERING: Release pairs with the Acquire in `invalidation_ts`.
         self.atomic_i64(16).store(ts, Ordering::Release);
     }
 
     /// Offset of this entry's property bytes within the block.
     #[inline]
     pub fn prop_offset(&self) -> u32 {
+        // SAFETY: offset 24 is in bounds of the 32-byte entry; the word is
+        // written before the entry is published (see `set_prop`).
         unsafe { (self.ptr.add(24) as *const u32).read() }
     }
 
     /// Length of this entry's property bytes.
     #[inline]
     pub fn prop_len(&self) -> u32 {
+        // SAFETY: offset 28 is in bounds of the 32-byte entry, written
+        // before publication like `prop_offset`.
         unsafe { (self.ptr.add(28) as *const u32).read() }
     }
 
     #[inline]
     fn set_prop(&self, offset: u32, len: u32) {
+        // SAFETY: in-bounds plain writes; only called on entries not yet
+        // visible to readers (log size not yet advanced past them).
         unsafe {
             (self.ptr.add(24) as *mut u32).write(offset);
             (self.ptr.add(28) as *mut u32).write(len);
@@ -202,12 +223,16 @@ impl<'a> TelRef<'a> {
 
     /// Initialises a freshly allocated (zeroed) block as an empty TEL.
     pub fn init(&self, src: VertexId, label: Label, order: u8, prev: BlockPtr) {
+        // SAFETY: header offsets are in bounds (block >= MIN_TEL_BLOCK) and
+        // the block is private until its pointer is published to an index.
         unsafe {
             (self.ptr.add(OFF_SRC) as *mut u64).write(src);
             (self.ptr.add(OFF_LABEL) as *mut u64).write(label as u64);
             self.ptr.add(OFF_ORDER).write(order);
             (self.ptr.add(OFF_PREV) as *mut u64).write(prev);
         }
+        // ORDERING: Release — belt-and-braces; the block only becomes
+        // reachable via a Release index publication after init returns.
         self.commit_ts_atomic().store(0, Ordering::Release);
         self.log_size_atomic().store(0, Ordering::Release);
         self.prop_size_atomic().store(0, Ordering::Release);
@@ -229,45 +254,56 @@ impl<'a> TelRef<'a> {
     /// Source vertex recorded in the header.
     #[inline]
     pub fn src_vertex(&self) -> VertexId {
+        // SAFETY: in-bounds header word, written once in `init` before the
+        // block became reachable and immutable afterwards.
         unsafe { (self.ptr.add(OFF_SRC) as *const u64).read() }
     }
 
     /// Edge label recorded in the header.
     #[inline]
     pub fn label(&self) -> Label {
+        // SAFETY: in-bounds immutable header word (see `src_vertex`).
         unsafe { (self.ptr.add(OFF_LABEL) as *const u64).read() as Label }
     }
 
     /// Size-class order recorded in the header.
     #[inline]
     pub fn order(&self) -> u8 {
+        // SAFETY: in-bounds immutable header byte (see `src_vertex`).
         unsafe { self.ptr.add(OFF_ORDER).read() }
     }
 
     /// Pointer to the previous version of this TEL (for compaction GC).
     #[inline]
     pub fn prev_ptr(&self) -> BlockPtr {
+        // SAFETY: in-bounds header word; mutated only under the vertex
+        // lock (see `set_prev_ptr`), and GC walks hold that lock too.
         unsafe { (self.ptr.add(OFF_PREV) as *const u64).read() }
     }
 
     /// Updates the previous-version pointer.
     #[inline]
     pub fn set_prev_ptr(&self, prev: BlockPtr) {
+        // SAFETY: in-bounds plain write, only under the vertex lock.
         unsafe { (self.ptr.add(OFF_PREV) as *mut u64).write(prev) }
     }
 
     #[inline]
     fn commit_ts_atomic(&self) -> &AtomicI64 {
+        // SAFETY: OFF_COMMIT_TS is 8-byte aligned within the header; block
+        // memory outlives `'a` (see `from_raw`).
         unsafe { &*(self.ptr.add(OFF_COMMIT_TS) as *const AtomicI64) }
     }
 
     #[inline]
     fn log_size_atomic(&self) -> &AtomicU64 {
+        // SAFETY: 8-byte-aligned in-bounds header word (see above).
         unsafe { &*(self.ptr.add(OFF_LOG_SIZE) as *const AtomicU64) }
     }
 
     #[inline]
     fn prop_size_atomic(&self) -> &AtomicU64 {
+        // SAFETY: 8-byte-aligned in-bounds header word (see above).
         unsafe { &*(self.ptr.add(OFF_PROP_SIZE) as *const AtomicU64) }
     }
 
@@ -275,36 +311,60 @@ impl<'a> TelRef<'a> {
     /// TEL (`CT` in the paper). Used for the cheap first-updater-wins check.
     #[inline]
     pub fn commit_ts(&self) -> Timestamp {
+        // ORDERING: Acquire pairs with the Release CT store in
+        // `seal::publish_commit`; loaded *last* by `seal::covered_log` so a
+        // torn apply is self-detecting (CT > TRE forces the checked path).
         self.commit_ts_atomic().load(Ordering::Acquire)
     }
 
-    /// Publishes the commit timestamp (apply phase).
+    /// Publishes the commit timestamp. Outside the apply phase only
+    /// (recovery, compaction, block upgrade — contexts with mutual
+    /// exclusion); the apply phase must use [`Self::publish_commit`] so the
+    /// CT-before-LS store order is preserved.
     #[inline]
     pub fn set_commit_ts(&self, ts: Timestamp) {
+        // ORDERING: Release pairs with the Acquire loads in the seal
+        // protocol's reader path (`seal::covered_log`).
         self.commit_ts_atomic().store(ts, Ordering::Release);
+    }
+
+    /// Apply-phase publication of a commit at `epoch` with the new
+    /// committed log size: delegates to the shared, model-checked
+    /// [`seal::publish_commit`] so the store order (`CT` first, then `LS`)
+    /// is written exactly once. Invalidations must be recorded *after*
+    /// via [`Self::add_invalidations`].
+    #[inline]
+    pub fn publish_commit(&self, epoch: Timestamp, log_bytes: u64) {
+        seal::publish_commit(self, epoch, log_bytes);
     }
 
     /// Committed log size `LS` in bytes (edge entries).
     #[inline]
     pub fn log_size(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release LS store in the apply
+        // phase, so entries below LS are fully written when observed.
         self.log_size_atomic().load(Ordering::Acquire)
     }
 
     /// Publishes a new committed log size (apply phase).
     #[inline]
     pub fn set_log_size(&self, bytes: u64) {
+        // ORDERING: Release — entry payloads written before this store are
+        // visible to any reader whose Acquire load sees the new LS.
         self.log_size_atomic().store(bytes, Ordering::Release);
     }
 
     /// Committed property-region size `PS` in bytes.
     #[inline]
     pub fn prop_size(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release in `set_prop_size`.
         self.prop_size_atomic().load(Ordering::Acquire)
     }
 
     /// Publishes a new committed property size (apply phase).
     #[inline]
     pub fn set_prop_size(&self, bytes: u64) {
+        // ORDERING: Release — property bytes precede the size publish.
         self.prop_size_atomic().store(bytes, Ordering::Release);
     }
 
@@ -316,6 +376,7 @@ impl<'a> TelRef<'a> {
 
     #[inline]
     fn max_inv_atomic(&self) -> &AtomicI64 {
+        // SAFETY: OFF_MAX_INV is 8-byte aligned inside the header.
         unsafe { &*(self.ptr.add(OFF_MAX_INV) as *const AtomicI64) }
     }
 
@@ -325,6 +386,9 @@ impl<'a> TelRef<'a> {
     /// timestamp, so scans may skip per-entry visibility checks.
     #[inline]
     pub fn invalidated_count(&self) -> u32 {
+        // ORDERING: Acquire pairs with the AcqRel RMWs in
+        // `seal::record_invalidations`; loaded *first* by
+        // `seal::covered_log` (before LS and CT) per the seal protocol.
         self.inv_count_atomic().load(Ordering::Acquire)
     }
 
@@ -332,31 +396,27 @@ impl<'a> TelRef<'a> {
     /// none). Purely informational: compaction heuristics and debugging.
     #[inline]
     pub fn max_invalidation_ts(&self) -> Timestamp {
+        // ORDERING: Acquire — informational, paired with the AcqRel
+        // fetch_max in `seal::record_invalidations`.
         self.max_inv_atomic().load(Ordering::Acquire)
     }
 
     /// Overwrites the invalidation summary. Only valid while no concurrent
     /// writer can touch the TEL (init, block upgrade, compaction rewrite —
-    /// all run under the vertex lock or on private blocks).
+    /// all run under the vertex lock or on private blocks). Delegates to
+    /// the shared, model-checked [`seal::reset_summary`].
     #[inline]
     pub fn set_invalidation_summary(&self, count: u32, max_ts: Timestamp) {
-        self.inv_count_atomic().store(count, Ordering::Release);
-        self.max_inv_atomic().store(max_ts, Ordering::Release);
+        seal::reset_summary(self, count, max_ts);
     }
 
     /// Records `count` freshly committed invalidations at `epoch` (apply
-    /// phase). Must be called *after* the new `CT`/`LS` have been published:
-    /// readers load the summary first and the commit timestamp last, so an
-    /// inflated summary is detected via `CT > TRE` and falls back to the
-    /// checked scan, while a stale summary is impossible for epochs the
-    /// reader's snapshot covers.
+    /// phase). Must be called *after* [`Self::publish_commit`]; the
+    /// ordering rationale lives with the shared, model-checked
+    /// [`seal::record_invalidations`].
     #[inline]
     pub fn add_invalidations(&self, count: u32, epoch: Timestamp) {
-        if count == 0 {
-            return;
-        }
-        self.max_inv_atomic().fetch_max(epoch, Ordering::AcqRel);
-        self.inv_count_atomic().fetch_add(count, Ordering::AcqRel);
+        seal::record_invalidations(self, count, epoch);
     }
 
     /// Seal check for a read-only snapshot at epoch `tre`: returns the
@@ -364,21 +424,11 @@ impl<'a> TelRef<'a> {
     /// without per-entry checks, i.e. the last commit is covered by the
     /// snapshot (`CT <= tre`) and no committed invalidation exists.
     ///
-    /// Load order matters (summary, then `LS`, then `CT`): the apply phase
-    /// stores `CT` first and the summary last, so if any of the earlier
-    /// loads observed a concurrent in-flight commit, the final `CT` load is
-    /// guaranteed to observe that commit's epoch too — which is `> tre` for
-    /// any commit not already covered by the snapshot — and we fall back.
+    /// The load-order discipline that makes torn reads self-detecting is
+    /// shared with the loom model harness — see [`seal::try_seal`].
     #[inline]
     pub fn sealed_log(&self, tre: Timestamp) -> Option<u64> {
-        let inv = self.invalidated_count();
-        let log = self.log_size();
-        let ct = self.commit_ts();
-        if ct <= tre && inv == 0 {
-            Some(log)
-        } else {
-            None
-        }
+        seal::try_seal(self, tre)
     }
 
     /// O(1) visible-edge count for a read-only snapshot at `tre`, available
@@ -387,14 +437,8 @@ impl<'a> TelRef<'a> {
     /// TEL has newer commits and the caller must count via a checked scan.
     #[inline]
     pub fn sealed_visible_count(&self, tre: Timestamp) -> Option<usize> {
-        let inv = self.invalidated_count();
-        let log = self.log_size();
-        let ct = self.commit_ts();
-        if ct <= tre {
-            Some(Self::entry_count(log).saturating_sub(inv as usize))
-        } else {
-            None
-        }
+        seal::covered_log(self, tre)
+            .map(|(log, inv)| Self::entry_count(log).saturating_sub(inv as usize))
     }
 
     /// Offset where the property region starts (after header and Bloom
@@ -620,6 +664,45 @@ impl<'a> TelRef<'a> {
             new_prop = np;
         }
         (new_log, new_prop)
+    }
+}
+
+/// The production side of the seal protocol: dumb word accessors over the
+/// in-place header atomics. Every ordering decision is made by the shared
+/// protocol functions in [`crate::seal`], which the loom model tests drive
+/// through a facade-atomics twin ([`seal::SealCell`]) — so the discipline
+/// exercised under exhaustive interleaving exploration is the same code
+/// that runs here.
+impl SealWords for TelRef<'_> {
+    fn commit_ts_load(&self, order: Ordering) -> Timestamp {
+        self.commit_ts_atomic().load(order)
+    }
+    fn commit_ts_store(&self, ts: Timestamp, order: Ordering) {
+        self.commit_ts_atomic().store(ts, order)
+    }
+    fn log_size_load(&self, order: Ordering) -> u64 {
+        self.log_size_atomic().load(order)
+    }
+    fn log_size_store(&self, bytes: u64, order: Ordering) {
+        self.log_size_atomic().store(bytes, order)
+    }
+    fn inv_count_load(&self, order: Ordering) -> u32 {
+        self.inv_count_atomic().load(order)
+    }
+    fn inv_count_store(&self, count: u32, order: Ordering) {
+        self.inv_count_atomic().store(count, order)
+    }
+    fn inv_count_fetch_add(&self, count: u32, order: Ordering) -> u32 {
+        self.inv_count_atomic().fetch_add(count, order)
+    }
+    fn max_inv_load(&self, order: Ordering) -> Timestamp {
+        self.max_inv_atomic().load(order)
+    }
+    fn max_inv_store(&self, ts: Timestamp, order: Ordering) {
+        self.max_inv_atomic().store(ts, order)
+    }
+    fn max_inv_fetch_max(&self, ts: Timestamp, order: Ordering) -> Timestamp {
+        self.max_inv_atomic().fetch_max(ts, order)
     }
 }
 

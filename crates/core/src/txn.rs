@@ -135,6 +135,7 @@ impl<'g> ReadTxn<'g> {
 
     /// Number of vertex ids allocated so far (upper bound on vertex ids).
     pub fn vertex_count(&self) -> u64 {
+        // ORDERING: Acquire pairs with the AcqRel allocation RMWs.
         self.graph.next_vertex.load(std::sync::atomic::Ordering::Acquire)
     }
 
@@ -547,6 +548,8 @@ impl<'g> WriteTxn<'g> {
         let vertex = match self.graph.pop_free_vertex_id() {
             Some(recycled) => recycled,
             None => {
+                // ORDERING: AcqRel — unique id hand-out; pairs with the
+                // Acquire loads in `vertex_exists`/`vertex_count`.
                 let fresh = self
                     .graph
                     .next_vertex
@@ -582,6 +585,8 @@ impl<'g> WriteTxn<'g> {
                 capacity: self.graph.options.max_vertices,
             }));
         }
+        // ORDERING: AcqRel — monotonic watermark bump; pairs with the
+        // Acquire loads in `vertex_exists`/`vertex_count`.
         self.graph
             .next_vertex
             .fetch_max(vertex + 1, std::sync::atomic::Ordering::AcqRel);
@@ -598,6 +603,7 @@ impl<'g> WriteTxn<'g> {
     /// by recovery when an edge references an id whose vertex record was
     /// never committed).
     pub(crate) fn reserve_vertex_id(&mut self, vertex: VertexId) {
+        // ORDERING: AcqRel — same watermark bump as `create_vertex_with_id`.
         self.graph
             .next_vertex
             .fetch_max(vertex + 1, std::sync::atomic::Ordering::AcqRel);
@@ -982,6 +988,8 @@ impl<'g> WriteTxn<'g> {
         let ops = std::mem::take(&mut self.wal_ops);
         // Recovery replays already-persisted operations; re-logging them
         // would duplicate the WAL.
+        // ORDERING: Acquire pairs with the Release stores bracketing
+        // recovery, so replayed commits skip re-logging reliably.
         let log_to_wal = !self
             .graph
             .recovery_mode
@@ -1059,14 +1067,11 @@ impl<'g> WriteTxn<'g> {
                 let updated = li.update(label, tw.tel_ptr);
                 debug_assert!(updated);
             }
-            tel.set_commit_ts(epoch);
-            tel.set_log_size(tw.cur_log);
+            // CT first, then LS, then PS, then the invalidation summary —
+            // the store order of the seal protocol (model-checked via
+            // `seal::publish_commit`; see crates/core/tests/model_seal.rs).
+            tel.publish_commit(epoch, tw.cur_log);
             tel.set_prop_size(tw.cur_prop);
-            // Publish the invalidation summary *after* CT/LS: the seal
-            // protocol (tel.rs) has readers load the summary first and the
-            // commit timestamp last, so a reader that observes this commit's
-            // summary necessarily observes `CT = epoch > TRE` too and takes
-            // the checked path.
             tel.add_invalidations(tw.invalidations, epoch);
             // Convert -TID → TWE, scanning newest-first and stopping once all
             // private stamps of this transaction have been found.
@@ -1086,6 +1091,7 @@ impl<'g> WriteTxn<'g> {
             }
             inserted_total += tw.inserted as u64;
         }
+        // ORDERING: Relaxed — statistics counter, no publication.
         graph
             .edge_insert_count
             .fetch_add(inserted_total, std::sync::atomic::Ordering::Relaxed);

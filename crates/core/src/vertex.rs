@@ -66,6 +66,8 @@ impl<'a> VertexBlockRef<'a> {
         data: &[u8],
     ) {
         assert!(Self::required_size(data.len()) <= self.size);
+        // SAFETY: in-bounds writes (size asserted above); the block is
+        // still private to the creating transaction.
         unsafe {
             (self.ptr.add(OFF_PREV) as *mut u64).write(prev);
             (self.ptr.add(OFF_LEN) as *mut u32).write(data.len() as u32);
@@ -76,6 +78,8 @@ impl<'a> VertexBlockRef<'a> {
                 std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.add(VERTEX_HEADER_SIZE), data.len());
             }
         }
+        // ORDERING: Release — header and payload writes above precede the
+        // timestamp; pairs with the Acquire in `creation_ts`.
         self.creation_atomic().store(creation_ts, Ordering::Release);
     }
 
@@ -88,12 +92,16 @@ impl<'a> VertexBlockRef<'a> {
     /// Creation timestamp of this version (negative while uncommitted).
     #[inline]
     pub fn creation_ts(&self) -> Timestamp {
+        // ORDERING: Acquire pairs with the Release in `init` /
+        // `set_creation_ts`; a committed (positive) ts implies the payload
+        // is fully visible.
         self.creation_atomic().load(Ordering::Acquire)
     }
 
     /// Publishes the commit timestamp of this version (apply phase).
     #[inline]
     pub fn set_creation_ts(&self, ts: Timestamp) {
+        // ORDERING: Release pairs with the Acquire in `creation_ts`.
         self.creation_atomic().store(ts, Ordering::Release);
     }
 
@@ -102,6 +110,7 @@ impl<'a> VertexBlockRef<'a> {
     pub fn prev_ptr(&self) -> BlockPtr {
         // SAFETY: 8-byte aligned header word; read atomically because the
         // compactor may clear it while readers walk the chain.
+        // ORDERING: Acquire pairs with the Release in `set_prev_ptr`.
         unsafe { (*(self.ptr.add(OFF_PREV) as *const AtomicU64)).load(Ordering::Acquire) }
     }
 
@@ -109,12 +118,14 @@ impl<'a> VertexBlockRef<'a> {
     #[inline]
     pub fn set_prev_ptr(&self, prev: BlockPtr) {
         // SAFETY: see `prev_ptr`.
+        // ORDERING: Release pairs with the Acquire in `prev_ptr`.
         unsafe { (*(self.ptr.add(OFF_PREV) as *const AtomicU64)).store(prev, Ordering::Release) }
     }
 
     /// The vertex id this block belongs to.
     #[inline]
     pub fn vertex_id(&self) -> VertexId {
+        // SAFETY: in-bounds header word, immutable once published.
         unsafe { (self.ptr.add(OFF_ID) as *const u64).read() }
     }
 
@@ -123,6 +134,7 @@ impl<'a> VertexBlockRef<'a> {
     /// writes are sufficient.
     #[inline]
     pub fn mark_deleted(&self) {
+        // SAFETY: in-bounds header byte; block still transaction-private.
         unsafe { self.ptr.add(OFF_DELETED).write(1) }
     }
 
@@ -131,18 +143,21 @@ impl<'a> VertexBlockRef<'a> {
     /// after its creation epoch treat the vertex as absent.
     #[inline]
     pub fn is_deleted(&self) -> bool {
+        // SAFETY: in-bounds header byte, immutable once published.
         unsafe { self.ptr.add(OFF_DELETED).read() != 0 }
     }
 
     /// Size-class order of the block (needed to free it).
     #[inline]
     pub fn order(&self) -> u8 {
+        // SAFETY: in-bounds header byte, immutable once published.
         unsafe { self.ptr.add(OFF_ORDER).read() }
     }
 
     /// The property payload.
     #[inline]
     pub fn data(&self) -> &'a [u8] {
+        // SAFETY: in-bounds header word, immutable once published.
         let len = unsafe { (self.ptr.add(OFF_LEN) as *const u32).read() } as usize;
         debug_assert!(VERTEX_HEADER_SIZE + len <= self.size);
         // SAFETY: payload is immutable once the block is published.

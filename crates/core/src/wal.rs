@@ -16,10 +16,10 @@ use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Condvar, Mutex};
 
 use crate::error::{Error, Result};
 use crate::types::{Label, Timestamp, VertexId};
@@ -568,6 +568,8 @@ impl GroupWal {
             match flushed {
                 Ok(()) => {
                     q.durable += batch.len() as u64;
+                    // ORDERING: Relaxed — statistics counters; durability
+                    // itself is published via `q.durable` under the lock.
                     self.groups.fetch_add(1, Ordering::Relaxed);
                     self.group_records
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -606,6 +608,7 @@ impl GroupWal {
         WalStats {
             bytes: w.bytes_written(),
             fsyncs: w.fsyncs(),
+            // ORDERING: Relaxed — stats snapshot tolerates torn totals.
             groups: self.groups.load(Ordering::Relaxed),
             group_records: self.group_records.load(Ordering::Relaxed),
             torn: w.torn(),

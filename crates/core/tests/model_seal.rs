@@ -1,0 +1,124 @@
+//! Model-checked seal protocol: every interleaving of an in-flight apply
+//! against a seal-checking reader (bounded preemptions, all weak-memory
+//! outcomes the shims allow) either yields a fully consistent seal or
+//! triggers the `CT > TRE` fallback — a torn log size is never trusted.
+//!
+//! Run with `RUSTFLAGS="--cfg livegraph_loom" cargo test -p livegraph-core
+//! --test model_seal`. The `seeded_bug_*` twins invert one store order (or
+//! weaken one ordering) and prove the checker rejects it.
+#![cfg(livegraph_loom)]
+
+use livegraph_core::seal::{self, SealCell, SealWords};
+use livegraph_core::sync::atomic::{AtomicI64, Ordering};
+use livegraph_core::sync::{thread, Arc};
+
+/// Publishes the "old" state every test starts from: a commit at epoch 1
+/// whose log spans 100 bytes, clean invalidation summary.
+fn seeded_cell() -> Arc<SealCell> {
+    let cell = Arc::new(SealCell::new());
+    seal::publish_commit(&*cell, 1, 100);
+    cell
+}
+
+// A reader whose snapshot does NOT cover the in-flight commit must either
+// miss it entirely (the old, consistent state) or detect it via the final
+// CT load and bail out. It must never seal a torn mix of old and new words.
+#[test]
+fn uncovered_reader_never_trusts_a_torn_seal() {
+    loom::model(|| {
+        let cell = seeded_cell();
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            seal::publish_commit(&*c2, 5, 200);
+            seal::record_invalidations(&*c2, 3, 5);
+        });
+        match seal::covered_log(&*cell, 1) {
+            None => {}             // observed the in-flight commit: fallback
+            Some((100, 0)) => {}   // the old state, fully consistent
+            Some(torn) => panic!("torn seal read accepted: {torn:?}"),
+        }
+        writer.join().unwrap();
+    });
+}
+
+// The cross-structure half of the guarantee: a reader only acquires a
+// snapshot covering epoch E after GRE has advanced past E, and GRE only
+// advances after the whole apply (summary included). Through that
+// release/acquire edge a covered reader must observe the complete apply —
+// a stale summary is impossible, not merely detected.
+#[test]
+fn gre_edge_gives_covered_readers_the_complete_apply() {
+    loom::model(|| {
+        let cell = seeded_cell();
+        let gre = Arc::new(AtomicI64::new(1));
+        let c2 = Arc::clone(&cell);
+        let g2 = Arc::clone(&gre);
+        let writer = thread::spawn(move || {
+            seal::publish_commit(&*c2, 5, 200);
+            seal::record_invalidations(&*c2, 3, 5);
+            // The commit tracker publishes GRE only after the full apply.
+            g2.store(5, Ordering::Release);
+        });
+        let tre = gre.load(Ordering::Acquire);
+        let got = seal::covered_log(&*cell, tre);
+        if tre == 5 {
+            assert_eq!(
+                got,
+                Some((200, 3)),
+                "snapshot covers epoch 5: the seal must be the full apply"
+            );
+        } else {
+            assert!(
+                got.is_none() || got == Some((100, 0)),
+                "uncovered reader saw a torn seal: {got:?}"
+            );
+        }
+        writer.join().unwrap();
+    });
+}
+
+// Seeded bug: storing LS before CT (the reverse of `seal::publish_commit`)
+// lets a reader pair the new log size with the old commit timestamp and
+// seal a log it has not fully seen. The checker must find the interleaving.
+#[test]
+#[should_panic(expected = "loom model failure")]
+fn seeded_bug_ls_before_ct_is_caught() {
+    loom::model(|| {
+        let cell = seeded_cell();
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            // BUG (deliberate): the reversed store order.
+            c2.log_size_store(200, Ordering::Release);
+            c2.commit_ts_store(5, Ordering::Release);
+        });
+        let got = seal::covered_log(&*cell, 1);
+        assert!(
+            got.is_none() || got == Some((100, 0)),
+            "torn seal read accepted: {got:?}"
+        );
+        writer.join().unwrap();
+    });
+}
+
+// Seeded bug: the correct store order but Relaxed stores — without the
+// release/acquire chain the final CT load is no longer forced to observe
+// the in-flight epoch after a torn LS read.
+#[test]
+#[should_panic(expected = "loom model failure")]
+fn seeded_bug_relaxed_publication_is_caught() {
+    loom::model(|| {
+        let cell = seeded_cell();
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            // BUG (deliberate): right order, missing Release.
+            c2.commit_ts_store(5, Ordering::Relaxed);
+            c2.log_size_store(200, Ordering::Relaxed);
+        });
+        let got = seal::covered_log(&*cell, 1);
+        assert!(
+            got.is_none() || got == Some((100, 0)),
+            "torn seal read accepted: {got:?}"
+        );
+        writer.join().unwrap();
+    });
+}

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod client;
 mod engine;
@@ -56,6 +57,16 @@ pub mod reactor;
 pub mod replication;
 mod server;
 mod session;
+
+/// The concurrency facade (std/parking_lot normally, loom shims under
+/// `--cfg livegraph_loom`) — re-exported so this crate's shimmed modules
+/// and model tests name one path.
+pub use livegraph_core::sync;
+
+#[doc(hidden)]
+pub use pipeline::{demux_wait, Demux, Reply};
+#[doc(hidden)]
+pub use server::ConnQueue;
 
 pub use client::{
     Client, ClientError, ClientPool, ClientResult, PooledClient, RemoteTxn, DEFAULT_IO_TIMEOUT,

@@ -42,8 +42,7 @@ use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
-
+use livegraph_core::sync::{Condvar, Mutex};
 use livegraph_core::types::{Label, VertexId};
 
 use crate::client::{ClientError, ClientResult, DEFAULT_IO_TIMEOUT};
@@ -56,8 +55,9 @@ pub const DEFAULT_PIPELINE_DEPTH: usize = 32;
 
 /// A fully reassembled reply: either a single terminal response frame, or
 /// the concatenation of a `NeighborChunk` stream.
+#[doc(hidden)]
 #[derive(Debug, PartialEq, Eq)]
-pub(crate) enum Reply {
+pub enum Reply {
     /// One terminal (non-chunk, non-error) response frame.
     One(Response),
     /// A complete `Neighbors` stream, chunks concatenated in arrival order.
@@ -94,9 +94,11 @@ enum Slot {
 /// The correlation-id demultiplexer: routes response frames (in whatever
 /// order and interleaving the transport delivers them) into per-request
 /// reply slots. Transport-independent so the routing rules are directly
-/// property-testable (see the tests below).
+/// property-testable (see the tests below) and the wait/reader-election
+/// loop ([`demux_wait`]) is model-checkable against a scripted transport.
+#[doc(hidden)]
 #[derive(Debug, Default)]
-pub(crate) struct Demux {
+pub struct Demux {
     slots: HashMap<u64, Slot>,
     next_corr: u64,
     poison: Option<Poison>,
@@ -107,7 +109,8 @@ pub(crate) struct Demux {
 
 impl Demux {
     /// Registers a fresh correlation id with an empty pending slot.
-    pub(crate) fn register(&mut self) -> u64 {
+    #[doc(hidden)]
+    pub fn register(&mut self) -> u64 {
         self.next_corr += 1;
         let corr = self.next_corr;
         self.slots.insert(corr, Slot::Pending { chunks: Vec::new() });
@@ -115,7 +118,8 @@ impl Demux {
     }
 
     /// Requests currently occupying slots (pending or unclaimed).
-    pub(crate) fn in_flight(&self) -> usize {
+    #[doc(hidden)]
+    pub fn in_flight(&self) -> usize {
         self.slots.len()
     }
 
@@ -128,7 +132,8 @@ impl Demux {
     /// Routes one response frame. `Err` means the *stream* is broken
     /// (unknown correlation id, duplicate terminal frame): the caller must
     /// poison the connection.
-    pub(crate) fn route(&mut self, corr: u64, resp: Response) -> Result<(), String> {
+    #[doc(hidden)]
+    pub fn route(&mut self, corr: u64, resp: Response) -> Result<(), String> {
         let slot = self
             .slots
             .get_mut(&corr)
@@ -156,7 +161,8 @@ impl Demux {
 
     /// Claims a completed reply, removing its slot. `None` while frames
     /// are still outstanding.
-    pub(crate) fn take_ready(&mut self, corr: u64) -> Option<Result<Reply, ClientError>> {
+    #[doc(hidden)]
+    pub fn take_ready(&mut self, corr: u64) -> Option<Result<Reply, ClientError>> {
         match self.slots.get(&corr) {
             Some(Slot::Ready(_)) => match self.slots.remove(&corr) {
                 Some(Slot::Ready(r)) => Some(r),
@@ -351,50 +357,10 @@ impl PipelinedClient {
     }
 
     /// Blocks until `corr`'s reply is complete (or the connection dies).
-    ///
-    /// There is no dedicated reader thread: whenever a reply is still
-    /// outstanding and nobody is reading the socket, one waiter elects
-    /// itself reader (by taking the `read_half` lock), routes a batch of
-    /// response frames for *all* waiters, and re-checks. Everyone else
-    /// sleeps on the condvar until the reader's broadcast.
     fn wait(&self, corr: u64) -> ClientResult<Reply> {
-        let mut demux = self.demux.lock();
-        loop {
-            if let Some(result) = demux.take_ready(corr) {
-                // Broadcast if submitters are queued on the depth bound, or
-                // if other replies are still pending: we may have been the
-                // active reader, and waiters woken mid-batch went back to
-                // sleep because we still held `read_half` — one of them
-                // must wake now (the lock is free again) to take over read
-                // duty, or a straggler waits forever.
-                if demux.depth_waiters > 0 || demux.any_pending() {
-                    self.cv.notify_all();
-                }
-                return result;
-            }
-            if let Some(p) = &demux.poison {
-                let err = p.to_error();
-                demux.slots.remove(&corr);
-                return Err(err);
-            }
-            match self.read_half.try_lock() {
-                Some(mut half) => {
-                    // We are the reader until our own reply lands. Read
-                    // without the demux lock so submitters keep flowing.
-                    drop(demux);
-                    self.read_batch(&mut half);
-                    drop(half);
-                    demux = self.demux.lock();
-                }
-                None => {
-                    // Someone else is reading; their broadcast wakes us.
-                    // No lost-wakeup window: the reader re-takes the demux
-                    // lock to route + notify, and we only sleep while
-                    // holding it.
-                    self.cv.wait(&mut demux);
-                }
-            }
-        }
+        demux_wait(&self.demux, &self.cv, &self.read_half, corr, |half| {
+            self.read_batch(half)
+        })
     }
 
     /// Reads one blocking response frame plus every complete frame already
@@ -619,6 +585,67 @@ impl PipelinedClient {
         match self.one(&Request::Stats, "Stats")? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+}
+
+/// The wait/reader-election loop behind [`PipelinedClient`]: blocks until
+/// `corr`'s reply is complete (or the connection is poisoned).
+///
+/// There is no dedicated reader thread: whenever a reply is still
+/// outstanding and nobody is reading the socket, one waiter elects itself
+/// reader (by taking the `read_half` lock), routes a batch of response
+/// frames for *all* waiters, and re-checks. Everyone else sleeps on the
+/// condvar until the reader's broadcast.
+///
+/// Generic over the read half so the model tests
+/// (`crates/server/tests/model_pipeline.rs`) can drive the exact
+/// production election/wakeup protocol against a scripted transport;
+/// `read_batch` must route its frames under `demux` and broadcast `cv`,
+/// as [`PipelinedClient::read_batch`] does.
+#[doc(hidden)]
+pub fn demux_wait<R>(
+    demux_mx: &Mutex<Demux>,
+    cv: &Condvar,
+    read_half: &Mutex<R>,
+    corr: u64,
+    mut read_batch: impl FnMut(&mut R),
+) -> ClientResult<Reply> {
+    let mut demux = demux_mx.lock();
+    loop {
+        if let Some(result) = demux.take_ready(corr) {
+            // Broadcast if submitters are queued on the depth bound, or
+            // if other replies are still pending: we may have been the
+            // active reader, and waiters woken mid-batch went back to
+            // sleep because we still held `read_half` — one of them
+            // must wake now (the lock is free again) to take over read
+            // duty, or a straggler waits forever.
+            if demux.depth_waiters > 0 || demux.any_pending() {
+                cv.notify_all();
+            }
+            return result;
+        }
+        if let Some(p) = &demux.poison {
+            let err = p.to_error();
+            demux.slots.remove(&corr);
+            return Err(err);
+        }
+        match read_half.try_lock() {
+            Some(mut half) => {
+                // This thread is the reader until its own reply lands.
+                // Read without the demux lock so submitters keep flowing.
+                drop(demux);
+                read_batch(&mut half);
+                drop(half);
+                demux = demux_mx.lock();
+            }
+            None => {
+                // Someone else is reading; their broadcast wakes us.
+                // No lost-wakeup window: the reader re-takes the demux
+                // lock to route + notify, and we only sleep while
+                // holding it.
+                cv.wait(&mut demux);
+            }
         }
     }
 }

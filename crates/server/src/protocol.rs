@@ -1329,6 +1329,63 @@ mod tests {
         ]
     }
 
+    /// Exhaustive complement to `frame_accum_is_split_invariant`: the
+    /// proptest samples fragmentations, this walks *every* one- and
+    /// two-cut split of a fixed multi-frame wire image, so no boundary
+    /// (mid-length-prefix, mid-correlation-id, mid-body, exactly on a
+    /// frame edge) is left to sampling luck.
+    #[test]
+    fn frame_accum_decodes_across_every_split_point() {
+        let reqs = vec![
+            Request::BeginRead { at_epoch: None },
+            Request::PutVertex {
+                txn: TxnHandle(3),
+                vertex: 42,
+                properties: b"split-me".to_vec(),
+            },
+            Request::Commit { txn: TxnHandle(3) },
+        ];
+        let mut wire = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            write_request(&mut wire, i as u64, req).unwrap();
+        }
+        let expect: Vec<(u64, Request)> = reqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect();
+
+        let drain = |accum: &mut FrameAccum, out: &mut Vec<(u64, Request)>| {
+            while let Some(frame) = accum.next_request().unwrap() {
+                out.push(frame);
+            }
+        };
+        // Every single cut.
+        for cut in 0..=wire.len() {
+            let mut accum = FrameAccum::new();
+            let mut got = Vec::new();
+            accum.push(&wire[..cut]);
+            drain(&mut accum, &mut got);
+            accum.push(&wire[cut..]);
+            drain(&mut accum, &mut got);
+            assert!(accum.is_empty(), "cut {cut} left {} bytes", accum.pending_bytes());
+            assert_eq!(got, expect, "single cut at {cut}");
+        }
+        // Every pair of cuts (three segments, including empty ones).
+        for a in 0..=wire.len() {
+            for b in a..=wire.len() {
+                let mut accum = FrameAccum::new();
+                let mut got = Vec::new();
+                for seg in [&wire[..a], &wire[a..b], &wire[b..]] {
+                    accum.push(seg);
+                    drain(&mut accum, &mut got);
+                }
+                assert!(accum.is_empty(), "cuts ({a},{b}) left bytes");
+                assert_eq!(got, expect, "cuts at ({a},{b})");
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn every_request_roundtrips(req in request_strategy()) {

@@ -79,6 +79,7 @@ struct Epoll {
 
 impl Epoll {
     fn new() -> io::Result<Epoll> {
+        // SAFETY: no pointers involved; the kernel validates the flags.
         let fd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -88,6 +89,8 @@ impl Epoll {
 
     fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
         let mut ev = libc::epoll_event { events, u64: token };
+        // SAFETY: `ev` is a live stack value for the duration of the call;
+        // `self.fd` is an owned, open epoll fd.
         let rc = unsafe { libc::epoll_ctl(self.fd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -111,6 +114,8 @@ impl Epoll {
     /// returns the number of readiness records written into `events`.
     fn wait(&self, events: &mut [libc::epoll_event]) -> io::Result<usize> {
         loop {
+            // SAFETY: the kernel writes at most `events.len()` records into
+            // the caller's live slice; `self.fd` is an owned epoll fd.
             let n = unsafe {
                 libc::epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, -1)
             };
@@ -127,11 +132,12 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
+        // SAFETY: `self.fd` is owned by this struct and closed exactly once.
         unsafe { libc::close(self.fd) };
     }
 }
 
-// Safety: the epoll fd is just an integer handle; the kernel serialises
+// SAFETY: the epoll fd is just an integer handle; the kernel serialises
 // `epoll_ctl`/`epoll_wait` internally.
 unsafe impl Send for Epoll {}
 unsafe impl Sync for Epoll {}
@@ -143,11 +149,12 @@ struct EventFd {
 
 impl EventFd {
     fn new() -> io::Result<EventFd> {
+        // SAFETY: no pointers involved; the kernel validates the flags.
         let fd = unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
         }
-        // Safety: `fd` is a freshly created, owned eventfd.
+        // SAFETY: `fd` is a freshly created, owned eventfd.
         Ok(EventFd {
             file: unsafe { File::from_raw_fd(fd) },
         })
@@ -426,12 +433,14 @@ impl ReactorServer {
 
     /// Total connections accepted so far.
     pub fn connections_accepted(&self) -> u64 {
+        // ORDERING: Relaxed — monitoring gauge, no data published.
         self.connections.load(Ordering::Relaxed)
     }
 
     /// Connections currently registered with the event loops (excludes
     /// replica-handoff streams).
     pub fn active_connections(&self) -> u64 {
+        // ORDERING: Relaxed — monitoring gauge, no data published.
         self.active.load(Ordering::Relaxed)
     }
 
@@ -489,6 +498,7 @@ fn reactor_accept_loop(
                 if shutdown.load(Ordering::SeqCst) {
                     return; // `stream` is the shutdown wake-up; drop both.
                 }
+                // ORDERING: Relaxed — monitoring counter, no publication.
                 connections.fetch_add(1, Ordering::Relaxed);
                 if nodelay {
                     let _ = stream.set_nodelay(true);
@@ -574,10 +584,12 @@ fn event_loop(
                 }
                 Err(Close::Gone) => {
                     conns.remove(&token);
+                    // ORDERING: Relaxed — monitoring gauge, no publication.
                     active.fetch_sub(1, Ordering::Relaxed);
                 }
                 Err(Close::Replica { corr, last_epoch }) => {
                     let conn = conns.remove(&token).expect("conn present");
+                    // ORDERING: Relaxed — monitoring gauge, no publication.
                     active.fetch_sub(1, Ordering::Relaxed);
                     let _ = epoll.delete(conn.stream.as_raw_fd());
                     // A replica sends nothing after its Hello until the
@@ -624,11 +636,13 @@ fn event_loop(
                     first: true,
                 },
             );
+            // ORDERING: Relaxed — monitoring gauge, no publication.
             active.fetch_add(1, Ordering::Relaxed);
         }
     }
     // Shutdown: drop every connection; Session destructors roll back all
     // open transactions (locks + epoch pins released).
+    // ORDERING: Relaxed — monitoring gauge, no publication.
     active.fetch_sub(conns.len() as u64, Ordering::Relaxed);
     conns.clear();
 }
@@ -647,6 +661,7 @@ fn handoff_replica(
     if stream.set_nonblocking(false).is_err() {
         return;
     }
+    // ORDERING: Relaxed — unique-id counter; atomicity suffices.
     let id = handoffs.next_id.fetch_add(1, Ordering::Relaxed);
     if let Ok(clone) = stream.try_clone() {
         handoffs.streams.lock().insert(id, clone);

@@ -253,10 +253,12 @@ impl ReplicationState {
     /// Replica-side: last observed replication lag in epochs
     /// (`primary_epoch - local_gre` at the most recent batch).
     pub fn replication_lag(&self) -> i64 {
+        // ORDERING: Relaxed — monitoring gauge, no data published.
         self.lag.load(Ordering::Relaxed)
     }
 
     fn set_lag(&self, lag: i64) {
+        // ORDERING: Relaxed — monitoring gauge, no data published.
         self.lag.store(lag.max(0), Ordering::Relaxed);
     }
 

@@ -14,11 +14,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use livegraph_core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use livegraph_core::sync::{Arc, Condvar, Mutex};
 
 use crate::engine::Engine;
 use crate::protocol::{read_request, write_response, Request};
@@ -35,6 +34,7 @@ struct ConnTracker {
 
 impl ConnTracker {
     fn track(&self, stream: &TcpStream) -> u64 {
+        // ORDERING: Relaxed — unique-id counter; atomicity suffices.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
             self.conns.lock().insert(id, clone);
@@ -61,19 +61,33 @@ impl ConnTracker {
 /// the lock was "held only while dequeuing", which was exactly what the
 /// code did not do). Here the mutex is held only to push or pop; idle
 /// handlers park on the condvar and a new connection wakes exactly one.
-struct ConnQueue {
-    state: Mutex<ConnQueueState>,
+///
+/// Generic over the payload so the model tests
+/// (`crates/server/tests/model_pipeline.rs`) can drive the exact
+/// production queue with a plain token instead of a `TcpStream`.
+#[doc(hidden)]
+pub struct ConnQueue<T> {
+    state: Mutex<ConnQueueState<T>>,
     cv: Condvar,
 }
 
-#[derive(Default)]
-struct ConnQueueState {
-    pending: VecDeque<TcpStream>,
+struct ConnQueueState<T> {
+    pending: VecDeque<T>,
     closed: bool,
 }
 
-impl ConnQueue {
-    fn new() -> ConnQueue {
+impl<T> Default for ConnQueueState<T> {
+    fn default() -> Self {
+        ConnQueueState {
+            pending: VecDeque::new(),
+            closed: false,
+        }
+    }
+}
+
+impl<T> ConnQueue<T> {
+    #[doc(hidden)]
+    pub fn new() -> ConnQueue<T> {
         ConnQueue {
             state: Mutex::new(ConnQueueState::default()),
             cv: Condvar::new(),
@@ -82,7 +96,8 @@ impl ConnQueue {
 
     /// Enqueues a connection; false once the queue is closed (the
     /// connection is dropped by the caller).
-    fn push(&self, stream: TcpStream) -> bool {
+    #[doc(hidden)]
+    pub fn push(&self, stream: T) -> bool {
         let mut st = self.state.lock();
         if st.closed {
             return false;
@@ -95,14 +110,16 @@ impl ConnQueue {
 
     /// Marks the queue closed and wakes every parked handler. Already
     /// queued connections are still drained by `pop`.
-    fn close(&self) {
+    #[doc(hidden)]
+    pub fn close(&self) {
         self.state.lock().closed = true;
         self.cv.notify_all();
     }
 
     /// Blocks until a connection is available; `None` once the queue is
     /// closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
+    #[doc(hidden)]
+    pub fn pop(&self) -> Option<T> {
         let mut st = self.state.lock();
         loop {
             if let Some(stream) = st.pending.pop_front() {
@@ -113,6 +130,12 @@ impl ConnQueue {
             }
             self.cv.wait(&mut st);
         }
+    }
+}
+
+impl<T> Default for ConnQueue<T> {
+    fn default() -> Self {
+        ConnQueue::new()
     }
 }
 
@@ -176,7 +199,7 @@ pub struct Server {
     connections: Arc<AtomicU64>,
     replication: Arc<ReplicationState>,
     tracker: Arc<ConnTracker>,
-    queue: Arc<ConnQueue>,
+    queue: Arc<ConnQueue<TcpStream>>,
 }
 
 impl Server {
@@ -233,6 +256,7 @@ impl Server {
 
     /// Total connections accepted so far.
     pub fn connections_accepted(&self) -> u64 {
+        // ORDERING: Relaxed — monitoring counter, no data published.
         self.connections.load(Ordering::Relaxed)
     }
 
@@ -280,7 +304,7 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, queue: &ConnQueue, shutdown: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, queue: &ConnQueue<TcpStream>, shutdown: &AtomicBool) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -314,7 +338,7 @@ fn handler_loop(
     engine: &Engine,
     replication: &ReplicationState,
     tracker: &ConnTracker,
-    queue: &ConnQueue,
+    queue: &ConnQueue<TcpStream>,
     connections: &AtomicU64,
     nodelay: bool,
 ) {
@@ -322,6 +346,7 @@ fn handler_loop(
     // see `ConnQueue`), and returns `None` once the queue closes at
     // shutdown.
     while let Some(stream) = queue.pop() {
+        // ORDERING: Relaxed — monitoring counter, no publication.
         connections.fetch_add(1, Ordering::Relaxed);
         if nodelay {
             let _ = stream.set_nodelay(true);

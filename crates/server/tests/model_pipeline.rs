@@ -1,0 +1,152 @@
+//! Model-checked service-layer wakeup protocols: the pipelined client's
+//! reader election (`demux_wait`) driven against a scripted transport, and
+//! the acceptor→handler `ConnQueue` including the shutdown-vs-enqueue
+//! race. A lost wakeup in either protocol is a model deadlock.
+//!
+//! Run with `RUSTFLAGS="--cfg livegraph_loom" cargo test -p
+//! livegraph-server --test model_pipeline`.
+#![cfg(livegraph_loom)]
+
+use std::collections::VecDeque;
+
+use livegraph_server::protocol::Response;
+use livegraph_server::sync::{thread, Arc, Condvar, Mutex};
+use livegraph_server::{demux_wait, ConnQueue, Demux};
+
+/// A scripted read half: the frames "the server" will deliver, in order.
+type Script = VecDeque<(u64, Response)>;
+
+/// Runs `demux_wait` for `corr` against the scripted transport, routing
+/// one frame per read — the exact shape of `PipelinedClient::read_batch`
+/// (route under the demux lock, then broadcast).
+fn scripted_wait(
+    demux_mx: &Mutex<Demux>,
+    cv: &Condvar,
+    read_half: &Mutex<Script>,
+    corr: u64,
+) -> livegraph_server::Reply {
+    demux_wait(demux_mx, cv, read_half, corr, |half: &mut Script| {
+        if let Some((corr, resp)) = half.pop_front() {
+            let mut demux = demux_mx.lock();
+            demux.route(corr, resp).unwrap();
+            drop(demux);
+            cv.notify_all();
+        }
+    })
+    .unwrap()
+}
+
+// Two waiters, two replies. Whichever waiter elects itself reader may see
+// its own reply land first and retire while the other still sleeps on the
+// condvar; the retiring reader's final broadcast must hand read duty over,
+// or the straggler sleeps forever (a deadlock the checker would report).
+#[test]
+fn reader_election_loses_no_wakeups() {
+    loom::model(|| {
+        let demux_mx = Arc::new(Mutex::new(Demux::default()));
+        let cv = Arc::new(Condvar::new());
+        let (c1, c2) = {
+            let mut d = demux_mx.lock();
+            (d.register(), d.register())
+        };
+        let read_half: Arc<Mutex<Script>> = Arc::new(Mutex::new(
+            [(c1, Response::Pong), (c2, Response::Done)].into(),
+        ));
+        let joins: Vec<_> = [c1, c2]
+            .into_iter()
+            .map(|corr| {
+                let demux_mx = Arc::clone(&demux_mx);
+                let cv = Arc::clone(&cv);
+                let read_half = Arc::clone(&read_half);
+                thread::spawn(move || scripted_wait(&demux_mx, &cv, &read_half, corr))
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(demux_mx.lock().in_flight(), 0, "every slot claimed");
+    });
+}
+
+// Out-of-order completion: the transport delivers the replies in the
+// reverse of registration order, so the reader necessarily routes someone
+// else's reply before its own — the broadcast after routing is what wakes
+// the other waiter.
+#[test]
+fn reader_election_survives_out_of_order_replies() {
+    loom::model(|| {
+        let demux_mx = Arc::new(Mutex::new(Demux::default()));
+        let cv = Arc::new(Condvar::new());
+        let (c1, c2) = {
+            let mut d = demux_mx.lock();
+            (d.register(), d.register())
+        };
+        let read_half: Arc<Mutex<Script>> = Arc::new(Mutex::new(
+            [(c2, Response::Done), (c1, Response::Pong)].into(),
+        ));
+        let joins: Vec<_> = [c1, c2]
+            .into_iter()
+            .map(|corr| {
+                let demux_mx = Arc::clone(&demux_mx);
+                let cv = Arc::clone(&cv);
+                let read_half = Arc::clone(&read_half);
+                thread::spawn(move || scripted_wait(&demux_mx, &cv, &read_half, corr))
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(demux_mx.lock().in_flight(), 0);
+    });
+}
+
+// Shutdown-vs-enqueue race: a push that returned `true` must be delivered
+// even when `close` races it — `pop` drains accepted connections before
+// reporting the queue closed. A push that lost the race returns `false`
+// and its connection is dropped by the acceptor, never silently queued.
+#[test]
+fn conn_queue_delivers_every_accepted_push() {
+    loom::model(|| {
+        let q = Arc::new(ConnQueue::<u32>::new());
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || (q.push(1), q.push(2)))
+        };
+        let closer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.close())
+        };
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        let (a, b) = producer.join().unwrap();
+        closer.join().unwrap();
+        let expect: Vec<u32> = [(a, 1), (b, 2)]
+            .iter()
+            .filter(|(accepted, _)| *accepted)
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(got, expect, "accepted pushes delivered in FIFO order");
+    });
+}
+
+// Parked handlers: one wakes for the connection (notify_one must not be
+// lost while the other handler also sleeps), the other wakes for shutdown.
+#[test]
+fn conn_queue_wakes_parked_handlers() {
+    loom::model(|| {
+        let q = Arc::new(ConnQueue::<u32>::new());
+        let handlers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        assert!(q.push(7), "queue still open");
+        q.close();
+        let mut got: Vec<Option<u32>> = handlers.into_iter().map(|j| j.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, Some(7)]);
+    });
+}

@@ -156,6 +156,8 @@ impl BlockStore {
 
     /// High-water mark of the bump allocator in bytes.
     pub fn bump_bytes(&self) -> usize {
+        // ORDERING: Relaxed — statistics read; allocation correctness is
+        // carried by the fetch_add's atomicity, not by this load.
         self.tail.load(Ordering::Relaxed)
     }
 
@@ -173,14 +175,19 @@ impl BlockStore {
             return Err(StorageError::InvalidSizeClass { order });
         }
         if let Some(ptr) = self.pop_free(order) {
+            // ORDERING: Relaxed — statistics counter, no publication.
             self.counters[order as usize].free.fetch_sub(1, Ordering::Relaxed);
             self.note_alloc(order);
             return Ok(ptr);
         }
         let size = size_for_order(order);
+        // ORDERING: Relaxed — the RMW's atomicity makes ranges disjoint;
+        // the block's contents are published via the index pointer
+        // (Release) after initialisation, not via `tail`.
         let offset = self.tail.fetch_add(size, Ordering::Relaxed);
         if offset + size > self.region.capacity() {
             // Roll back so repeated failures do not overflow the counter.
+            // ORDERING: Relaxed — same counter, atomicity suffices.
             self.tail.fetch_sub(size, Ordering::Relaxed);
             return Err(StorageError::OutOfSpace {
                 requested: size,
@@ -212,6 +219,8 @@ impl BlockStore {
         debug_assert_ne!(ptr, NULL_BLOCK, "cannot free the null block");
         debug_assert!((order as usize) < TRACKED_ORDERS);
         let c = &self.counters[order as usize];
+        // ORDERING: Relaxed — statistics counters; the free list itself is
+        // protected by its mutex below.
         c.live.fetch_sub(1, Ordering::Relaxed);
         c.free.fetch_add(1, Ordering::Relaxed);
         if order <= self.small_threshold {
@@ -254,10 +263,12 @@ impl BlockStore {
             .counters
             .iter()
             .enumerate()
+            // ORDERING: Relaxed — stats snapshot tolerates torn totals.
             .filter(|(_, c)| c.total.load(Ordering::Relaxed) > 0)
             .map(|(order, c)| SizeClassStats {
                 order: order as u8,
                 block_size: size_for_order(order as u8),
+                // ORDERING: Relaxed — stats snapshot, see above.
                 live_blocks: c.live.load(Ordering::Relaxed),
                 free_blocks: c.free.load(Ordering::Relaxed),
                 total_allocations: c.total.load(Ordering::Relaxed),
@@ -272,6 +283,7 @@ impl BlockStore {
 
     fn note_alloc(&self, order: u8) {
         let c = &self.counters[order as usize];
+        // ORDERING: Relaxed — statistics counters, no publication.
         c.live.fetch_add(1, Ordering::Relaxed);
         c.total.fetch_add(1, Ordering::Relaxed);
     }
@@ -300,6 +312,8 @@ impl BlockStore {
         SHARD_HINT.with(|hint| {
             let mut v = hint.get();
             if v == usize::MAX {
+                // ORDERING: Relaxed — round-robin shard assignment only
+                // needs unique values, not ordering.
                 v = self.shard_counter.fetch_add(1, Ordering::Relaxed);
                 hint.set(v);
             }

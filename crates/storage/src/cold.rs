@@ -98,6 +98,7 @@ impl ColdAccessSimulator {
         let last = offset.saturating_add(len.saturating_sub(1)) / self.page_size;
         let mut stall = Duration::ZERO;
         for page in first..=last {
+            // ORDERING: Relaxed — simulation counters, no publication.
             self.accesses.fetch_add(1, Ordering::Relaxed);
             if !self.touch(page) {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -149,6 +150,7 @@ impl ColdAccessSimulator {
     /// Returns accumulated access statistics.
     pub fn stats(&self) -> ColdAccessStats {
         ColdAccessStats {
+            // ORDERING: Relaxed — stats snapshot tolerates torn totals.
             accesses: self.accesses.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }

@@ -154,6 +154,7 @@ impl PageCache {
     /// Current statistics.
     pub fn stats(&self) -> PageCacheStats {
         PageCacheStats {
+            // ORDERING: Relaxed — stats snapshot tolerates torn totals.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             write_backs: self.write_backs.load(Ordering::Relaxed),
@@ -233,6 +234,7 @@ impl PageCache {
                 let page = inner.frames[i].page.expect("dirty frame must hold a page");
                 self.write_back(&inner.frames[i].data, page)?;
                 inner.frames[i].dirty = false;
+                // ORDERING: Relaxed — statistics counter, no publication.
                 self.write_backs.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -244,6 +246,8 @@ impl PageCache {
     /// necessary. `overwrite` skips the read from disk for full-page writes.
     fn frame_for(&self, inner: &mut CacheInner, page: PageId, overwrite: bool) -> Result<usize> {
         if let Some(&frame) = inner.table.get(&page) {
+            // ORDERING: Relaxed — statistics counters, no publication
+            // (here and the miss/write-back/eviction bumps below).
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(frame);
         }
@@ -253,9 +257,11 @@ impl PageCache {
         if let Some(old_page) = inner.frames[victim].page {
             if inner.frames[victim].dirty {
                 self.write_back(&inner.frames[victim].data, old_page)?;
+                // ORDERING: Relaxed — statistics counter, no publication.
                 self.write_backs.fetch_add(1, Ordering::Relaxed);
             }
             inner.table.remove(&old_page);
+            // ORDERING: Relaxed — statistics counter, no publication.
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         // Load the new page (or zero-fill for a full overwrite / fresh page).

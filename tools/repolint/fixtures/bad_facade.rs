@@ -1,0 +1,8 @@
+// Negative fixture: direct std::sync / parking_lot imports, which a
+// facade-migrated module must not have.
+use std::sync::Arc;
+use parking_lot::{Condvar, Mutex};
+
+fn main() {
+    let _ = Arc::new(Mutex::new(Condvar::new()));
+}

@@ -1,0 +1,13 @@
+// Negative fixture: a vertex lock acquisition with no ordering citation.
+fn lock_all(sub: &mut Sub, vertices: &[u64]) {
+    for &vertex in vertices {
+        sub.acquire_lock(vertex);
+    }
+}
+
+struct Sub;
+impl Sub {
+    fn acquire_lock(&mut self, _v: u64) {}
+}
+
+fn main() {}

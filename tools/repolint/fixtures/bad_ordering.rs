@@ -1,0 +1,9 @@
+// Negative fixture: non-SeqCst orderings with no ORDERING comment.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    let a = AtomicU64::new(0);
+    a.store(1, Ordering::Release);
+    let _ = a.load(Ordering::Acquire);
+    let _ = a.fetch_add(1, Ordering::Relaxed);
+}

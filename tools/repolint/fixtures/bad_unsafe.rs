@@ -1,0 +1,10 @@
+// Negative fixture: unsafe without a SAFETY justification.
+fn main() {
+    let x: u64 = 7;
+    let p = &x as *const u64;
+    let _ = unsafe { *p };
+}
+
+unsafe impl Send for Wrapper {}
+
+struct Wrapper(*const u64);

@@ -1,0 +1,68 @@
+// Positive fixture: every rule's pattern, properly tagged (or pragma'd),
+// plus a trailing test module full of would-be violations that must be
+// skipped.
+
+// The facade itself needs the real primitives underneath.
+// repolint: allow(facade-import)
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Cell(*const u64);
+
+// SAFETY: the pointer is only ever read while the owning block is pinned,
+// so it cannot dangle.
+unsafe impl Send for Cell {}
+
+fn publish(a: &AtomicU64) {
+    // ORDERING: Release pairs with the Acquire load in `observe`; the
+    // counter's carried data is published before the flag.
+    a.store(1, Ordering::Release);
+}
+
+fn observe(a: &AtomicU64) -> u64 {
+    // ORDERING: Acquire pairs with the Release store in `publish`.
+    a.load(Ordering::Acquire)
+}
+
+fn lock_all(sub: &mut Sub, sorted: &[u64]) {
+    for &vertex in sorted {
+        // LOCK ORDER: callers pre-sort by the global (shard, vertex) key,
+        // so acquisition follows the deadlock-free total order.
+        sub.acquire_lock(vertex);
+    }
+}
+
+struct Sub;
+impl Sub {
+    fn acquire_lock(&mut self, _v: u64) {}
+}
+
+/// Reads through `p`.
+///
+/// # Safety
+/// `p` must be valid for reads — the doc section is the accepted tag for
+/// an `unsafe fn` declaration.
+unsafe fn deref(p: *const u64) -> u64 {
+    // SAFETY: caller contract (see `# Safety` above) guarantees validity.
+    unsafe { *p }
+}
+
+fn main() {
+    let a = AtomicU64::new(0);
+    publish(&a);
+    let _ = observe(&a);
+    lock_all(&mut Sub, &[1, 2, 3]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn violations_here_are_out_of_scope() {
+        let a = Arc::new(AtomicU64::new(0));
+        a.store(1, Ordering::Relaxed);
+        let p = &a as *const _;
+        let _ = unsafe { &*p };
+    }
+}

@@ -1,0 +1,415 @@
+//! `repolint` — dependency-free source linter enforcing the repository's
+//! concurrency-verification invariants. Four rules:
+//!
+//! * **facade-import** — modules migrated onto the `crate::sync` facade
+//!   (the ones the loom model tests cover) must not import `std::sync` or
+//!   `parking_lot` directly, or they silently escape the model checker.
+//! * **safety-comment** — every `unsafe` block/impl/fn carries a
+//!   `// SAFETY:` comment justifying it (an `unsafe fn` declaration may
+//!   carry a `/// # Safety` doc section instead).
+//! * **ordering-comment** — every non-SeqCst atomic `Ordering` use carries
+//!   a `// ORDERING:` comment stating the synchronizes-with argument.
+//! * **lock-order** — vertex-lock acquisitions in the sharded engine cite
+//!   the global `(shard, vertex)` order (`// LOCK ORDER:`) that makes
+//!   cross-shard transactions deadlock-free.
+//!
+//! A finding is always an error (`-D` semantics): the tool prints
+//! `file:line: [rule] message` for each and exits nonzero if any exist.
+//!
+//! Escape hatch: `// repolint: allow(<rule>)` on the offending line or the
+//! line directly above it suppresses that rule there (use sparingly, with
+//! a justification alongside — e.g. the TEL header words, which must be
+//! `std` atomics because they overlay raw block memory).
+//!
+//! Lines at or below a column-0-indented `#[cfg(test)]` are skipped: unit
+//! test modules sit at the end of files in this repo, and test code runs
+//! under the real scheduler, not in shipped paths.
+//!
+//! Usage: `cargo run -p repolint` from the workspace root scans the
+//! default file sets below; `cargo run -p repolint -- <files...>` applies
+//! every rule to exactly the given files (used by the negative-fixture
+//! tests).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// How far above an occurrence a justification comment may sit.
+const TAG_WINDOW: usize = 5;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    FacadeImport,
+    SafetyComment,
+    OrderingComment,
+    LockOrder,
+}
+
+impl Rule {
+    /// The name used in diagnostics and in `repolint: allow(...)` pragmas.
+    fn name(self) -> &'static str {
+        match self {
+            Rule::FacadeImport => "facade-import",
+            Rule::SafetyComment => "safety-comment",
+            Rule::OrderingComment => "ordering-comment",
+            Rule::LockOrder => "lock-order",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: Rule,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Files migrated onto the `crate::sync` facade (and therefore covered by
+/// the loom model tests). Keep in sync with `docs/ARCHITECTURE.md`'s
+/// "Concurrency verification" section.
+const FACADE_FILES: &[&str] = &[
+    "crates/core/src/commit.rs",
+    "crates/core/src/wal.rs",
+    "crates/core/src/epoch.rs",
+    "crates/core/src/tel.rs",
+    "crates/core/src/seal.rs",
+    "crates/server/src/pipeline.rs",
+    "crates/server/src/server.rs",
+];
+
+/// Source trees scanned for `unsafe` blocks (safety-comment rule).
+const UNSAFE_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/server/src",
+    "crates/storage/src",
+    "vendor/libc/src",
+    "vendor/memmap2/src",
+];
+
+/// Source trees scanned for non-SeqCst orderings (ordering-comment rule).
+const ORDERING_DIRS: &[&str] = &["crates/core/src", "crates/server/src", "crates/storage/src"];
+
+/// The sharded engine, whose lock acquisitions must cite the global order.
+const LOCK_ORDER_FILES: &[&str] = &["crates/core/src/sharded.rs"];
+
+const ALL_RULES: &[Rule] = &[
+    Rule::FacadeImport,
+    Rule::SafetyComment,
+    Rule::OrderingComment,
+    Rule::LockOrder,
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let findings = if args.is_empty() {
+        scan_default(Path::new("."))
+    } else {
+        args.iter()
+            .flat_map(|p| scan_file(Path::new(p), ALL_RULES))
+            .collect()
+    };
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("repolint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("repolint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Scans the repository's default file sets, rooted at `root` (the
+/// workspace root — where `cargo run -p repolint` executes).
+fn scan_default(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in FACADE_FILES {
+        findings.extend(scan_file(&root.join(rel), &[Rule::FacadeImport]));
+    }
+    for dir in UNSAFE_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            findings.extend(scan_file(&file, &[Rule::SafetyComment]));
+        }
+    }
+    for dir in ORDERING_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            findings.extend(scan_file(&file, &[Rule::OrderingComment]));
+        }
+    }
+    for rel in LOCK_ORDER_FILES {
+        findings.extend(scan_file(&root.join(rel), &[Rule::LockOrder]));
+    }
+    findings
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return files,
+    };
+    let mut entries: Vec<_> = entries.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            files.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    files
+}
+
+fn scan_file(path: &Path, rules: &[Rule]) -> Vec<Finding> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return vec![Finding {
+            file: path.to_path_buf(),
+            line: 0,
+            rule: rules.first().copied().unwrap_or(Rule::FacadeImport),
+            message: "unreadable file".into(),
+        }];
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    // Unit-test modules sit at the end of files; everything at or below a
+    // column-0 `#[cfg(test)]` is test-only code outside the rules' scope.
+    let scope_end = lines
+        .iter()
+        .position(|l| l.starts_with("#[cfg(test)]") || l.starts_with("#[cfg(all(test"))
+        .unwrap_or(lines.len());
+    let mut findings = Vec::new();
+    for (ix, &line) in lines[..scope_end].iter().enumerate() {
+        for &rule in rules {
+            if let Some(message) = check_line(rule, &lines, ix, line) {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: ix + 1,
+                    rule,
+                    message,
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn check_line(rule: Rule, lines: &[&str], ix: usize, line: &str) -> Option<String> {
+    if is_comment(line) || allowed(lines, ix, rule) {
+        return None;
+    }
+    match rule {
+        Rule::FacadeImport => {
+            let hit = line.contains("use std::sync::") || line.contains("use parking_lot::");
+            hit.then(|| {
+                "direct std::sync/parking_lot import in a facade-migrated module; \
+                 use `crate::sync` (or `livegraph_core::sync`) so the loom model \
+                 tests cover this code"
+                    .to_string()
+            })
+        }
+        Rule::SafetyComment => (has_word(line, "unsafe")
+            && !tag_nearby(lines, ix, "SAFETY:")
+            // An `unsafe fn`/trait item under a `# Safety` doc section is
+            // documented at the declaration; its callers carry the proof.
+            && !doc_block_has(lines, ix, "# Safety"))
+        .then(|| "`unsafe` without a `// SAFETY:` justification".to_string()),
+        Rule::OrderingComment => {
+            let weak = [
+                "Ordering::Relaxed",
+                "Ordering::Acquire",
+                "Ordering::Release",
+                "Ordering::AcqRel",
+            ]
+            .iter()
+            .any(|o| line.contains(o));
+            (weak && !tag_nearby(lines, ix, "ORDERING:")).then(|| {
+                "non-SeqCst atomic ordering without a `// ORDERING:` comment \
+                 stating the synchronizes-with argument"
+                    .to_string()
+            })
+        }
+        Rule::LockOrder => (line.contains(".acquire_lock(")
+            && !tag_nearby(lines, ix, "LOCK ORDER"))
+        .then(|| {
+            "vertex lock acquisition without a `// LOCK ORDER:` comment citing \
+             the global (shard, vertex) order"
+                .to_string()
+        }),
+    }
+}
+
+/// True if the line is (only) a comment — occurrences inside comments are
+/// prose, not code.
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with('*') || t.starts_with("/*")
+}
+
+/// True if `// repolint: allow(<rule>)` appears on this line or the one
+/// directly above it.
+fn allowed(lines: &[&str], ix: usize, rule: Rule) -> bool {
+    let pragma = format!("repolint: allow({})", rule.name());
+    lines[ix].contains(&pragma) || (ix > 0 && lines[ix - 1].contains(&pragma))
+}
+
+/// True if `tag` appears on this line or above it within the same
+/// statement group: the search walks upward, comment lines are free (a
+/// long justification may cover several tagged lines below it), at most
+/// [`TAG_WINDOW`] code lines are crossed, and a blank line ends the group.
+fn tag_nearby(lines: &[&str], ix: usize, tag: &str) -> bool {
+    if lines[ix].contains(tag) {
+        return true;
+    }
+    let mut code_budget = TAG_WINDOW;
+    for l in lines[..ix].iter().rev() {
+        let t = l.trim_start();
+        if t.contains(tag) {
+            return true;
+        }
+        if t.is_empty() {
+            return false;
+        }
+        if !t.starts_with("//") {
+            if code_budget == 0 {
+                return false;
+            }
+            code_budget -= 1;
+        }
+    }
+    false
+}
+
+/// True if the contiguous run of doc-comment / attribute lines directly
+/// above `ix` contains `tag` (doc sections may exceed [`TAG_WINDOW`]).
+fn doc_block_has(lines: &[&str], ix: usize, tag: &str) -> bool {
+    for l in lines[..ix].iter().rev() {
+        let t = l.trim_start();
+        if !(t.starts_with("///") || t.starts_with("//!") || t.starts_with("#[")) {
+            return false;
+        }
+        if t.contains(tag) {
+            return true;
+        }
+    }
+    false
+}
+
+/// True if `word` occurs in `line` delimited by non-identifier characters
+/// (so `unsafe_op_in_unsafe_fn` does not count as `unsafe`).
+fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        let before_ok = start == 0 || !ident(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name)
+    }
+
+    fn rules_hit(name: &str) -> Vec<Rule> {
+        scan_file(&fixture(name), ALL_RULES)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn bad_facade_import_is_reported_with_line() {
+        let findings = scan_file(&fixture("bad_facade.rs"), ALL_RULES);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == Rule::FacadeImport && f.line > 0));
+    }
+
+    #[test]
+    fn bad_unsafe_is_reported() {
+        assert!(rules_hit("bad_unsafe.rs").contains(&Rule::SafetyComment));
+    }
+
+    #[test]
+    fn bad_ordering_is_reported() {
+        assert!(rules_hit("bad_ordering.rs").contains(&Rule::OrderingComment));
+    }
+
+    #[test]
+    fn bad_lock_order_is_reported() {
+        assert!(rules_hit("bad_lock_order.rs").contains(&Rule::LockOrder));
+    }
+
+    #[test]
+    fn clean_fixture_passes_every_rule_and_skips_test_regions() {
+        // clean.rs exercises tags, pragmas, and ends with a #[cfg(test)]
+        // module full of would-be violations.
+        let findings = scan_file(&fixture("clean.rs"), ALL_RULES);
+        assert!(
+            findings.is_empty(),
+            "unexpected: {:?}",
+            findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn word_boundaries_exclude_lint_names() {
+        assert!(!has_word("#![deny(unsafe_op_in_unsafe_fn)]", "unsafe"));
+        assert!(has_word("unsafe impl Send for X {}", "unsafe"));
+        assert!(has_word("let x = unsafe { y };", "unsafe"));
+    }
+
+    #[test]
+    fn default_scan_of_this_repo_is_clean() {
+        // Walk up from the manifest dir to the workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf();
+        let findings = scan_default(&root);
+        assert!(
+            findings.is_empty(),
+            "repolint findings in the repo:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! the only platform the paper reproduction targets.
 
 #![allow(non_camel_case_types)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 /// Equivalent to C's `void` when used behind a pointer.
 pub use core::ffi::c_void;

@@ -1,0 +1,532 @@
+//! Vendored minimal [loom](https://github.com/tokio-rs/loom)-compatible
+//! concurrency model checker (offline stand-in; see `vendor/README.md`).
+//!
+//! [`model()`] runs a closure under *every* thread interleaving (bounded
+//! depth-first search over scheduling points, with CHESS-style preemption
+//! bounding) rather than sampling schedules the way stress tests do. The
+//! shimmed primitives — [`sync::atomic`] types with real
+//! acquire/release/relaxed semantics via per-location store buffers,
+//! [`sync::Mutex`], [`sync::Condvar`], [`sync::Arc`], and
+//! [`thread::spawn`] — report every decision to the runtime in
+//! the private `rt` module, which replays and advances schedules
+//! deterministically. Any panic in any interleaving (assertion failure,
+//! deadlock, livelock) aborts the run and is re-raised with the offending
+//! schedule trace.
+//!
+//! The lock API mirrors this repository's `parking_lot` stand-in
+//! (non-poisoning `lock()`, `Condvar::wait(&mut guard)`) so the
+//! `livegraph_core::sync` facade can re-export either implementation
+//! unchanged.
+//!
+//! Deliberate simplifications versus real loom: `Arc` is `std`'s (no
+//! leak/drop causality tracking), condvars never wake spuriously, `SeqCst`
+//! is modeled slightly stronger than C++ SC, and there is no UnsafeCell
+//! access tracking. All are conservative for the invariants checked here
+//! except spurious wakeups, which the repo's wait loops must not rely on
+//! anyway.
+
+mod rt;
+
+pub use rt::in_model;
+
+/// Model configuration and entry points.
+pub mod model {
+    use crate::rt;
+
+    /// Configures an exploration. Mirrors `loom::model::Builder`.
+    #[derive(Debug, Clone)]
+    pub struct Builder {
+        /// Maximum number of preemptive context switches per execution
+        /// (`None` = unbounded, i.e. full DFS).
+        pub preemption_bound: Option<usize>,
+        /// Hard cap on the number of executions explored; exceeding it is
+        /// a panic, not a silent pass.
+        pub max_branches: usize,
+        /// Hard cap on shim operations within one execution; exceeding it
+        /// indicates a livelock or unbounded spin.
+        pub max_ops: usize,
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Builder {
+                preemption_bound: Some(2),
+                max_branches: 500_000,
+                max_ops: 20_000,
+            }
+        }
+    }
+
+    impl Builder {
+        /// A builder with the default bounds (preemption bound 2).
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Explores every schedule of `f` within the configured bounds,
+        /// panicking with a schedule trace on the first failure.
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            let limits = rt::Limits {
+                preemption_bound: self.preemption_bound.unwrap_or(usize::MAX),
+                max_branches: self.max_branches,
+                max_ops: self.max_ops,
+            };
+            let iterations = rt::explore(limits, f);
+            if std::env::var_os("LOOM_LOG").is_some() {
+                eprintln!("loom: explored {iterations} executions");
+            }
+        }
+    }
+
+    /// Explores every schedule of `f` with the default bounds.
+    pub fn model<F>(f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        Builder::new().check(f)
+    }
+}
+
+pub use model::model;
+
+/// Shimmed `std::thread` subset.
+pub mod thread {
+    use crate::rt;
+    use std::sync::{Arc, Mutex as OsMutex};
+
+    /// Handle to a model thread; joining merges the child's memory view
+    /// into the joiner (an acquire of everything the child published).
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: Arc<OsMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in model time) until the thread finishes.
+        pub fn join(self) -> std::thread::Result<T> {
+            rt::join(self.tid);
+            match self.result.lock().unwrap().take() {
+                Some(v) => Ok(v),
+                // The child panicked; the runtime has already recorded the
+                // failure and is unwinding the whole execution.
+                None => Err(Box::new("loom model thread panicked")),
+            }
+        }
+    }
+
+    /// Spawns a model thread. The child inherits the spawner's memory
+    /// view (spawning is a release/acquire edge), and runs only when the
+    /// model scheduler hands it the token.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let result = Arc::new(OsMutex::new(None));
+        let slot = Arc::clone(&result);
+        let tid = rt::spawn(Box::new(move || {
+            let v = f();
+            *slot.lock().unwrap() = Some(v);
+        }));
+        JoinHandle { tid, result }
+    }
+
+    /// A pure scheduling point.
+    pub fn yield_now() {
+        rt::op_point("thread.yield_now")
+    }
+}
+
+/// Shimmed `std::hint` subset.
+pub mod hint {
+    use crate::rt;
+
+    /// Modeled as a scheduling point so bounded spin loops make progress
+    /// visible to the scheduler instead of livelocking the model.
+    pub fn spin_loop() {
+        rt::op_point("hint.spin_loop")
+    }
+}
+
+/// Shimmed `std::sync` / `parking_lot` subset.
+pub mod sync {
+    use crate::rt;
+    use std::cell::UnsafeCell;
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::time::Duration;
+
+    /// `Arc` itself needs no shimming: executions are serialized and every
+    /// token handoff goes through real OS synchronization, so `std`'s
+    /// reference counting is fully ordered in model runs. (Real loom also
+    /// tracks drop causality; we deliberately do not.)
+    pub use std::sync::Arc;
+
+    /// Mutual exclusion tracked by the model scheduler. API mirrors the
+    /// repo's `parking_lot` stand-in: non-poisoning, guard-returning.
+    pub struct Mutex<T> {
+        cell: rt::ObjCell,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: the model scheduler enforces mutual exclusion (a guard only
+    // exists while the scheduler records the lock as held by its thread),
+    // and every token handoff between model threads synchronizes through a
+    // real std mutex/condvar pair, so `&mut T` access is data-race free.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    // SAFETY: as above — shared access is serialized by the model-level
+    // lock state plus real synchronization on every thread switch.
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex. Lock state registers with the current
+        /// execution lazily on first use.
+        pub const fn new(data: T) -> Self {
+            Mutex {
+                cell: rt::ObjCell::new(),
+                data: UnsafeCell::new(data),
+            }
+        }
+
+        /// Acquires the lock, blocking in model time until available.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            rt::mutex_lock(&self.cell);
+            MutexGuard { lock: self }
+        }
+
+        /// Acquires the lock only if it is free right now.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            if rt::mutex_try_lock(&self.cell) {
+                Some(MutexGuard { lock: self })
+            } else {
+                None
+            }
+        }
+
+        /// Exclusive access without locking (`&mut self` proves it).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.data.get_mut()
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    /// Guard handing out the data; releasing is a scheduling point.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: the guard exists only while the model scheduler
+            // records this thread as the holder; see `Sync for Mutex`.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as in `Deref` — model-level mutual exclusion makes
+            // this the only live reference to the data.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            rt::mutex_unlock(&self.lock.cell);
+        }
+    }
+
+    /// Result of [`Condvar::wait_for`]; mirrors `parking_lot`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WaitTimeoutResult {
+        timed_out: bool,
+    }
+
+    impl WaitTimeoutResult {
+        /// Whether the wait ended by timeout rather than notification.
+        pub fn timed_out(&self) -> bool {
+            self.timed_out
+        }
+    }
+
+    /// Condition variable tracked by the model scheduler. No spurious
+    /// wakeups are modeled; `notify_one`'s choice of waiter is explored
+    /// nondeterministically.
+    pub struct Condvar {
+        cell: rt::ObjCell,
+    }
+
+    impl Condvar {
+        /// Creates the condvar.
+        pub const fn new() -> Self {
+            Condvar {
+                cell: rt::ObjCell::new(),
+            }
+        }
+
+        /// Atomically releases the guard's mutex and parks until
+        /// notified; reacquires the mutex before returning.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            rt::condvar_wait(&self.cell, &guard.lock.cell, false);
+        }
+
+        /// Like [`Self::wait`], but the scheduler may also fire the
+        /// timeout at any scheduling point — every "woke by timeout with
+        /// the predicate still false" interleaving is explored regardless
+        /// of the nominal duration.
+        pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, _timeout: Duration) -> WaitTimeoutResult {
+            WaitTimeoutResult {
+                timed_out: rt::condvar_wait(&self.cell, &guard.lock.cell, true),
+            }
+        }
+
+        /// Wakes one parked waiter (explored choice when several wait).
+        pub fn notify_one(&self) {
+            rt::condvar_notify(&self.cell, false);
+        }
+
+        /// Wakes every parked waiter.
+        pub fn notify_all(&self) {
+            rt::condvar_notify(&self.cell, true);
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// Shimmed atomics with modeled weak-memory semantics.
+    pub mod atomic {
+        use crate::rt;
+        use std::fmt;
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_int {
+            ($name:ident, $t:ty, $doc:expr) => {
+                #[doc = $doc]
+                ///
+                /// Loads may observe any coherence-permitted store in the
+                /// location's history (per-location store buffers);
+                /// read-modify-writes always observe the newest store.
+                pub struct $name {
+                    cell: rt::ObjCell,
+                    init: u64,
+                }
+
+                impl $name {
+                    /// Creates the atomic with an initial value.
+                    pub const fn new(v: $t) -> Self {
+                        $name {
+                            cell: rt::ObjCell::new(),
+                            init: v as u64,
+                        }
+                    }
+
+                    fn to_raw(v: $t) -> u64 {
+                        v as u64
+                    }
+
+                    fn from_raw(v: u64) -> $t {
+                        v as $t
+                    }
+
+                    /// Atomic load with the given memory ordering.
+                    pub fn load(&self, order: Ordering) -> $t {
+                        Self::from_raw(rt::atomic_load(&self.cell, self.init, order))
+                    }
+
+                    /// Atomic store with the given memory ordering.
+                    pub fn store(&self, v: $t, order: Ordering) {
+                        rt::atomic_store(&self.cell, self.init, Self::to_raw(v), order)
+                    }
+
+                    /// Atomic swap.
+                    pub fn swap(&self, v: $t, order: Ordering) -> $t {
+                        let prev = rt::atomic_rmw(&self.cell, self.init, order, order, |_| {
+                            Some(Self::to_raw(v))
+                        });
+                        Self::from_raw(prev.expect("swap always stores"))
+                    }
+
+                    /// Atomic wrapping add; returns the previous value.
+                    pub fn fetch_add(&self, v: $t, order: Ordering) -> $t {
+                        self.rmw(order, |p| Some(p.wrapping_add(v)))
+                    }
+
+                    /// Atomic wrapping subtract; returns the previous value.
+                    pub fn fetch_sub(&self, v: $t, order: Ordering) -> $t {
+                        self.rmw(order, |p| Some(p.wrapping_sub(v)))
+                    }
+
+                    /// Atomic maximum; returns the previous value.
+                    pub fn fetch_max(&self, v: $t, order: Ordering) -> $t {
+                        self.rmw(order, |p| Some(if v > p { v } else { p }))
+                    }
+
+                    /// Atomic minimum; returns the previous value.
+                    pub fn fetch_min(&self, v: $t, order: Ordering) -> $t {
+                        self.rmw(order, |p| Some(if v < p { v } else { p }))
+                    }
+
+                    fn rmw(&self, order: Ordering, f: impl FnOnce($t) -> Option<$t>) -> $t {
+                        let prev = rt::atomic_rmw(&self.cell, self.init, order, order, |p| {
+                            f(Self::from_raw(p)).map(Self::to_raw)
+                        });
+                        Self::from_raw(prev.expect("unconditional rmw always stores"))
+                    }
+
+                    /// Atomic compare-and-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        rt::atomic_rmw(&self.cell, self.init, success, failure, |p| {
+                            if Self::from_raw(p) == current {
+                                Some(Self::to_raw(new))
+                            } else {
+                                None
+                            }
+                        })
+                        .map(Self::from_raw)
+                        .map_err(Self::from_raw)
+                    }
+
+                    /// Like [`Self::compare_exchange`]; the model never
+                    /// fails spuriously.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Atomic update via closure; `None` aborts the update
+                    /// and returns `Err` with the observed value.
+                    pub fn fetch_update(
+                        &self,
+                        set_order: Ordering,
+                        fetch_order: Ordering,
+                        mut f: impl FnMut($t) -> Option<$t>,
+                    ) -> Result<$t, $t> {
+                        rt::atomic_rmw(&self.cell, self.init, set_order, fetch_order, |p| {
+                            f(Self::from_raw(p)).map(Self::to_raw)
+                        })
+                        .map(Self::from_raw)
+                        .map_err(Self::from_raw)
+                    }
+                }
+
+                impl fmt::Debug for $name {
+                    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.debug_struct(stringify!($name)).finish_non_exhaustive()
+                    }
+                }
+
+                impl Default for $name {
+                    fn default() -> Self {
+                        Self::new(<$t>::default())
+                    }
+                }
+            };
+        }
+
+        atomic_int!(AtomicU64, u64, "Shimmed `std::sync::atomic::AtomicU64`.");
+        atomic_int!(AtomicI64, i64, "Shimmed `std::sync::atomic::AtomicI64`.");
+        atomic_int!(AtomicU32, u32, "Shimmed `std::sync::atomic::AtomicU32`.");
+        atomic_int!(AtomicUsize, usize, "Shimmed `std::sync::atomic::AtomicUsize`.");
+
+        /// Shimmed `std::sync::atomic::AtomicBool`.
+        pub struct AtomicBool {
+            cell: rt::ObjCell,
+            init: u64,
+        }
+
+        impl AtomicBool {
+            /// Creates the atomic with an initial value.
+            pub const fn new(v: bool) -> Self {
+                AtomicBool {
+                    cell: rt::ObjCell::new(),
+                    init: v as u64,
+                }
+            }
+
+            /// Atomic load with the given memory ordering.
+            pub fn load(&self, order: Ordering) -> bool {
+                rt::atomic_load(&self.cell, self.init, order) != 0
+            }
+
+            /// Atomic store with the given memory ordering.
+            pub fn store(&self, v: bool, order: Ordering) {
+                rt::atomic_store(&self.cell, self.init, v as u64, order)
+            }
+
+            /// Atomic swap.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                rt::atomic_rmw(&self.cell, self.init, order, order, |_| Some(v as u64))
+                    .expect("swap always stores")
+                    != 0
+            }
+
+            /// Atomic compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                rt::atomic_rmw(&self.cell, self.init, success, failure, |p| {
+                    if (p != 0) == current {
+                        Some(new as u64)
+                    } else {
+                        None
+                    }
+                })
+                .map(|p| p != 0)
+                .map_err(|p| p != 0)
+            }
+        }
+
+        impl fmt::Debug for AtomicBool {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_struct("AtomicBool").finish_non_exhaustive()
+            }
+        }
+
+        impl Default for AtomicBool {
+            fn default() -> Self {
+                Self::new(false)
+            }
+        }
+    }
+}

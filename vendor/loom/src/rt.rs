@@ -1,0 +1,910 @@
+//! The deterministic execution runtime behind the `loom` shims.
+//!
+//! A *model* run executes the user's closure many times. Each execution is
+//! fully serialized: model threads are real OS threads, but a scheduler
+//! token guarantees exactly one runs at a time, and every shim operation
+//! (atomic access, mutex acquire/release, condvar wait/notify, spawn/join,
+//! yield) is a *scheduling point* where the scheduler may hand the token to
+//! another thread. Every nondeterministic decision — which thread runs
+//! next, which store an atomic load observes, which condvar waiter a
+//! `notify_one` wakes — is a recorded *choice point*. The explorer replays
+//! a prefix of recorded choices and advances the last branch like an
+//! odometer, yielding a bounded depth-first search over all schedules.
+//!
+//! Preemption bounding keeps the search tractable: switching away from a
+//! thread that could continue costs one unit of a configurable budget
+//! (CHESS-style). Switches at blocking points (mutex contention, condvar
+//! wait, join, thread exit) are free, so every schedule needed to resolve
+//! blocking is still explored.
+//!
+//! # Weak memory
+//!
+//! Atomics use a view-based operational model of release/acquire/relaxed
+//! semantics (per-location store buffers). Each location keeps the history
+//! of stores, each tagged with a timestamp and — for `Release` stores — a
+//! *message view* snapshotting the writer's knowledge. Each thread owns a
+//! view mapping locations to the oldest store timestamp it may still
+//! observe (coherence). A load picks nondeterministically among stores at
+//! or after the thread's bound for that location; an `Acquire` load that
+//! observes a `Release` store merges the store's message view, which is
+//! what makes message-passing idioms verifiable. Read-modify-writes always
+//! observe the newest store (modification-order maximality) and extend the
+//! release sequence by propagating the previous message view. `SeqCst`
+//! accesses additionally synchronize through a single global view and read
+//! only the newest store — slightly stronger than C++ SC, which can mask
+//! (only) exotic mixed-SC bugs, never introduce false alarms.
+//!
+//! Non-atomic data is *not* race-checked: the shims only hand out `&mut`
+//! through model-level mutual exclusion, and the OS-level handoff inserts
+//! real synchronization, so executions are well-defined regardless.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as OsAtomicU64, Ordering as OsOrdering};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, OnceLock};
+
+pub use std::sync::atomic::Ordering;
+
+/// Sentinel panic payload used to unwind model threads when an execution
+/// aborts (after a failure elsewhere). Swallowed by the thread runner.
+struct Abort;
+
+/// Monotonic generation counter; each execution gets a fresh generation so
+/// shim objects created in one execution cannot leak state into the next.
+static EXEC_GEN: OsAtomicU64 = OsAtomicU64::new(1);
+
+/// A thread's knowledge of the memory system: per-location lower bound on
+/// the store timestamps it may still observe.
+pub(crate) type View = HashMap<u64, u64>;
+
+fn merge_view(into: &mut View, from: &View) {
+    for (&loc, &ts) in from {
+        let slot = into.entry(loc).or_insert(0);
+        if *slot < ts {
+            *slot = ts;
+        }
+    }
+}
+
+/// One store in a location's history.
+#[derive(Clone)]
+struct Store {
+    ts: u64,
+    val: u64,
+    /// Message view carried by `Release`-or-stronger stores (and extended
+    /// by RMWs): merged into any `Acquire` load that observes this store.
+    msg: Option<View>,
+}
+
+/// What a non-runnable thread is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    /// Waiting to acquire the mutex with this object id.
+    Mutex(u64),
+    /// Waiting on the condvar with this object id. `timeout`-capable waits
+    /// stay schedulable: the scheduler activating one fires its timeout.
+    Condvar { id: u64, timeout: bool },
+    /// Waiting for the thread with this index to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadState {
+    run: Run,
+    view: View,
+    /// Set when a timeout-capable condvar wait was released by the
+    /// scheduler firing the timeout instead of by a notification.
+    timed_out: bool,
+}
+
+/// One recorded nondeterministic decision.
+struct Choice {
+    chosen: usize,
+    alts: usize,
+    desc: &'static str,
+}
+
+struct MutexState {
+    held_by: Option<usize>,
+    /// Memory view released by the last unlock: a lock acquisition merges
+    /// this into the locker (mutexes are release/acquire edges, so data
+    /// written under the lock — or before releasing it — is visible to
+    /// every later holder).
+    view: View,
+}
+
+struct ExecState {
+    generation: u64,
+    threads: Vec<ThreadState>,
+    active: usize,
+    /// Choice prefix to replay this execution (from the previous trace).
+    replay: Vec<usize>,
+    /// Choices made so far this execution.
+    trace: Vec<Choice>,
+    step: usize,
+    preemptions: usize,
+    preemption_bound: usize,
+    ops: usize,
+    max_ops: usize,
+    abort: bool,
+    failure: Option<String>,
+    next_obj: u64,
+    mutexes: HashMap<u64, MutexState>,
+    atoms: HashMap<u64, Vec<Store>>,
+    /// Global SeqCst view: every SeqCst access synchronizes through it.
+    sc_view: View,
+}
+
+pub(crate) struct ExecShared {
+    st: OsMutex<ExecState>,
+    cv: OsCondvar,
+    os_handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct Ctx {
+    exec: Arc<ExecShared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// True on a thread currently executing inside a model run. Used by the
+/// panic hook to silence expected panics from failing executions.
+pub fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn ctx<R>(f: impl FnOnce(&Arc<ExecShared>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("loom shim used outside of loom::model(..)");
+        f(&ctx.exec, ctx.tid)
+    })
+}
+
+/// Per-object cell resolving a stable per-execution object id. Objects are
+/// created by user code, so ids are assigned lazily at first use in each
+/// execution; first-use order is deterministic under replay.
+pub(crate) struct ObjCell {
+    slot: OsMutex<(u64, u64)>, // (generation, id)
+}
+
+impl ObjCell {
+    pub(crate) const fn new() -> Self {
+        ObjCell {
+            slot: OsMutex::new((0, 0)),
+        }
+    }
+
+    fn resolve(&self, st: &mut ExecState) -> (u64, bool) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.0 != st.generation {
+            slot.0 = st.generation;
+            slot.1 = st.next_obj;
+            st.next_obj += 1;
+            (slot.1, true)
+        } else {
+            (slot.1, false)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Choice engine
+// ---------------------------------------------------------------------------
+
+fn choose_locked(st: &mut ExecState, alts: usize, desc: &'static str) -> usize {
+    debug_assert!(alts > 0);
+    if alts == 1 {
+        return 0;
+    }
+    let chosen = if st.step < st.replay.len() {
+        let c = st.replay[st.step];
+        assert!(
+            c < alts,
+            "loom: nondeterministic model (replayed choice {c} of {alts} at step {} — \
+             the closure must behave identically given identical schedules)",
+            st.step
+        );
+        c
+    } else {
+        0
+    };
+    st.trace.push(Choice { chosen, alts, desc });
+    st.step += 1;
+    chosen
+}
+
+fn format_trace(st: &ExecState) -> String {
+    let mut out = String::from("schedule trace (choice/alternatives):");
+    for (i, c) in st.trace.iter().enumerate() {
+        out.push_str(&format!("\n  {:>4}: {}  [{}/{}]", i, c.desc, c.chosen, c.alts));
+    }
+    out
+}
+
+fn thread_states(st: &ExecState) -> String {
+    let mut out = String::from("threads:");
+    for (i, t) in st.threads.iter().enumerate() {
+        out.push_str(&format!("\n  t{}: {:?}", i, t.run));
+    }
+    out
+}
+
+/// Records a model failure, aborts the execution, and unwinds the calling
+/// thread. All parked threads are woken so they can observe the abort.
+fn fail_locked(exec: &Arc<ExecShared>, st: &mut ExecState, msg: String) -> ! {
+    if st.failure.is_none() {
+        st.failure = Some(format!("{msg}\n{}\n{}", thread_states(st), format_trace(st)));
+    }
+    st.abort = true;
+    exec.cv.notify_all();
+    drop_st_and_abort()
+}
+
+fn drop_st_and_abort() -> ! {
+    // The MutexGuard on `st` is released by unwinding through the caller.
+    panic::panic_any(Abort)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+/// Threads the scheduler may hand the token to: runnable threads, plus
+/// threads in timeout-capable waits (activating one fires the timeout).
+fn schedulable(st: &ExecState) -> Vec<usize> {
+    (0..st.threads.len())
+        .filter(|&t| match st.threads[t].run {
+            Run::Runnable => true,
+            Run::Blocked(Block::Condvar { timeout, .. }) => timeout,
+            _ => false,
+        })
+        .collect()
+}
+
+/// Hands the token to `next` (firing its timeout if it was in a timed
+/// wait) and, unless the caller is exiting, parks until the caller is
+/// scheduled again.
+fn switch_to<'a>(
+    exec: &'a Arc<ExecShared>,
+    mut st: std::sync::MutexGuard<'a, ExecState>,
+    me: usize,
+    next: usize,
+    park: bool,
+) -> std::sync::MutexGuard<'a, ExecState> {
+    if let Run::Blocked(Block::Condvar { timeout: true, .. }) = st.threads[next].run {
+        st.threads[next].run = Run::Runnable;
+        st.threads[next].timed_out = true;
+    }
+    st.active = next;
+    exec.cv.notify_all();
+    if !park {
+        return st;
+    }
+    while st.active != me && !st.abort {
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    if st.abort {
+        drop(st);
+        panic::panic_any(Abort);
+    }
+    st
+}
+
+/// The common preamble of every shim operation: bump the op budget and
+/// offer the scheduler a chance to preempt. Returns with the lock held and
+/// the calling thread active.
+fn op_preamble<'a>(
+    exec: &'a Arc<ExecShared>,
+    tid: usize,
+    desc: &'static str,
+) -> std::sync::MutexGuard<'a, ExecState> {
+    let mut st = exec.st.lock().unwrap_or_else(|e| e.into_inner());
+    if st.abort {
+        drop(st);
+        panic::panic_any(Abort);
+    }
+    st.ops += 1;
+    if st.ops > st.max_ops {
+        let max = st.max_ops;
+        fail_locked(
+            exec,
+            &mut st,
+            format!("exceeded {max} operations in one execution — livelock or unbounded spin"),
+        );
+    }
+    // Candidates: the current thread first (continuing is never a
+    // preemption), then — budget permitting — every other schedulable
+    // thread.
+    let mut alts = vec![tid];
+    if st.preemptions < st.preemption_bound {
+        for t in schedulable(&st) {
+            if t != tid {
+                alts.push(t);
+            }
+        }
+    }
+    let c = choose_locked(&mut st, alts.len(), desc);
+    let next = alts[c];
+    if next != tid {
+        st.preemptions += 1;
+        st = switch_to(exec, st, tid, next, true);
+    }
+    st
+}
+
+/// Blocks the current thread on `block` and schedules someone else.
+/// Returns once this thread has been woken *and* rescheduled. Switching
+/// away from a blocking thread is free (not a preemption).
+fn block_current<'a>(
+    exec: &'a Arc<ExecShared>,
+    mut st: std::sync::MutexGuard<'a, ExecState>,
+    tid: usize,
+    block: Block,
+    desc: &'static str,
+) -> std::sync::MutexGuard<'a, ExecState> {
+    st.threads[tid].run = Run::Blocked(block);
+    let cands = schedulable(&st);
+    if cands.is_empty() {
+        fail_locked(exec, &mut st, "deadlock: every thread is blocked".to_string());
+    }
+    let c = choose_locked(&mut st, cands.len(), desc);
+    switch_to(exec, st, tid, cands[c], true)
+}
+
+/// A standalone scheduling point (`yield_now`, `spin_loop`).
+pub(crate) fn op_point(desc: &'static str) {
+    ctx(|exec, tid| {
+        let st = op_preamble(exec, tid, desc);
+        drop(st);
+    })
+}
+
+pub(crate) fn is_aborting() -> bool {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        match b.as_ref() {
+            Some(ctx) => ctx.exec.st.lock().unwrap_or_else(|e| e.into_inner()).abort,
+            None => false,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+fn resolve_atom(st: &mut ExecState, cell: &ObjCell, init: u64) -> u64 {
+    let (id, fresh) = cell.resolve(st);
+    if fresh {
+        st.atoms.insert(
+            id,
+            vec![Store {
+                ts: 1,
+                val: init,
+                msg: None,
+            }],
+        );
+    }
+    id
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub(crate) fn atomic_load(cell: &ObjCell, init: u64, order: Ordering) -> u64 {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "atomic.load");
+        let id = resolve_atom(&mut st, cell, init);
+        let bound = st.threads[tid].view.get(&id).copied().unwrap_or(0);
+        // Newest-first so choice 0 (the DFS default) is the SC-like value.
+        let hist = &st.atoms[&id];
+        let mut cands: Vec<usize> = (0..hist.len()).rev().filter(|&i| hist[i].ts >= bound).collect();
+        assert!(!cands.is_empty(), "loom: coherence bound past end of history");
+        if order == Ordering::SeqCst {
+            cands.truncate(1);
+        }
+        let c = choose_locked(&mut st, cands.len(), "atomic.load.value");
+        let store = st.atoms[&id][cands[c]].clone();
+        let th = &mut st.threads[tid];
+        let slot = th.view.entry(id).or_insert(0);
+        if *slot < store.ts {
+            *slot = store.ts;
+        }
+        if is_acquire(order) {
+            if let Some(msg) = &store.msg {
+                merge_view(&mut th.view, msg);
+            }
+        }
+        if order == Ordering::SeqCst {
+            let sc = st.sc_view.clone();
+            merge_view(&mut st.threads[tid].view, &sc);
+        }
+        store.val
+    })
+}
+
+pub(crate) fn atomic_store(cell: &ObjCell, init: u64, val: u64, order: Ordering) {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "atomic.store");
+        let id = resolve_atom(&mut st, cell, init);
+        let ts = st.atoms[&id].last().expect("history never empty").ts + 1;
+        st.threads[tid].view.insert(id, ts);
+        let msg = if is_release(order) {
+            Some(st.threads[tid].view.clone())
+        } else {
+            None
+        };
+        if order == Ordering::SeqCst {
+            let v = st.threads[tid].view.clone();
+            merge_view(&mut st.sc_view, &v);
+        }
+        st.atoms.get_mut(&id).unwrap().push(Store { ts, val, msg });
+    })
+}
+
+/// Generic read-modify-write: always observes the newest store. `f`
+/// returning `None` degrades to a pure load of the newest store with
+/// `failure` ordering (the failed-CAS path); `Some(new)` installs the new
+/// value with `success` ordering and extends the release sequence.
+pub(crate) fn atomic_rmw(
+    cell: &ObjCell,
+    init: u64,
+    success: Ordering,
+    failure: Ordering,
+    f: impl FnOnce(u64) -> Option<u64>,
+) -> Result<u64, u64> {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "atomic.rmw");
+        let id = resolve_atom(&mut st, cell, init);
+        let last = st.atoms[&id].last().expect("history never empty").clone();
+        let prev = last.val;
+        match f(prev) {
+            Some(new) => {
+                let ts = last.ts + 1;
+                if is_acquire(success) {
+                    if let Some(msg) = &last.msg {
+                        merge_view(&mut st.threads[tid].view, msg);
+                    }
+                }
+                st.threads[tid].view.insert(id, ts);
+                // Release-sequence propagation: an RMW carries forward the
+                // message of the store it replaces even when itself relaxed.
+                let mut msg = last.msg.clone().unwrap_or_default();
+                if is_release(success) {
+                    merge_view(&mut msg, &st.threads[tid].view);
+                }
+                if success == Ordering::SeqCst {
+                    let v = st.threads[tid].view.clone();
+                    merge_view(&mut st.sc_view, &v);
+                    let sc = st.sc_view.clone();
+                    merge_view(&mut st.threads[tid].view, &sc);
+                }
+                let msg = if msg.is_empty() { None } else { Some(msg) };
+                st.atoms.get_mut(&id).unwrap().push(Store { ts, val: new, msg });
+                Ok(prev)
+            }
+            None => {
+                let th = &mut st.threads[tid];
+                let slot = th.view.entry(id).or_insert(0);
+                if *slot < last.ts {
+                    *slot = last.ts;
+                }
+                if is_acquire(failure) {
+                    if let Some(msg) = &last.msg {
+                        merge_view(&mut th.view, msg);
+                    }
+                }
+                if failure == Ordering::SeqCst {
+                    let sc = st.sc_view.clone();
+                    merge_view(&mut st.threads[tid].view, &sc);
+                }
+                Err(prev)
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------------
+
+fn resolve_mutex(st: &mut ExecState, cell: &ObjCell) -> u64 {
+    let (id, fresh) = cell.resolve(st);
+    if fresh {
+        st.mutexes.insert(
+            id,
+            MutexState {
+                held_by: None,
+                view: View::new(),
+            },
+        );
+    }
+    id
+}
+
+fn mutex_grab(st: &mut ExecState, id: u64, tid: usize) -> bool {
+    let m = st.mutexes.get_mut(&id).expect("mutex registered");
+    if m.held_by.is_none() {
+        m.held_by = Some(tid);
+        // Acquire edge: see everything published by previous holders.
+        let released = m.view.clone();
+        merge_view(&mut st.threads[tid].view, &released);
+        true
+    } else {
+        false
+    }
+}
+
+fn mutex_release_locked(exec: &Arc<ExecShared>, st: &mut ExecState, cell: &ObjCell, tid: usize) -> u64 {
+    let id = resolve_mutex(st, cell);
+    let m = st.mutexes.get_mut(&id).expect("mutex registered");
+    if m.held_by != Some(tid) {
+        fail_locked(exec, st, format!("t{tid} unlocked a mutex it does not hold"));
+    }
+    m.held_by = None;
+    // Release edge: publish this thread's view to the next holder.
+    let holder_view = st.threads[tid].view.clone();
+    let m = st.mutexes.get_mut(&id).expect("mutex registered");
+    merge_view(&mut m.view, &holder_view);
+    for t in 0..st.threads.len() {
+        if st.threads[t].run == Run::Blocked(Block::Mutex(id)) {
+            st.threads[t].run = Run::Runnable;
+        }
+    }
+    id
+}
+
+pub(crate) fn mutex_lock(cell: &ObjCell) {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "mutex.lock");
+        let id = resolve_mutex(&mut st, cell);
+        loop {
+            if mutex_grab(&mut st, id, tid) {
+                return;
+            }
+            st = block_current(exec, st, tid, Block::Mutex(id), "mutex.blocked");
+        }
+    })
+}
+
+pub(crate) fn mutex_try_lock(cell: &ObjCell) -> bool {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "mutex.try_lock");
+        let id = resolve_mutex(&mut st, cell);
+        mutex_grab(&mut st, id, tid)
+    })
+}
+
+pub(crate) fn mutex_unlock(cell: &ObjCell) {
+    // Tolerate guard drops during abort unwinding: never panic here.
+    if is_aborting() {
+        return;
+    }
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "mutex.unlock");
+        mutex_release_locked(exec, &mut st, cell, tid);
+    })
+}
+
+/// Atomically releases the mutex and parks on the condvar; on wake,
+/// reacquires the mutex. Returns whether the wait timed out (only possible
+/// when `timeout` is true).
+pub(crate) fn condvar_wait(cv: &ObjCell, mx: &ObjCell, timeout: bool) -> bool {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "condvar.wait");
+        let (cv_id, _) = cv.resolve(&mut st);
+        let mx_id = mutex_release_locked(exec, &mut st, mx, tid);
+        st.threads[tid].timed_out = false;
+        st = block_current(
+            exec,
+            st,
+            tid,
+            Block::Condvar { id: cv_id, timeout },
+            "condvar.parked",
+        );
+        let timed_out = st.threads[tid].timed_out;
+        // Reacquire the mutex before returning, competing normally.
+        loop {
+            if mutex_grab(&mut st, mx_id, tid) {
+                break;
+            }
+            st = block_current(exec, st, tid, Block::Mutex(mx_id), "condvar.relock");
+        }
+        timed_out
+    })
+}
+
+pub(crate) fn condvar_notify(cv: &ObjCell, all: bool) {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, if all { "condvar.notify_all" } else { "condvar.notify_one" });
+        let (cv_id, _) = cv.resolve(&mut st);
+        let waiters: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| matches!(st.threads[t].run, Run::Blocked(Block::Condvar { id, .. }) if id == cv_id))
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        if all {
+            for t in waiters {
+                st.threads[t].run = Run::Runnable;
+                st.threads[t].timed_out = false;
+            }
+        } else {
+            // Which waiter wins a notify_one is itself nondeterministic.
+            let c = choose_locked(&mut st, waiters.len(), "condvar.notify_one.target");
+            st.threads[waiters[c]].run = Run::Runnable;
+            st.threads[waiters[c]].timed_out = false;
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Runs `f` as a new model thread. The child inherits the spawner's view
+/// (spawning is a release/acquire edge) and starts parked until scheduled.
+pub(crate) fn spawn(f: Box<dyn FnOnce() + Send>) -> usize {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "thread.spawn");
+        let child = st.threads.len();
+        let view = st.threads[tid].view.clone();
+        st.threads.push(ThreadState {
+            run: Run::Runnable,
+            view,
+            timed_out: false,
+        });
+        drop(st);
+        let exec2 = Arc::clone(exec);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-t{child}"))
+            .spawn(move || runner(exec2, child, f))
+            .expect("spawn model thread");
+        exec.os_handles.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+        // A second scheduling point right after the spawn lets the child
+        // run immediately — required for exhaustiveness.
+        let st = op_preamble(exec, tid, "thread.spawn.after");
+        drop(st);
+        child
+    })
+}
+
+/// Blocks until model thread `target` finishes, then merges its final view
+/// (joining is an acquire of everything the child published).
+pub(crate) fn join(target: usize) {
+    ctx(|exec, tid| {
+        let mut st = op_preamble(exec, tid, "thread.join");
+        while st.threads[target].run != Run::Finished {
+            st = block_current(exec, st, tid, Block::Join(target), "thread.join.parked");
+        }
+        let child_view = st.threads[target].view.clone();
+        merge_view(&mut st.threads[tid].view, &child_view);
+    })
+}
+
+/// Marks the current thread finished, wakes its joiners, and hands the
+/// token onward without parking (the OS thread is about to exit).
+fn thread_finished(exec: &Arc<ExecShared>, tid: usize) {
+    let mut st = exec.st.lock().unwrap_or_else(|e| e.into_inner());
+    st.threads[tid].run = Run::Finished;
+    for t in 0..st.threads.len() {
+        if st.threads[t].run == Run::Blocked(Block::Join(tid)) {
+            st.threads[t].run = Run::Runnable;
+        }
+    }
+    if st.abort {
+        exec.cv.notify_all();
+        return;
+    }
+    let cands = schedulable(&st);
+    if cands.is_empty() {
+        if st.threads.iter().any(|t| t.run != Run::Finished) {
+            // Catch the failure so the exiting thread still terminates
+            // cleanly; the failure is already recorded for the runner.
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+                fail_locked(exec, &mut st, "deadlock: every live thread is blocked".to_string());
+            }));
+        } else {
+            // Execution complete: wake the model runner.
+            exec.cv.notify_all();
+        }
+        return;
+    }
+    let c = choose_locked(&mut st, cands.len(), "thread.exit.handoff");
+    let next = cands[c];
+    drop(switch_to(exec, st, tid, next, false));
+}
+
+fn payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The body of every model OS thread: park until first scheduled, run the
+/// closure, record panics as model failures, and hand the token on.
+fn runner(exec: Arc<ExecShared>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+        })
+    });
+    {
+        let mut st = exec.st.lock().unwrap_or_else(|e| e.into_inner());
+        while st.active != tid && !st.abort {
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.abort {
+            drop(st);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            // Still mark finished so bookkeeping stays consistent.
+            thread_finished(&exec, tid);
+            return;
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        if payload.downcast_ref::<Abort>().is_none() {
+            let mut st = exec.st.lock().unwrap_or_else(|e| e.into_inner());
+            if st.failure.is_none() {
+                let msg = payload_to_string(payload.as_ref());
+                st.failure = Some(format!(
+                    "model thread t{tid} panicked: {msg}\n{}\n{}",
+                    thread_states(&st),
+                    format_trace(&st)
+                ));
+            }
+            st.abort = true;
+            exec.cv.notify_all();
+        }
+    }
+    thread_finished(&exec, tid);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Exploration limits. See [`crate::model::Builder`].
+pub struct Limits {
+    pub preemption_bound: usize,
+    pub max_branches: usize,
+    pub max_ops: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            preemption_bound: 2,
+            max_branches: 500_000,
+            max_ops: 20_000,
+        }
+    }
+}
+
+/// Install (once) a panic hook that silences panics on model threads:
+/// failing executions are expected during exploration, and the failure is
+/// re-raised with full context by `explore` itself.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !in_model() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` under every schedule within the limits. Panics with the
+/// failure message and schedule trace if any execution fails.
+pub fn explore<F>(limits: Limits, f: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(!in_model(), "nested loom::model(..) is not supported");
+    install_quiet_hook();
+    let f = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > limits.max_branches {
+            panic!(
+                "loom: exceeded max_branches ({}) — raise the limit or tighten the model",
+                limits.max_branches
+            );
+        }
+        let exec = Arc::new(ExecShared {
+            st: OsMutex::new(ExecState {
+                generation: EXEC_GEN.fetch_add(1, OsOrdering::Relaxed),
+                threads: vec![ThreadState {
+                    run: Run::Runnable,
+                    view: View::new(),
+                    timed_out: false,
+                }],
+                active: 0,
+                replay: std::mem::take(&mut replay),
+                trace: Vec::new(),
+                step: 0,
+                preemptions: 0,
+                preemption_bound: limits.preemption_bound,
+                ops: 0,
+                max_ops: limits.max_ops,
+                abort: false,
+                failure: None,
+                next_obj: 1,
+                mutexes: HashMap::new(),
+                atoms: HashMap::new(),
+                sc_view: View::new(),
+            }),
+            cv: OsCondvar::new(),
+            os_handles: OsMutex::new(Vec::new()),
+        });
+        let f0 = Arc::clone(&f);
+        let exec0 = Arc::clone(&exec);
+        let root = std::thread::Builder::new()
+            .name("loom-t0".to_string())
+            .spawn(move || runner(exec0, 0, Box::new(move || f0())))
+            .expect("spawn model root thread");
+        exec.os_handles.lock().unwrap_or_else(|e| e.into_inner()).push(root);
+        // Join every OS thread; spawned threads register their handles
+        // before the spawner proceeds, so once the list drains and all
+        // joined threads have exited, no more can appear.
+        loop {
+            let handles: Vec<_> = std::mem::take(&mut *exec.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let st = exec.st.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(failure) = &st.failure {
+            panic!("loom model failure after {iterations} executions: {failure}");
+        }
+        // Odometer: bump the deepest choice with remaining alternatives.
+        let mut prefix: Vec<(usize, usize)> = st.trace.iter().map(|c| (c.chosen, c.alts)).collect();
+        drop(st);
+        let next = loop {
+            match prefix.pop() {
+                Some((c, a)) if c + 1 < a => {
+                    prefix.push((c + 1, a));
+                    break Some(prefix.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+                }
+                Some(_) => continue,
+                None => break None,
+            }
+        };
+        match next {
+            Some(r) => replay = r,
+            None => return iterations,
+        }
+    }
+}
