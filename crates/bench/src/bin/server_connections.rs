@@ -314,9 +314,13 @@ fn run_remote(
     )
     .expect("start reactor");
     let report = {
-        let backend = connect(server.local_addr()).expect("connect remote backend");
-        load_base_graph(&backend, cfg.vertices, cfg.avg_degree, 7);
-        run_workload(Arc::new(backend), &driver_config(clients, cfg))
+        let backend = Arc::new(connect(server.local_addr()).expect("connect remote backend"));
+        load_base_graph(&*backend, cfg.vertices, cfg.avg_degree, 7);
+        let report = run_workload(backend.clone(), &driver_config(clients, cfg));
+        // Server-side latency for the same run (engine telemetry), so the
+        // table's client-side p99 can be read against where the time went.
+        print!("{}", backend.server_latency_report());
+        report
     };
     server.shutdown();
     report

@@ -144,10 +144,18 @@ fn run_pair(clients: usize, cfg: &Config, mode: Mode) -> Sample {
     )
     .expect("start loopback server");
     let (remote, stats) = {
-        let backend = RemoteBackend::connect(server.local_addr(), clients)
-            .expect("connect remote backend");
-        load_base_graph(&backend, cfg.vertices, cfg.avg_degree, 7);
-        let report = run_workload(Arc::new(backend), &driver_config(clients, cfg));
+        let backend = Arc::new(
+            RemoteBackend::connect(server.local_addr(), clients)
+                .expect("connect remote backend"),
+        );
+        load_base_graph(&*backend, cfg.vertices, cfg.avg_degree, 7);
+        let report = run_workload(backend.clone(), &driver_config(clients, cfg));
+        // Server-side view of the same run: the engine's own commit/request
+        // histograms, next to the client-side latency the driver measured.
+        let server_side = backend.server_latency_report();
+        if !server_side.is_empty() {
+            print!("{server_side}");
+        }
         let mut admin = Client::connect(server.local_addr()).expect("admin connection");
         let stats = admin.stats().expect("stats admin op");
         drop(admin);

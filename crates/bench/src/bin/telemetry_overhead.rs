@@ -1,0 +1,181 @@
+//! Telemetry overhead gate — instrumented vs stripped throughput.
+//!
+//! Runs the DFLT LinkBench mix against the in-process engine twice per
+//! trial: once with the telemetry registry enabled (the production
+//! default — commits and scans take sampled span timestamps) and once
+//! with it disabled (every `Telemetry::timer()` returns `None`, so the
+//! hot paths skip clock reads entirely). The reported overhead is the
+//! *median of per-pair ratios*: each pair's two arms run back to back
+//! (alternating order), so slow machine-wide drift — the dominant noise
+//! on shared hardware — cancels within the pair instead of polluting a
+//! cross-run comparison of medians.
+//!
+//! Writes `BENCH_observability.json` to the repository root (override
+//! with `LIVEGRAPH_BENCH_OUT`). `LIVEGRAPH_BENCH=quick` (the CI default)
+//! keeps the run short. With `LIVEGRAPH_GATE=1` the run exits 1 if the
+//! median overhead exceeds [`MAX_OVERHEAD_PCT`] — instrumentation must
+//! stay effectively free or it gets turned off in anger, and then no one
+//! has numbers when they need them.
+
+use std::sync::Arc;
+
+use livegraph_core::{LiveGraph, LiveGraphOptions};
+use livegraph_workloads::backends::LiveGraphBackend;
+use livegraph_workloads::{load_base_graph, run_workload, DriverConfig, OpMix, WorkloadReport};
+
+/// The gate: telemetry may cost at most this much DFLT throughput.
+const MAX_OVERHEAD_PCT: f64 = 3.0;
+
+struct Config {
+    vertices: u64,
+    avg_degree: u64,
+    clients: usize,
+    ops_per_client: u64,
+    pairs: usize,
+}
+
+fn driver_config(cfg: &Config) -> DriverConfig {
+    DriverConfig {
+        clients: cfg.clients,
+        ops_per_client: cfg.ops_per_client,
+        mix: OpMix::dflt(),
+        num_vertices: cfg.vertices,
+        link_list_limit: 1_000,
+        ..DriverConfig::default()
+    }
+}
+
+/// One measured run with telemetry forced on or off.
+fn run_arm(cfg: &Config, telemetry_on: bool) -> WorkloadReport {
+    // Base graph plus headroom for every op to be an add_node, so longer
+    // runs cannot exhaust the vertex table mid-measurement.
+    let total_ops = cfg.ops_per_client as usize * cfg.clients;
+    let max_vertices = (cfg.vertices as usize * 4 + total_ops).next_power_of_two();
+    let graph = LiveGraph::open(
+        LiveGraphOptions::in_memory()
+            .with_capacity(1 << 28)
+            .with_max_vertices(max_vertices),
+    )
+    .expect("open in-memory graph");
+    graph.telemetry().set_enabled(telemetry_on);
+    let backend = LiveGraphBackend::new(graph);
+    load_base_graph(&backend, cfg.vertices, cfg.avg_degree, 7);
+    run_workload(Arc::new(backend), &driver_config(cfg))
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let quick = !matches!(
+        std::env::var("LIVEGRAPH_BENCH").as_deref(),
+        Ok("full") | Ok("FULL") | Ok("paper")
+    );
+    let cfg = if quick {
+        // Per-arm runs must be long enough (~0.3s) that scheduler noise
+        // does not swamp a low-single-digit-percent effect.
+        Config {
+            vertices: 2_000,
+            avg_degree: 8,
+            clients: 2,
+            ops_per_client: 150_000,
+            pairs: 5,
+        }
+    } else {
+        Config {
+            vertices: 50_000,
+            avg_degree: 16,
+            clients: 4,
+            ops_per_client: 100_000,
+            pairs: 7,
+        }
+    };
+
+    // Warm-up: fault in the allocator and code paths before measuring.
+    let _ = run_arm(&cfg, true);
+
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    let mut pair_overheads = Vec::new();
+    for pair in 0..cfg.pairs {
+        // Alternate arm order so slow drift hits both arms symmetrically.
+        let first_on = pair % 2 == 0;
+        for &arm_on in &[first_on, !first_on] {
+            let report = run_arm(&cfg, arm_on);
+            let tput = report.throughput();
+            println!(
+                "pair {pair} telemetry={:<3} {:>10.0} req/s",
+                if arm_on { "on" } else { "off" },
+                tput
+            );
+            if arm_on { &mut on } else { &mut off }.push(tput);
+        }
+        let pair_overhead = (off[pair] - on[pair]) / off[pair] * 100.0;
+        pair_overheads.push(pair_overhead);
+        println!("pair {pair} overhead {pair_overhead:+.2}%");
+    }
+
+    let median_on = median(on.clone());
+    let median_off = median(off.clone());
+    let overhead_pct = median(pair_overheads.clone());
+    println!(
+        "\nmedian instrumented {median_on:.0} req/s | stripped {median_off:.0} req/s | \
+         median per-pair overhead {overhead_pct:+.2}% (gate {MAX_OVERHEAD_PCT:.0}%)"
+    );
+
+    let passed = overhead_pct <= MAX_OVERHEAD_PCT;
+    let out = std::env::var("LIVEGRAPH_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_observability.json".into());
+    let fmt_list = |xs: &[f64]| {
+        xs.iter()
+            .map(|x| format!("{x:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"mode\": \"{}\",\n  \
+         \"workload\": \"dflt\",\n  \"clients\": {},\n  \"ops_per_client\": {},\n  \
+         \"pairs\": {},\n  \"instrumented_req_s\": [{}],\n  \"stripped_req_s\": [{}],\n  \
+         \"pair_overheads_pct\": [{}],\n  \
+         \"median_instrumented_req_s\": {:.0},\n  \"median_stripped_req_s\": {:.0},\n  \
+         \"overhead_pct\": {:.3},\n  \"max_overhead_pct\": {:.1},\n  \"passed\": {}\n}}\n",
+        if quick { "quick" } else { "full" },
+        cfg.clients,
+        cfg.ops_per_client,
+        cfg.pairs,
+        fmt_list(&on),
+        fmt_list(&off),
+        pair_overheads
+            .iter()
+            .map(|x| format!("{x:.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        median_on,
+        median_off,
+        overhead_pct,
+        MAX_OVERHEAD_PCT,
+        passed,
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("(json written to {out})"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+
+    if !passed {
+        println!(
+            "WARNING: telemetry costs {overhead_pct:.2}% DFLT throughput \
+             (budget {MAX_OVERHEAD_PCT:.0}%)"
+        );
+        if std::env::var("LIVEGRAPH_GATE").as_deref() == Ok("1") {
+            eprintln!("error: LIVEGRAPH_GATE=1 and the telemetry overhead gate was missed");
+            std::process::exit(1);
+        }
+    }
+}

@@ -24,6 +24,7 @@ use crate::sync::{Arc, Condvar, Mutex};
 
 use crate::epoch::EpochManager;
 use crate::error::Result;
+use crate::telemetry::Telemetry;
 use crate::types::Timestamp;
 use crate::wal::{GroupCommitConfig, GroupWal, SyncMode, WalOp, WalRecord, WalStats, WalWriter};
 
@@ -158,6 +159,10 @@ pub struct CommitCoordinator {
     group: Mutex<GroupState>,
     group_cv: Condvar,
     clock: Arc<GroupClock>,
+    /// Span histograms for the persist phase (group formation, WAL
+    /// enqueue, fsync wait). Defaults to a disabled registry; engines
+    /// install their shared one on open.
+    telemetry: Arc<Telemetry>,
 }
 
 impl CommitCoordinator {
@@ -189,7 +194,14 @@ impl CommitCoordinator {
             group: Mutex::new(GroupState::default()),
             group_cv: Condvar::new(),
             clock,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Installs the engine's shared telemetry registry (called once during
+    /// engine open, before the coordinator is shared between threads).
+    pub(crate) fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// Enqueues one already-framed record to this coordinator's WAL,
@@ -246,17 +258,24 @@ impl CommitCoordinator {
     /// perform its apply phase and then call [`CommitCoordinator::finish_apply`].
     #[cfg(test)]
     pub fn persist(&self, epochs: &EpochManager, ops: Vec<WalOp>) -> Result<Timestamp> {
-        self.persist_with(epochs, ops, true)
+        self.persist_with(epochs, ops, true, false)
     }
 
     /// Like [`CommitCoordinator::persist`], with control over whether the
     /// operations are logged to the WAL (recovery replay passes `false`).
+    /// `traced` commits record the enqueue/fsync span histograms; the rest
+    /// skip the clock reads (see `Telemetry::trace_commit`).
     pub fn persist_with(
         &self,
         epochs: &EpochManager,
         ops: Vec<WalOp>,
         log_to_wal: bool,
+        traced: bool,
     ) -> Result<Timestamp> {
+        // Span: group formation + WAL enqueue — from entering the persist
+        // phase until this request has an epoch and flush ticket assigned
+        // (queue wait for followers, drain-and-enqueue loops for leaders).
+        let enqueue_timer = if traced { self.telemetry.timer() } else { None };
         let request = {
             let mut g = self.group.lock();
             let id = g.next_request;
@@ -272,7 +291,10 @@ impl CommitCoordinator {
                 loop {
                     if let Some((epoch, ticket)) = g.assigned.remove(&id) {
                         drop(g);
-                        return self.await_durable(epochs, epoch, ticket);
+                        self.telemetry
+                            .commit_wal_enqueue_seconds
+                            .observe_timer(enqueue_timer);
+                        return self.await_durable(epochs, epoch, ticket, traced);
                     }
                     self.group_cv.wait(&mut g);
                 }
@@ -298,6 +320,14 @@ impl CommitCoordinator {
                 }
                 std::mem::take(&mut g.queue)
             };
+            // Batch-size observations ride the leader's trace sample:
+            // leaders are arbitrary committers, so batches are sampled at
+            // the same 1-in-N rate as commit spans.
+            if traced && self.telemetry.enabled() {
+                self.telemetry
+                    .wal_batch_records_total
+                    .observe(batch.len() as u64);
+            }
             // Atomically: take the next epoch, register the apply
             // obligations, and enqueue the group's records — all before
             // anyone learns the epoch, and in epoch order within the WAL.
@@ -328,7 +358,10 @@ impl CommitCoordinator {
             self.group_cv.notify_all();
         }
         let (epoch, ticket) = mine.expect("leader's own request must be part of a batch");
-        self.await_durable(epochs, epoch, ticket)
+        self.telemetry
+            .commit_wal_enqueue_seconds
+            .observe_timer(enqueue_timer);
+        self.await_durable(epochs, epoch, ticket, traced)
     }
 
     /// Durability point: blocks until the flush covering `ticket` lands.
@@ -341,9 +374,17 @@ impl CommitCoordinator {
         epochs: &EpochManager,
         epoch: Timestamp,
         ticket: Option<u64>,
+        traced: bool,
     ) -> Result<Timestamp> {
         if let Some(ticket) = ticket {
-            if let Err(e) = self.wait_ticket(ticket) {
+            // Span: fsync wait — the time this committer blocks until the
+            // group flush covering its records lands on the device.
+            let fsync_timer = if traced { self.telemetry.timer() } else { None };
+            let waited = self.wait_ticket(ticket);
+            self.telemetry
+                .commit_fsync_wait_seconds
+                .observe_timer(fsync_timer);
+            if let Err(e) = waited {
                 self.clock.finish_apply(epochs, epoch);
                 return Err(e);
             }

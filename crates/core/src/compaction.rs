@@ -137,6 +137,7 @@ pub(crate) fn compact_all(graph: &GraphInner) {
 
 fn run_pass(graph: &GraphInner, worker: usize, dirty: Vec<VertexId>) {
     let state = &graph.compaction;
+    let pass_timer = graph.telemetry.timer();
     // Versions visible at or after `safe` must be kept. The history
     // retention window lowers the bar further so time-travel reads within
     // the window keep working even with no transaction pinning them.
@@ -154,6 +155,7 @@ fn run_pass(graph: &GraphInner, worker: usize, dirty: Vec<VertexId>) {
     free_retired(graph);
     // ORDERING: Relaxed — statistics counter, no publication.
     state.passes.fetch_add(1, Ordering::Relaxed);
+    graph.telemetry.compaction_pass_seconds.observe_timer(pass_timer);
 }
 
 /// Compacts one vertex's blocks. Returns false if the vertex lock could not

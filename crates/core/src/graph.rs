@@ -235,6 +235,17 @@ impl ScanCounters {
 }
 
 /// Aggregated engine statistics (memory consumption, compaction, WAL).
+///
+/// **Snapshot contract:** [`LiveGraph::stats`] reads each counter with an
+/// independent relaxed load while writers proceed, so a `GraphStats` is a
+/// *weak* snapshot — it is **not** a consistent cut across fields. What
+/// *is* guaranteed: every individual field is monotone across successive
+/// snapshots, and cross-field invariants whose underlying counters are
+/// published in a fixed order hold within a single snapshot — in
+/// particular `wal_group_records >= wal_groups` (a flushed batch always
+/// has at least one record; the WAL bumps `group_records` *before*
+/// `groups` with release/acquire pairing so no reader can observe the
+/// batch without its records). Pinned by the `stats_snapshot` test.
 #[derive(Debug, Clone)]
 pub struct GraphStats {
     /// Number of vertices ever created.
@@ -284,6 +295,7 @@ pub(crate) struct GraphInner {
     pub(crate) next_vertex: AtomicU64,
     pub(crate) edge_insert_count: AtomicU64,
     pub(crate) scan_counters: ScanCounters,
+    pub(crate) telemetry: Arc<crate::telemetry::Telemetry>,
     /// Ids of deleted vertices reclaimed by compaction, available for reuse
     /// by [`crate::WriteTxn::create_vertex`].
     pub(crate) free_vertex_ids: parking_lot::Mutex<Vec<VertexId>>,
@@ -547,6 +559,9 @@ pub struct LiveGraph {
 pub(crate) struct EngineHooks {
     pub(crate) epochs: Arc<EpochManager>,
     pub(crate) clock: Arc<GroupClock>,
+    /// One registry for every shard, so exported totals are pre-flattened
+    /// across shards (mirroring the single GRE/GWE timeline).
+    pub(crate) telemetry: Arc<crate::telemetry::Telemetry>,
     /// Skip per-graph recovery on open; the sharded engine replays all
     /// shard WALs itself, merged into one consistent epoch order.
     pub(crate) defer_recovery: bool,
@@ -586,7 +601,7 @@ impl LiveGraph {
             }
         };
         let wal_path = options.data_dir.as_ref().map(|d| d.join("wal.log"));
-        let (epochs, commit, defer_recovery) = match hooks {
+        let (epochs, mut commit, telemetry, defer_recovery) = match hooks {
             Some(h) => {
                 assert_eq!(
                     h.epochs.max_workers(),
@@ -599,7 +614,7 @@ impl LiveGraph {
                     options.group_commit,
                     h.clock,
                 )?;
-                (h.epochs, commit, h.defer_recovery)
+                (h.epochs, commit, h.telemetry, h.defer_recovery)
             }
             None => {
                 let commit = CommitCoordinator::new(
@@ -607,13 +622,17 @@ impl LiveGraph {
                     options.sync_mode,
                     options.group_commit,
                 )?;
+                let telemetry = crate::telemetry::Telemetry::new(options.max_workers);
+                telemetry.set_enabled(true);
                 (
                     Arc::new(EpochManager::new(options.max_workers)),
                     commit,
+                    telemetry,
                     false,
                 )
             }
         };
+        commit.set_telemetry(Arc::clone(&telemetry));
         let inner = GraphInner {
             // ORDERING: Relaxed — process-unique id; atomicity suffices.
             id: GRAPH_IDS.fetch_add(1, Ordering::Relaxed),
@@ -626,6 +645,7 @@ impl LiveGraph {
             next_vertex: AtomicU64::new(0),
             edge_insert_count: AtomicU64::new(0),
             scan_counters: ScanCounters::new(options.max_workers),
+            telemetry,
             free_vertex_ids: parking_lot::Mutex::new(Vec::new()),
             recovery_mode: AtomicBool::new(false),
             prune_floor: std::sync::atomic::AtomicI64::new(0),
@@ -741,6 +761,24 @@ impl LiveGraph {
         &self.inner.options
     }
 
+    /// The live telemetry registry: hot-path counters, gauges and span
+    /// histograms. Shared with the service layer (reactor/replication
+    /// spans) and admin endpoints.
+    pub fn telemetry(&self) -> &Arc<crate::telemetry::Telemetry> {
+        &self.inner.telemetry
+    }
+
+    /// Full metrics dump: the telemetry registry plus engine-derived
+    /// counters and gauges (epochs, WAL totals, scan path totals), under
+    /// the weak-snapshot contract of
+    /// [`MetricsSnapshot`](crate::telemetry::MetricsSnapshot).
+    pub fn metrics(&self) -> crate::telemetry::MetricsSnapshot {
+        let mut snap = self.inner.telemetry.snapshot();
+        let stats = self.stats();
+        push_engine_metrics(&mut snap, &stats);
+        snap
+    }
+
     /// Drops OS page-cache residency for a file-backed block store (used by
     /// the out-of-core benchmarks to start cold). No-op for in-memory
     /// graphs.
@@ -751,6 +789,32 @@ impl LiveGraph {
     fn recover_existing_state(&self) -> Result<()> {
         crate::checkpoint::recover(&self.inner)
     }
+}
+
+/// Extends a registry snapshot with the engine-derived counters and gauges
+/// every dump exposes (epochs, WAL totals, scan path totals). Shared by
+/// [`LiveGraph::metrics`] and the sharded engine's flattened dump.
+pub(crate) fn push_engine_metrics(
+    snap: &mut crate::telemetry::MetricsSnapshot,
+    stats: &GraphStats,
+) {
+    snap.push_counter("livegraph_vertices_total", stats.vertex_count);
+    snap.push_counter("livegraph_edge_inserts_total", stats.edge_insert_count);
+    snap.push_counter("livegraph_wal_bytes_total", stats.wal_bytes);
+    snap.push_counter("livegraph_wal_fsyncs_total", stats.wal_fsyncs);
+    snap.push_counter("livegraph_wal_groups_total", stats.wal_groups);
+    snap.push_counter("livegraph_wal_group_records_total", stats.wal_group_records);
+    snap.push_counter("livegraph_sealed_scans_total", stats.scans.sealed_scans);
+    snap.push_counter("livegraph_checked_scans_total", stats.scans.checked_scans);
+    snap.push_counter("livegraph_edge_lookups_total", stats.scans.edge_lookups);
+    snap.push_counter(
+        "livegraph_compaction_passes_total",
+        stats.compaction.passes,
+    );
+    snap.push_gauge("livegraph_read_epoch", stats.read_epoch);
+    snap.push_gauge("livegraph_write_epoch", stats.write_epoch);
+    snap.push_gauge("livegraph_epoch_lag", stats.write_epoch - stats.read_epoch);
+    snap.push_gauge("livegraph_wal_torn", i64::from(stats.wal_torn));
 }
 
 impl std::fmt::Debug for LiveGraph {

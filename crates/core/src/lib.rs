@@ -64,6 +64,7 @@ pub mod seal;
 pub mod sharded;
 pub mod sync;
 pub mod tel;
+pub mod telemetry;
 mod txn;
 pub mod types;
 mod vertex;
@@ -84,6 +85,7 @@ pub use replication::{install_bootstrap, local_durable_epoch, TailChunk, WalTail
 pub use sharded::{
     ShardedGraph, ShardedGraphOptions, ShardedReadTxn, ShardedStats, ShardedWriteTxn,
 };
+pub use telemetry::{HistogramSnapshot, MetricsSnapshot, SlowOp, Telemetry};
 pub use txn::{Edge, EdgeIter, LabelIter, ReadTxn, VertexIter, WriteTxn, NEIGHBOR_CHUNK};
 pub use types::{Label, Timestamp, TxnId, VertexId, DEFAULT_LABEL};
 pub use wal::{GroupCommitConfig, SyncMode, WalStats};

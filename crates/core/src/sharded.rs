@@ -161,6 +161,8 @@ pub struct ShardedGraph {
     shards: Vec<LiveGraph>,
     epochs: Arc<EpochManager>,
     clock: Arc<GroupClock>,
+    /// One registry shared by every shard (totals are pre-flattened).
+    telemetry: Arc<crate::telemetry::Telemetry>,
     /// Global vertex id allocator (ids are dense across shards).
     next_vertex: AtomicU64,
     options: ShardedGraphOptions,
@@ -180,6 +182,8 @@ impl ShardedGraph {
         let worker_slots = options.base.max_workers * options.shards;
         let epochs = Arc::new(EpochManager::new(worker_slots));
         let clock = GroupClock::new();
+        let telemetry = crate::telemetry::Telemetry::new(worker_slots);
+        telemetry.set_enabled(true);
         let mut shards = Vec::with_capacity(options.shards);
         for i in 0..options.shards {
             let mut base = options.base.clone();
@@ -192,6 +196,7 @@ impl ShardedGraph {
                 Some(EngineHooks {
                     epochs: Arc::clone(&epochs),
                     clock: Arc::clone(&clock),
+                    telemetry: Arc::clone(&telemetry),
                     defer_recovery: true,
                 }),
             )?);
@@ -200,6 +205,7 @@ impl ShardedGraph {
             shards,
             epochs,
             clock,
+            telemetry,
             next_vertex: AtomicU64::new(0),
             options,
         };
@@ -317,6 +323,46 @@ impl ShardedGraph {
         &self.options
     }
 
+    /// The shared telemetry registry (one instance for all shards).
+    pub fn telemetry(&self) -> &Arc<crate::telemetry::Telemetry> {
+        &self.telemetry
+    }
+
+    /// Full metrics dump, flattened across shards: the shared registry
+    /// plus engine-derived totals summed over every shard (mirroring
+    /// [`ShardedStats`]'s flattening helpers).
+    pub fn metrics(&self) -> crate::telemetry::MetricsSnapshot {
+        let mut snap = self.telemetry.snapshot();
+        let stats = self.stats();
+        let mut flat = self.shards[0].stats();
+        flat.vertex_count = stats.vertex_count;
+        flat.edge_insert_count = stats.edge_insert_count();
+        flat.wal_bytes = stats.wal_bytes();
+        flat.wal_fsyncs = stats.wal_fsyncs();
+        flat.wal_groups = stats.wal_groups();
+        flat.wal_group_records = stats.wal_group_records();
+        flat.wal_torn = stats.wal_torn();
+        flat.read_epoch = stats.read_epoch;
+        flat.write_epoch = stats.write_epoch;
+        flat.scans = crate::graph::ScanStats {
+            sealed_scans: stats.shards.iter().map(|s| s.scans.sealed_scans).sum(),
+            checked_scans: stats.shards.iter().map(|s| s.scans.checked_scans).sum(),
+            edge_lookups: stats.shards.iter().map(|s| s.scans.edge_lookups).sum(),
+            edge_lookup_entries_scanned: stats
+                .shards
+                .iter()
+                .map(|s| s.scans.edge_lookup_entries_scanned)
+                .sum(),
+            edge_lookup_bloom_negatives: stats
+                .shards
+                .iter()
+                .map(|s| s.scans.edge_lookup_bloom_negatives)
+                .sum(),
+        };
+        crate::graph::push_engine_metrics(&mut snap, &flat);
+        snap
+    }
+
     // ------------------------------------------------------------------
     // Cross-shard commit
     // ------------------------------------------------------------------
@@ -325,6 +371,16 @@ impl ShardedGraph {
     /// more than one shard (see the module docs for the protocol).
     fn commit_cross_shard<'a>(&'a self, mut parts: Vec<(usize, WriteTxn<'a>)>) -> Result<Timestamp> {
         debug_assert!(parts.len() >= 2);
+        // One logical commit regardless of how many shards participate —
+        // tallied into the coordinating part's worker slot, with the same
+        // sampled span tracing as the single-shard path.
+        let tel = &self.telemetry;
+        let worker = parts[0].1.worker();
+        let commit_timer = if tel.trace_commit(worker) {
+            tel.timer()
+        } else {
+            None
+        };
         // Concatenate the parts' operations in shard order. Reordering
         // across shards is safe: every vertex's operations live entirely on
         // its owning shard, so ops from different shards never target the
@@ -393,6 +449,11 @@ impl ShardedGraph {
         // Session consistency, mirroring the single-graph commit: wait for
         // GRE to cover this commit so the caller's next transaction sees it.
         self.clock.wait_for_gre(&self.epochs, epoch);
+        if tel.enabled() {
+            tel.inc_commit(worker);
+        }
+        let total = tel.commit_seconds.observe_timer(commit_timer);
+        tel.maybe_slow_op("commit_cross_shard", total, Vec::new);
         Ok(epoch)
     }
 

@@ -199,11 +199,15 @@ impl<'g> ReadTxn<'g> {
         let tel = self.graph.tel_ref_auto(ptr);
         if let Some(log) = tel.sealed_log(self.tre) {
             self.graph.scan_counters.record_scan(self.worker, true);
+            let t0 = self.graph.telemetry.scan_timer(self.worker);
             tel.for_each_dst_sealed(log, f);
+            self.graph.telemetry.scan_sealed_seconds.observe_timer(t0);
         } else {
             self.graph.scan_counters.record_scan(self.worker, false);
+            let t0 = self.graph.telemetry.scan_timer(self.worker);
             let log = tel.log_size();
             checked_for_each_dst(&tel, log, self.tre, 0, &mut f);
+            self.graph.telemetry.scan_checked_seconds.observe_timer(t0);
         }
     }
 
@@ -438,6 +442,12 @@ pub struct WriteTxn<'g> {
     vertex_writes: HashMap<VertexId, VertexWrite>,
     wal_ops: Vec<WalOp>,
     closed: bool,
+    /// Whether this transaction's commit takes full span timestamps (see
+    /// [`crate::telemetry::Telemetry::trace_commit`] — sampled, or every
+    /// commit while the slow-op log is armed).
+    traced: bool,
+    /// Accumulated vertex-lock wait time (zero unless traced).
+    lock_wait: std::time::Duration,
 }
 
 impl<'g> WriteTxn<'g> {
@@ -468,6 +478,8 @@ impl<'g> WriteTxn<'g> {
             vertex_writes: HashMap::new(),
             wal_ops: Vec::new(),
             closed: false,
+            traced: graph.telemetry.trace_commit(worker),
+            lock_wait: std::time::Duration::ZERO,
         }
     }
 
@@ -479,6 +491,13 @@ impl<'g> WriteTxn<'g> {
     /// This transaction's id.
     pub fn txn_id(&self) -> TxnId {
         self.tid
+    }
+
+    /// Worker slot this transaction occupies — the sharded engine's
+    /// cross-shard commit path tallies its commits into this slot's
+    /// telemetry cell, mirroring [`WriteTxn::commit`].
+    pub(crate) fn worker(&self) -> usize {
+        self.worker
     }
 
     fn ensure_open(&self) -> Result<()> {
@@ -493,11 +512,19 @@ impl<'g> WriteTxn<'g> {
         if self.locked.contains(&vertex) {
             return Ok(());
         }
-        if !self
+        let lock_timer = if self.traced {
+            self.graph.telemetry.timer()
+        } else {
+            None
+        };
+        let acquired = self
             .graph
             .locks
-            .lock_with_timeout(vertex, self.graph.options.lock_timeout)
-        {
+            .lock_with_timeout(vertex, self.graph.options.lock_timeout);
+        if let Some(t0) = lock_timer {
+            self.lock_wait += t0.elapsed();
+        }
+        if !acquired {
             return Err(Error::WriteConflict { vertex });
         }
         self.locked.push(vertex);
@@ -949,7 +976,9 @@ impl<'g> WriteTxn<'g> {
             (tel, log)
         };
         self.graph.scan_counters.record_scan(self.worker, false);
+        let t0 = self.graph.telemetry.scan_timer(self.worker);
         checked_for_each_dst(&tel, log, self.tre, self.tid, &mut f);
+        self.graph.telemetry.scan_checked_seconds.observe_timer(t0);
     }
 
     /// Number of visible edges of `(vertex, label)` (own writes included).
@@ -986,6 +1015,12 @@ impl<'g> WriteTxn<'g> {
             return Ok(self.graph.epochs.gre());
         }
         let ops = std::mem::take(&mut self.wal_ops);
+        let tel = &self.graph.telemetry;
+        // Span timestamps only on traced commits (sampled — see
+        // `Telemetry::trace_commit`); the clock reads below would otherwise
+        // dominate an in-memory commit. The commit *count* stays exact.
+        let traced = self.traced;
+        let commit_timer = if traced { tel.timer() } else { None };
         // Recovery replays already-persisted operations; re-logging them
         // would duplicate the WAL.
         // ORDERING: Acquire pairs with the Release stores bracketing
@@ -994,20 +1029,44 @@ impl<'g> WriteTxn<'g> {
             .graph
             .recovery_mode
             .load(std::sync::atomic::Ordering::Acquire);
+        // Persist phase: group formation, WAL enqueue, fsync wait. The
+        // coordinator records the enqueue/fsync sub-spans itself.
+        let persist_timer = if traced { tel.timer() } else { None };
         let epoch = self
             .graph
             .commit
-            .persist_with(&self.graph.epochs, ops, log_to_wal)?;
+            .persist_with(&self.graph.epochs, ops, log_to_wal, traced)?;
+        let persist_span = persist_timer.map(|t0| t0.elapsed());
+        let apply_timer = if traced { tel.timer() } else { None };
         self.apply(epoch);
+        let apply_span = tel.commit_apply_seconds.observe_timer(apply_timer);
         self.graph.commit.finish_apply(&self.graph.epochs, epoch);
         // Wait for the global read epoch to cover this commit so that the
         // caller's *next* transaction is guaranteed to observe it (session
         // consistency). Usually satisfied immediately by our own
         // finish_apply; otherwise sleep on the clock's condvar rather than
         // spinning against the threads we are waiting for.
+        let gre_timer = if traced { tel.timer() } else { None };
         self.graph.commit.wait_for_gre(&self.graph.epochs, epoch);
+        let gre_span = tel.commit_gre_wait_seconds.observe_timer(gre_timer);
         self.closed = true;
         self.post_commit_maintenance();
+        if tel.enabled() {
+            tel.inc_commit(self.worker);
+        }
+        let total = tel.commit_seconds.observe_timer(commit_timer);
+        if total.is_some() {
+            tel.commit_lock_seconds.observe(self.lock_wait.as_nanos() as u64);
+            let lock_wait = self.lock_wait;
+            tel.maybe_slow_op("commit", total, || {
+                vec![
+                    ("lock", lock_wait),
+                    ("persist", persist_span.unwrap_or_default()),
+                    ("apply", apply_span.unwrap_or_default()),
+                    ("gre_wait", gre_span.unwrap_or_default()),
+                ]
+            });
+        }
         Ok(epoch)
     }
 

@@ -568,11 +568,21 @@ impl GroupWal {
             match flushed {
                 Ok(()) => {
                     q.durable += batch.len() as u64;
-                    // ORDERING: Relaxed — statistics counters; durability
-                    // itself is published via `q.durable` under the lock.
-                    self.groups.fetch_add(1, Ordering::Relaxed);
+                    // Statistics counters; durability itself is published
+                    // via `q.durable` under the lock. Publication order
+                    // matters for the *weak snapshot* invariant
+                    // `group_records >= groups` (see `GraphStats`): bump
+                    // the records first, then publish the group count.
+                    // ORDERING: Relaxed — covered by the Release below;
+                    // no reader may see `groups` without these records.
                     self.group_records
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    // ORDERING: Release pairs with the Acquire load in
+                    // `stats()`, so a snapshot that observes this group
+                    // also observes its records — every batch has ≥ 1
+                    // record, making `group_records >= groups` hold in
+                    // every snapshot.
+                    self.groups.fetch_add(1, Ordering::Release);
                 }
                 Err(e) => {
                     // The drained records are gone and their committers
@@ -603,13 +613,22 @@ impl GroupWal {
     }
 
     /// Snapshot of the WAL counters (bytes, syncs, batches, tear flag).
+    ///
+    /// A *weak* snapshot: counters are read while flush leaders proceed,
+    /// so fields may be mutually stale — but `group_records >= groups`
+    /// holds in every snapshot (see the ordering argument below).
     pub fn stats(&self) -> WalStats {
         let w = self.writer.lock();
+        // ORDERING: Acquire pairs with the Release bump in the flush
+        // success path: observing a group implies observing its records,
+        // so `group_records >= groups` below can never be violated by a
+        // concurrent flush. `groups` must be loaded *first*.
+        let groups = self.groups.load(Ordering::Acquire);
         WalStats {
             bytes: w.bytes_written(),
             fsyncs: w.fsyncs(),
-            // ORDERING: Relaxed — stats snapshot tolerates torn totals.
-            groups: self.groups.load(Ordering::Relaxed),
+            groups,
+            // ORDERING: Relaxed — covered by the Acquire above.
             group_records: self.group_records.load(Ordering::Relaxed),
             torn: w.torn(),
         }

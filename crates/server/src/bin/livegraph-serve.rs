@@ -7,6 +7,7 @@
 //!                 [--no-sync] [--group-commit-batch N] [--group-commit-wait-us N]
 //!                 [--replicate-from HOST:PORT] [--sync-replicas N]
 //!                 [--commit-timeout-ms N]
+//!                 [--metrics-listen HOST:PORT] [--slow-op-ms N]
 //! ```
 //!
 //! `--reactor` serves connections on the epoll event loop instead of the
@@ -35,6 +36,13 @@
 //! `--sync-replicas N` makes each commit wait (up to
 //! `--commit-timeout-ms`, default 5000) until N replicas confirmed the
 //! commit epoch durable before the client sees `Committed`.
+//!
+//! `--metrics-listen HOST:PORT` additionally serves the telemetry registry
+//! as Prometheus-style text at that address (any `GET` path). The same
+//! numbers are always available in-protocol through the `MetricsDump` op
+//! (see `livegraph-top`). `--slow-op-ms N` logs any commit or request
+//! slower than N milliseconds to stderr with a per-stage breakdown
+//! (default off).
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::exit;
@@ -45,8 +53,8 @@ use livegraph_core::{
     GroupCommitConfig, LiveGraph, LiveGraphOptions, ShardedGraph, ShardedGraphOptions, SyncMode,
 };
 use livegraph_server::{
-    bootstrap_replica, start_replica, Engine, ReactorConfig, ReactorServer, ReplicaOptions,
-    ReplicationState, Server, ServerConfig,
+    bootstrap_replica, start_replica, Engine, MetricsExporter, ReactorConfig, ReactorServer,
+    ReplicaOptions, ReplicationState, Server, ServerConfig,
 };
 
 struct Args {
@@ -63,6 +71,8 @@ struct Args {
     replicate_from: Option<String>,
     sync_replicas: usize,
     commit_timeout_ms: u64,
+    metrics_listen: Option<String>,
+    slow_op_ms: Option<u64>,
 }
 
 impl Default for Args {
@@ -81,6 +91,8 @@ impl Default for Args {
             replicate_from: None,
             sync_replicas: 0,
             commit_timeout_ms: 5000,
+            metrics_listen: None,
+            slow_op_ms: None,
         }
     }
 }
@@ -91,7 +103,8 @@ fn usage() -> ! {
          [--event-threads N] [--shards N] \
          [--data-dir PATH] [--capacity BYTES] [--max-vertices N] [--no-sync] \
          [--group-commit-batch N] [--group-commit-wait-us N] \
-         [--replicate-from HOST:PORT] [--sync-replicas N] [--commit-timeout-ms N]"
+         [--replicate-from HOST:PORT] [--sync-replicas N] [--commit-timeout-ms N] \
+         [--metrics-listen HOST:PORT] [--slow-op-ms N]"
     );
     exit(2)
 }
@@ -140,6 +153,10 @@ fn parse_args() -> Args {
             "--commit-timeout-ms" => {
                 args.commit_timeout_ms =
                     parse_num(&value("--commit-timeout-ms"), "--commit-timeout-ms") as u64
+            }
+            "--metrics-listen" => args.metrics_listen = Some(value("--metrics-listen")),
+            "--slow-op-ms" => {
+                args.slow_op_ms = Some(parse_num(&value("--slow-op-ms"), "--slow-op-ms") as u64)
             }
             "--help" | "-h" => usage(),
             other => {
@@ -246,6 +263,26 @@ fn main() {
     };
 
     let engine = Arc::new(engine);
+
+    if let Some(ms) = args.slow_op_ms {
+        engine
+            .telemetry()
+            .set_slow_op_threshold(Some(Duration::from_millis(ms)));
+        eprintln!("livegraph-serve: slow-op log enabled at {ms}ms");
+    }
+    let _metrics = args.metrics_listen.as_deref().map(|addr| {
+        match MetricsExporter::start(engine.clone(), addr) {
+            Ok(exporter) => {
+                eprintln!("livegraph-serve: metrics on http://{}/metrics", exporter.local_addr());
+                exporter
+            }
+            Err(e) => {
+                eprintln!("livegraph-serve: failed to bind metrics listener {addr}: {e}");
+                exit(1)
+            }
+        }
+    });
+
     let replication = Arc::new(if primary.is_some() {
         ReplicationState::replica()
     } else {

@@ -1,0 +1,278 @@
+//! `livegraph-top` — a refreshing terminal dashboard for a live server.
+//!
+//! ```text
+//! livegraph-top [--addr 127.0.0.1:7687] [--interval-ms 1000] [--count N] [--raw]
+//! ```
+//!
+//! Polls the server's `MetricsDump` wire op every `--interval-ms` and
+//! renders the registry as a table: counters with per-second rates since
+//! the previous sample, gauges, and latency histograms with p50/p95/p99
+//! and max (nanoseconds pretty-printed to µs/ms/s). `--count N` exits
+//! after N refreshes (0 = run until killed); `--raw` skips the ANSI
+//! screen clear so output can be piped or logged.
+
+use std::process::exit;
+use std::time::Duration;
+
+use livegraph_core::HistogramSnapshot;
+use livegraph_server::{Client, HistogramDump, MetricsReply};
+
+struct Args {
+    addr: String,
+    interval: Duration,
+    count: u64,
+    raw: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7687".into(),
+            interval: Duration::from_millis(1000),
+            count: 0,
+            raw: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: livegraph-top [--addr HOST:PORT] [--interval-ms N] [--count N] [--raw]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--interval-ms" => {
+                args.interval = Duration::from_millis(parse_num(&value("--interval-ms")))
+            }
+            "--count" => args.count = parse_num(&value("--count")),
+            "--raw" => args.raw = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number {s:?}");
+        usage()
+    })
+}
+
+/// Pretty-prints a nanosecond quantity with an adaptive unit.
+fn fmt_nanos(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Per-second rate between two cumulative readings (0 on the first
+/// sample or if the counter reset, e.g. after a server restart).
+fn rate(prev: Option<u64>, cur: u64, dt_secs: f64) -> f64 {
+    match prev {
+        Some(p) if cur >= p && dt_secs > 0.0 => (cur - p) as f64 / dt_secs,
+        _ => 0.0,
+    }
+}
+
+fn lookup<T: Copy>(reply: &[(String, T)], name: &str) -> Option<T> {
+    reply.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// Lifts a wire histogram back into the core snapshot type so the
+/// percentile math lives in exactly one place.
+fn as_snapshot(h: &HistogramDump) -> HistogramSnapshot {
+    HistogramSnapshot {
+        name: h.name.clone(),
+        count: h.count,
+        sum: h.sum,
+        max: h.max,
+        buckets: h.buckets.clone(),
+    }
+}
+
+/// Renders one dashboard frame. Pure function of the two samples and the
+/// interval between them — unit-tested below, reused nowhere else.
+fn render_dashboard(prev: Option<&MetricsReply>, cur: &MetricsReply, dt_secs: f64) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("livegraph-top\n\n");
+
+    out.push_str("COUNTERS                                         total       /s\n");
+    for (name, value) in &cur.counters {
+        let r = rate(prev.and_then(|p| lookup(&p.counters, name)), *value, dt_secs);
+        out.push_str(&format!("  {name:<44} {value:>9} {r:>8.1}\n"));
+    }
+
+    out.push_str("\nGAUGES\n");
+    for (name, value) in &cur.gauges {
+        out.push_str(&format!("  {name:<44} {value:>9}\n"));
+    }
+
+    out.push_str(
+        "\nHISTOGRAMS                                       count       /s      p50      p95      p99      max\n",
+    );
+    for h in &cur.histograms {
+        let snap = as_snapshot(h);
+        let prev_count = prev
+            .and_then(|p| p.histograms.iter().find(|ph| ph.name == h.name))
+            .map(|ph| ph.count);
+        let r = rate(prev_count, h.count, dt_secs);
+        // Only duration histograms get unit-formatted; count/byte-valued
+        // ones print raw numbers.
+        let f = |v: u64| {
+            if h.name.ends_with("_seconds") {
+                fmt_nanos(v)
+            } else {
+                v.to_string()
+            }
+        };
+        out.push_str(&format!(
+            "  {:<44} {:>9} {:>8.1} {:>8} {:>8} {:>8} {:>8}\n",
+            h.name,
+            h.count,
+            r,
+            f(snap.p50()),
+            f(snap.p95()),
+            f(snap.p99()),
+            f(h.max),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut client = match Client::connect(args.addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("livegraph-top: cannot connect to {}: {e}", args.addr);
+            exit(1)
+        }
+    };
+
+    let mut prev: Option<MetricsReply> = None;
+    let mut frames = 0u64;
+    loop {
+        let cur = match client.metrics_dump() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("livegraph-top: metrics dump failed: {e}");
+                exit(1)
+            }
+        };
+        let frame = render_dashboard(prev.as_ref(), &cur, args.interval.as_secs_f64());
+        {
+            use std::io::Write;
+            let mut stdout = std::io::stdout().lock();
+            let written = if args.raw {
+                writeln!(stdout, "{frame}")
+            } else {
+                // Clear screen + home, then the frame.
+                write!(stdout, "\x1b[2J\x1b[H{frame}")
+            }
+            .and_then(|()| stdout.flush());
+            // A closed pipe (`livegraph-top --raw | head`) is a normal way
+            // to stop watching, not an error.
+            if written.is_err() {
+                break;
+            }
+        }
+        prev = Some(cur);
+        frames += 1;
+        if args.count != 0 && frames >= args.count {
+            break;
+        }
+        std::thread::sleep(args.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(commits: u64) -> MetricsReply {
+        MetricsReply {
+            counters: vec![("livegraph_commits_total".into(), commits)],
+            gauges: vec![("livegraph_replication_lag_epochs".into(), 2)],
+            histograms: vec![HistogramDump {
+                name: "livegraph_commit_seconds".into(),
+                count: commits,
+                sum: commits * 1_000,
+                max: 2_000_000,
+                buckets: vec![0; 0],
+            }],
+        }
+    }
+
+    #[test]
+    fn first_frame_has_zero_rates() {
+        let frame = render_dashboard(None, &sample(10), 1.0);
+        assert!(frame.contains("livegraph_commits_total"), "{frame}");
+        let line = frame
+            .lines()
+            .find(|l| l.contains("livegraph_commits_total"))
+            .unwrap();
+        assert!(line.trim_end().ends_with("0.0"), "{line}");
+    }
+
+    #[test]
+    fn rates_come_from_deltas() {
+        let prev = sample(10);
+        let frame = render_dashboard(Some(&prev), &sample(30), 2.0);
+        let line = frame
+            .lines()
+            .find(|l| l.contains("livegraph_commits_total"))
+            .unwrap();
+        // (30 - 10) / 2s = 10/s
+        assert!(line.trim_end().ends_with("10.0"), "{line}");
+    }
+
+    #[test]
+    fn counter_reset_renders_as_zero_rate() {
+        let prev = sample(30);
+        let frame = render_dashboard(Some(&prev), &sample(5), 1.0);
+        let line = frame
+            .lines()
+            .find(|l| l.contains("livegraph_commits_total"))
+            .unwrap();
+        assert!(line.trim_end().ends_with("0.0"), "{line}");
+    }
+
+    #[test]
+    fn nanos_format_picks_sane_units() {
+        assert_eq!(fmt_nanos(17), "17ns");
+        assert_eq!(fmt_nanos(1_500), "1.5us");
+        assert_eq!(fmt_nanos(2_000_000), "2.00ms");
+        assert_eq!(fmt_nanos(3_500_000_000), "3.50s");
+    }
+
+    #[test]
+    fn seconds_histograms_render_with_units() {
+        let frame = render_dashboard(None, &sample(1), 1.0);
+        let line = frame
+            .lines()
+            .find(|l| l.contains("livegraph_commit_seconds"))
+            .unwrap();
+        assert!(line.contains("2.00ms"), "max column unit-formatted: {line}");
+    }
+}

@@ -18,7 +18,8 @@ use parking_lot::Mutex;
 use livegraph_core::types::{Label, Timestamp, VertexId};
 
 use crate::protocol::{
-    read_response, write_request, ErrorCode, Request, Response, StatsReply, TxnHandle,
+    read_response, write_request, ErrorCode, MetricsReply, Request, Response, StatsReply,
+    TxnHandle,
 };
 
 /// Errors surfaced by the client library.
@@ -567,6 +568,15 @@ impl Client {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => self.unexpected("Stats", &other),
+        }
+    }
+
+    /// Admin: full telemetry snapshot — every counter, gauge and latency
+    /// histogram the server's registry holds (flattened across shards).
+    pub fn metrics_dump(&mut self) -> ClientResult<MetricsReply> {
+        match self.roundtrip(&Request::MetricsDump)? {
+            Response::Metrics(metrics) => Ok(metrics),
+            other => self.unexpected("Metrics", &other),
         }
     }
 

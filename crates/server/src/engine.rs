@@ -87,6 +87,13 @@ impl Engine {
                     edge_lookups: s.scans.edge_lookups,
                     edge_lookup_entries_scanned: s.scans.edge_lookup_entries_scanned,
                     edge_lookup_bloom_negatives: s.scans.edge_lookup_bloom_negatives,
+                    wal_fsyncs: s.wal_fsyncs,
+                    wal_groups: s.wal_groups,
+                    wal_group_records: s.wal_group_records,
+                    wal_torn: s.wal_torn,
+                    // Session-layer detail: the server fills this in from
+                    // its replication state before replying.
+                    replication_apply_epoch: -1,
                 }
             }
             Engine::Sharded(g) => {
@@ -98,6 +105,11 @@ impl Engine {
                     wal_bytes: s.wal_bytes(),
                     read_epoch: s.read_epoch,
                     write_epoch: s.write_epoch,
+                    wal_fsyncs: s.wal_fsyncs(),
+                    wal_groups: s.wal_groups(),
+                    wal_group_records: s.wal_group_records(),
+                    wal_torn: s.wal_torn(),
+                    replication_apply_epoch: -1,
                     ..StatsReply::default()
                 };
                 for shard in &s.shards {
@@ -109,6 +121,26 @@ impl Engine {
                 }
                 reply
             }
+        }
+    }
+
+    /// The hosted engine's telemetry registry (shared across shards for the
+    /// sharded engine). The service layer records its own spans — reactor
+    /// turns, request latency, replication lag — into this registry so one
+    /// dump covers the whole server.
+    pub fn telemetry(&self) -> &std::sync::Arc<livegraph_core::Telemetry> {
+        match self {
+            Engine::Plain(g) => g.telemetry(),
+            Engine::Sharded(g) => g.telemetry(),
+        }
+    }
+
+    /// Full metrics snapshot: registry series plus engine-derived counters
+    /// and gauges (flattened across shards for the sharded engine).
+    pub fn metrics(&self) -> livegraph_core::MetricsSnapshot {
+        match self {
+            Engine::Plain(g) => g.metrics(),
+            Engine::Sharded(g) => g.metrics(),
         }
     }
 }

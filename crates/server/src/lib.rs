@@ -16,7 +16,10 @@
 //! * [`Client`] / [`ClientPool`] — the blocking client;
 //! * [`replication`] — WAL-shipping replication: epoch-consistent read
 //!   replicas, semi-sync commit acknowledgement, failover promotion, and a
-//!   fault-injecting link proxy for chaos tests.
+//!   fault-injecting link proxy for chaos tests;
+//! * [`metrics_http`] — Prometheus-style text exposition of the engine's
+//!   telemetry registry (`--metrics-listen`), also consumed by the
+//!   `livegraph-top` dashboard via the `MetricsDump` wire op.
 //!
 //! ## Quick start
 //! ```
@@ -51,6 +54,7 @@
 
 mod client;
 mod engine;
+pub mod metrics_http;
 mod pipeline;
 pub mod protocol;
 pub mod reactor;
@@ -72,8 +76,11 @@ pub use client::{
     Client, ClientError, ClientPool, ClientResult, PooledClient, RemoteTxn, DEFAULT_IO_TIMEOUT,
 };
 pub use engine::Engine;
+pub use metrics_http::{render_exposition, MetricsExporter};
 pub use pipeline::{PipelinedClient, DEFAULT_PIPELINE_DEPTH};
-pub use protocol::{ErrorCode, Request, Response, StatsReply, TxnHandle};
+pub use protocol::{
+    ErrorCode, HistogramDump, MetricsReply, Request, Response, StatsReply, TxnHandle,
+};
 pub use reactor::{ReactorConfig, ReactorServer};
 pub use replication::{
     bootstrap_replica, start_replica, FaultProxy, ReplicaOptions, ReplicaRunner, ReplicationState,

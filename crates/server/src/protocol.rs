@@ -202,6 +202,11 @@ pub enum Request {
     /// [`Response::Promoted`]. Idempotent; on a server that never was a
     /// replica it simply reports the current epoch.
     Promote,
+    /// Admin: full telemetry snapshot — every counter, gauge and latency
+    /// histogram in the engine's registry plus the service-layer spans.
+    /// Like [`Request::Stats`], sharded engines answer with per-shard
+    /// series flattened into one registry.
+    MetricsDump,
 }
 
 /// A response frame body.
@@ -290,6 +295,8 @@ pub enum Response {
         /// The epoch the promoted server starts serving writes from.
         epoch: Timestamp,
     },
+    /// Reply to [`Request::MetricsDump`].
+    Metrics(MetricsReply),
 }
 
 /// Engine statistics exposed over the wire (a flattened
@@ -320,6 +327,50 @@ pub struct StatsReply {
     pub edge_lookup_entries_scanned: u64,
     /// Lookups short-circuited by a definite Bloom-filter miss.
     pub edge_lookup_bloom_negatives: u64,
+    /// Physical `fsync` calls issued by the WAL(s).
+    pub wal_fsyncs: u64,
+    /// Commit groups flushed by the WAL(s) (each covers ≥ 1 record).
+    pub wal_groups: u64,
+    /// WAL records flushed inside those groups; always `>= wal_groups`
+    /// in any snapshot (see [`livegraph_core::GraphStats`]).
+    pub wal_group_records: u64,
+    /// True when recovery stopped at a torn (half-written) WAL record.
+    pub wal_torn: bool,
+    /// Highest epoch this server has applied from a replication stream
+    /// (a replica's local read epoch), or `-1` when it is not currently
+    /// a replica.
+    pub replication_apply_epoch: Timestamp,
+}
+
+/// One latency histogram in a [`MetricsReply`]: fixed log-scale buckets as
+/// laid out by [`livegraph_core::telemetry`] (`bucket_index` /
+/// `bucket_lower_bound`), trimmed of trailing empty buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramDump {
+    /// Registry name (`livegraph_*`, unit suffix included).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (nanoseconds for `_seconds` series).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Per-bucket observation counts, index 0 first.
+    pub buckets: Vec<u64>,
+}
+
+/// The wire form of [`livegraph_core::MetricsSnapshot`]: every counter,
+/// gauge and histogram the server's registry holds, in registration order.
+/// Weak snapshot — each series is read atomically but the set is not
+/// mutually consistent (same contract as [`StatsReply`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReply {
+    /// Monotone counters as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges as `(name, value)`.
+    pub gauges: Vec<(String, i64)>,
+    /// Latency / size histograms.
+    pub histograms: Vec<HistogramDump>,
 }
 
 /// Machine-readable error classes carried by [`Response::Error`], mirroring
@@ -567,6 +618,7 @@ mod op {
     pub const REPLICA_HELLO: u8 = 17;
     pub const REPLICA_ACK: u8 = 18;
     pub const PROMOTE: u8 = 19;
+    pub const METRICS_DUMP: u8 = 20;
 }
 
 mod tag {
@@ -585,6 +637,7 @@ mod tag {
     pub const BOOTSTRAP_CHUNK: u8 = 13;
     pub const WAL_BATCH: u8 = 14;
     pub const PROMOTED: u8 = 15;
+    pub const METRICS: u8 = 16;
 }
 
 impl Request {
@@ -703,6 +756,7 @@ impl Request {
                 put_i64(buf, *durable_epoch);
             }
             Request::Promote => put_u8(buf, op::PROMOTE),
+            Request::MetricsDump => put_u8(buf, op::METRICS_DUMP),
         }
     }
 
@@ -773,6 +827,7 @@ impl Request {
                 durable_epoch: c.i64()?,
             },
             op::PROMOTE => Request::Promote,
+            op::METRICS_DUMP => Request::MetricsDump,
             other => return Err(ProtocolError::BadOpcode(other)),
         };
         c.finish()?;
@@ -843,6 +898,11 @@ impl Response {
                 put_u64(buf, s.edge_lookups);
                 put_u64(buf, s.edge_lookup_entries_scanned);
                 put_u64(buf, s.edge_lookup_bloom_negatives);
+                put_u64(buf, s.wal_fsyncs);
+                put_u64(buf, s.wal_groups);
+                put_u64(buf, s.wal_group_records);
+                put_bool(buf, s.wal_torn);
+                put_i64(buf, s.replication_apply_epoch);
             }
             Response::Error { code, message } => {
                 put_u8(buf, tag::ERROR);
@@ -873,6 +933,30 @@ impl Response {
             Response::Promoted { epoch } => {
                 put_u8(buf, tag::PROMOTED);
                 put_i64(buf, *epoch);
+            }
+            Response::Metrics(m) => {
+                put_u8(buf, tag::METRICS);
+                put_u32(buf, m.counters.len() as u32);
+                for (name, value) in &m.counters {
+                    put_bytes(buf, name.as_bytes());
+                    put_u64(buf, *value);
+                }
+                put_u32(buf, m.gauges.len() as u32);
+                for (name, value) in &m.gauges {
+                    put_bytes(buf, name.as_bytes());
+                    put_i64(buf, *value);
+                }
+                put_u32(buf, m.histograms.len() as u32);
+                for h in &m.histograms {
+                    put_bytes(buf, h.name.as_bytes());
+                    put_u64(buf, h.count);
+                    put_u64(buf, h.sum);
+                    put_u64(buf, h.max);
+                    put_u32(buf, h.buckets.len() as u32);
+                    for b in &h.buckets {
+                        put_u64(buf, *b);
+                    }
+                }
             }
         }
     }
@@ -921,6 +1005,11 @@ impl Response {
                 edge_lookups: c.u64()?,
                 edge_lookup_entries_scanned: c.u64()?,
                 edge_lookup_bloom_negatives: c.u64()?,
+                wal_fsyncs: c.u64()?,
+                wal_groups: c.u64()?,
+                wal_group_records: c.u64()?,
+                wal_torn: c.boolean()?,
+                replication_apply_epoch: c.i64()?,
             }),
             tag::ERROR => Response::Error {
                 code: ErrorCode::from_u8(c.u8()?)
@@ -950,6 +1039,65 @@ impl Response {
                 }
             }
             tag::PROMOTED => Response::Promoted { epoch: c.i64()? },
+            tag::METRICS => {
+                // Each series costs at least its name length prefix plus
+                // one fixed-width value, so cap the declared counts before
+                // reserving (defends `Vec::with_capacity` against a
+                // corrupt prefix).
+                let max_series = (MAX_FRAME_LEN as usize) / 12;
+                let n = c.u32()? as usize;
+                if n > max_series {
+                    return Err(ProtocolError::BadValue("metrics counter count"));
+                }
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = String::from_utf8(c.bytes()?)
+                        .map_err(|_| ProtocolError::BadValue("metric name utf-8"))?;
+                    counters.push((name, c.u64()?));
+                }
+                let n = c.u32()? as usize;
+                if n > max_series {
+                    return Err(ProtocolError::BadValue("metrics gauge count"));
+                }
+                let mut gauges = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = String::from_utf8(c.bytes()?)
+                        .map_err(|_| ProtocolError::BadValue("metric name utf-8"))?;
+                    gauges.push((name, c.i64()?));
+                }
+                let n = c.u32()? as usize;
+                if n > (MAX_FRAME_LEN as usize) / 32 {
+                    return Err(ProtocolError::BadValue("metrics histogram count"));
+                }
+                let mut histograms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = String::from_utf8(c.bytes()?)
+                        .map_err(|_| ProtocolError::BadValue("metric name utf-8"))?;
+                    let count = c.u64()?;
+                    let sum = c.u64()?;
+                    let max = c.u64()?;
+                    let b = c.u32()? as usize;
+                    if b > (MAX_FRAME_LEN as usize) / 8 {
+                        return Err(ProtocolError::BadValue("histogram bucket count"));
+                    }
+                    let mut buckets = Vec::with_capacity(b);
+                    for _ in 0..b {
+                        buckets.push(c.u64()?);
+                    }
+                    histograms.push(HistogramDump {
+                        name,
+                        count,
+                        sum,
+                        max,
+                        buckets,
+                    });
+                }
+                Response::Metrics(MetricsReply {
+                    counters,
+                    gauges,
+                    histograms,
+                })
+            }
             other => return Err(ProtocolError::BadTag(other)),
         };
         c.finish()?;
@@ -1250,6 +1398,7 @@ mod tests {
             (0i64..1 << 40).prop_map(|last_epoch| Request::ReplicaHello { last_epoch }),
             (0i64..1 << 40).prop_map(|durable_epoch| Request::ReplicaAck { durable_epoch }),
             Just(Request::Promote),
+            Just(Request::MetricsDump),
         ]
     }
 
@@ -1301,6 +1450,11 @@ mod tests {
                         edge_lookups: c / 2,
                         edge_lookup_entries_scanned: c / 3,
                         edge_lookup_bloom_negatives: c / 4,
+                        wal_fsyncs: a / 2,
+                        wal_groups: a / 3,
+                        wal_group_records: a / 2,
+                        wal_torn: a % 2 == 0,
+                        replication_apply_epoch: d - 1,
                     })
                 }
             ),
@@ -1326,7 +1480,43 @@ mod tests {
                     payloads,
                 }),
             (0i64..1 << 40).prop_map(|epoch| Response::Promoted { epoch }),
+            metrics_reply_strategy().prop_map(Response::Metrics),
         ]
+    }
+
+    fn metric_name_strategy() -> impl Strategy<Value = String> {
+        proptest::collection::vec(b'a'..=b'z', 1..20)
+            .prop_map(|v| format!("livegraph_{}", String::from_utf8(v).expect("ascii")))
+    }
+
+    fn metrics_reply_strategy() -> impl Strategy<Value = MetricsReply> {
+        let counters = proptest::collection::vec((metric_name_strategy(), 0u64..1 << 40), 0..4);
+        let gauges = proptest::collection::vec(
+            (metric_name_strategy(), -1i64..1 << 40),
+            0..4,
+        );
+        let histograms = proptest::collection::vec(
+            (
+                metric_name_strategy(),
+                0u64..1 << 40,
+                0u64..1 << 40,
+                0u64..1 << 40,
+                proptest::collection::vec(0u64..1 << 30, 0..12),
+            )
+                .prop_map(|(name, count, sum, max, buckets)| HistogramDump {
+                    name,
+                    count,
+                    sum,
+                    max,
+                    buckets,
+                }),
+            0..3,
+        );
+        (counters, gauges, histograms).prop_map(|(counters, gauges, histograms)| MetricsReply {
+            counters,
+            gauges,
+            histograms,
+        })
     }
 
     /// Exhaustive complement to `frame_accum_is_split_invariant`: the

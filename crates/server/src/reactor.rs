@@ -554,12 +554,16 @@ fn event_loop(
 
     let engine: &Engine = engine_arc;
     let replication: &ReplicationState = replication_arc;
+    let tel = engine.telemetry();
     let mut conns: HashMap<u64, Conn<'_>> = HashMap::new();
     let mut next_token: u64 = 1;
     let mut events = vec![libc::epoll_event { events: 0, u64: 0 }; 256];
     let mut read_buf = vec![0u8; 64 * 1024];
 
     while let Ok(n) = epoll.wait(&mut events) {
+        // One "turn": everything between epoll_wait returns. Wait time is
+        // deliberately excluded — an idle loop is not a slow loop.
+        let turn_timer = tel.timer();
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -580,7 +584,7 @@ fn event_loop(
             };
             match result {
                 Ok(()) => {
-                    update_interest(&epoll, token, conn, max_out);
+                    update_interest(&epoll, token, conn, max_out, tel);
                 }
                 Err(Close::Gone) => {
                     conns.remove(&token);
@@ -639,6 +643,7 @@ fn event_loop(
             // ORDERING: Relaxed — monitoring gauge, no publication.
             active.fetch_add(1, Ordering::Relaxed);
         }
+        tel.reactor_turn_seconds.observe_timer(turn_timer);
     }
     // Shutdown: drop every connection; Session destructors roll back all
     // open transactions (locks + epoch pins released).
@@ -686,11 +691,21 @@ fn handoff_replica(
     handoffs.threads.lock().push(handle);
 }
 
-fn update_interest(epoll: &Epoll, token: u64, conn: &mut Conn<'_>, max_out: usize) {
+fn update_interest(
+    epoll: &Epoll,
+    token: u64,
+    conn: &mut Conn<'_>,
+    max_out: usize,
+    tel: &livegraph_core::Telemetry,
+) {
     let mut want = libc::EPOLLRDHUP;
     // Backpressure: stop reading while the peer owes us a drain.
     if conn.out.len() < max_out {
         want |= libc::EPOLLIN;
+    } else if conn.interest & libc::EPOLLIN != 0 {
+        // Transition into the paused state — one stall, however long the
+        // peer takes to drain.
+        tel.reactor_backpressure_stalls.inc();
     }
     if !conn.out.is_empty() {
         want |= libc::EPOLLOUT;

@@ -481,6 +481,7 @@ pub(crate) fn serve_replica(
                     .poll(MAX_BATCH_RECORDS, HEARTBEAT)
                     .map_err(|e| io::Error::other(e.to_string()))?;
                 let primary_epoch = graph.stats().read_epoch;
+                graph.telemetry().replication_ship_epoch.set(primary_epoch);
                 match chunk {
                     livegraph_core::TailChunk::Records(records) => {
                         for payloads in cut_batches(&records) {
@@ -803,6 +804,9 @@ fn replicate_stream(
                         .map_err(|e| fail_if(progressed, core_err(e)))?
                 };
                 state.set_lag(primary_epoch - gre);
+                let tel = graph.telemetry();
+                tel.replication_apply_epoch.set(gre);
+                tel.replication_lag_epochs.set((primary_epoch - gre).max(0));
                 if applied.is_some() {
                     progressed = true;
                     since_checkpoint += payloads.len() as u64;

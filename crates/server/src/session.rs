@@ -27,7 +27,7 @@ use livegraph_core::types::{Timestamp, VertexId};
 use livegraph_core::Error;
 
 use crate::engine::{is_retryable, Engine, ReadHandle, WriteHandle};
-use crate::protocol::{ErrorCode, Request, Response, TxnHandle};
+use crate::protocol::{ErrorCode, HistogramDump, MetricsReply, Request, Response, TxnHandle};
 use crate::replication::ReplicationState;
 
 /// Server-side retry budget for auto-commit writes that hit a
@@ -157,7 +157,26 @@ impl<'g> Session<'g> {
     /// Interprets one request, emitting every response frame through
     /// `emit` (exactly one frame for all requests except `Neighbors`,
     /// which streams chunks). `emit` failures (dead socket) propagate.
+    ///
+    /// Records the request's wall time into the engine's
+    /// `livegraph_request_seconds` histogram (socket writes included —
+    /// that is what the client experiences) and through the slow-op log.
     pub fn handle_request<F>(&mut self, req: Request, emit: &mut F) -> io::Result<()>
+    where
+        F: FnMut(&Response) -> io::Result<()>,
+    {
+        let engine = self.engine;
+        let tel = engine.telemetry();
+        let t0 = tel.timer();
+        let result = self.dispatch(req, emit);
+        let total = tel.request_seconds.observe_timer(t0);
+        if total.is_some() {
+            tel.maybe_slow_op("request", total, Vec::new);
+        }
+        result
+    }
+
+    fn dispatch<F>(&mut self, req: Request, emit: &mut F) -> io::Result<()>
     where
         F: FnMut(&Response) -> io::Result<()>,
     {
@@ -370,7 +389,34 @@ impl<'g> Session<'g> {
                     emit_neighbor_chunks(read.neighbors(vertex, label, limit), emit)
                 }
             }
-            Request::Stats => emit(&Response::Stats(self.engine.stats())),
+            Request::Stats => {
+                let mut stats = self.engine.stats();
+                // A replica's local GRE only ever advances on fully-applied
+                // epoch prefixes, so it *is* the applied replication
+                // position. Non-replicas report -1.
+                if self.is_read_only() {
+                    stats.replication_apply_epoch = stats.read_epoch;
+                }
+                emit(&Response::Stats(stats))
+            }
+            Request::MetricsDump => {
+                let snap = self.engine.metrics();
+                emit(&Response::Metrics(MetricsReply {
+                    counters: snap.counters,
+                    gauges: snap.gauges,
+                    histograms: snap
+                        .histograms
+                        .into_iter()
+                        .map(|h| HistogramDump {
+                            name: h.name,
+                            count: h.count,
+                            sum: h.sum,
+                            max: h.max,
+                            buckets: h.buckets,
+                        })
+                        .collect(),
+                }))
+            }
             Request::Checkpoint => {
                 if self.is_read_only() {
                     // The replica's apply thread owns local durability

@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use livegraph_server::{Client, ClientError, ClientPool, PipelinedClient};
+use livegraph_core::HistogramSnapshot;
+use livegraph_server::{Client, ClientError, ClientPool, MetricsReply, PipelinedClient};
 
 use livegraph_core::DEFAULT_LABEL;
 
@@ -162,6 +163,48 @@ impl RemoteBackend {
     /// `stats` / `checkpoint` between workload phases).
     pub fn pool(&self) -> &ClientPool {
         &self.pool
+    }
+
+    /// Samples the server's full telemetry registry (`MetricsDump`) over
+    /// the admin pool. Call at the end of a run so bench bins can report
+    /// *server-side* latency next to the driver's client-side numbers.
+    /// `None` if the dump could not be fetched (old server, dead pool).
+    pub fn server_metrics(&self) -> Option<MetricsReply> {
+        let mut client = self.pool.get().ok()?;
+        client.metrics_dump().ok()
+    }
+
+    /// Human-readable server-side latency lines (one per non-empty
+    /// duration histogram: `name p50/p95/p99/max`), from a fresh
+    /// [`Self::server_metrics`] sample. Empty string if unavailable.
+    pub fn server_latency_report(&self) -> String {
+        let Some(metrics) = self.server_metrics() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for h in &metrics.histograms {
+            if h.count == 0 || !h.name.ends_with("_seconds") {
+                continue;
+            }
+            let snap = HistogramSnapshot {
+                name: h.name.clone(),
+                count: h.count,
+                sum: h.sum,
+                max: h.max,
+                buckets: h.buckets.clone(),
+            };
+            let ms = |ns: u64| ns as f64 / 1e6;
+            out.push_str(&format!(
+                "  server {:<42} n={:<9} p50={:.3}ms p95={:.3}ms p99={:.3}ms max={:.3}ms\n",
+                h.name,
+                h.count,
+                ms(snap.p50()),
+                ms(snap.p95()),
+                ms(snap.p99()),
+                ms(h.max),
+            ));
+        }
+        out
     }
 
     /// Runs one operation with conflict + transport retries. Conflicts are
@@ -391,6 +434,26 @@ mod tests {
             backend.delete_link(a, b);
             assert!(!backend.get_link(a, b));
             assert_eq!(backend.count_links(a), 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_metrics_sample_reports_request_latency() {
+        let server = loopback_server();
+        {
+            let backend = RemoteBackend::connect(server.local_addr(), 2).unwrap();
+            let a = backend.add_node(b"a");
+            assert_eq!(backend.get_node(a), Some(b"a".to_vec()));
+            let metrics = backend.server_metrics().expect("metrics dump");
+            let requests = metrics
+                .histograms
+                .iter()
+                .find(|h| h.name == "livegraph_request_seconds")
+                .expect("request histogram present");
+            assert!(requests.count >= 2, "server timed {} requests", requests.count);
+            let report = backend.server_latency_report();
+            assert!(report.contains("livegraph_request_seconds"), "{report}");
         }
         server.shutdown();
     }

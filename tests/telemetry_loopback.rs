@@ -1,0 +1,184 @@
+//! `MetricsDump` over the wire ≡ the engine-side registry.
+//!
+//! The `livegraph-top` dashboard and the Prometheus endpoint are only as
+//! trustworthy as the wire dump they render, so these tests run a known
+//! op mix against an in-process server, quiesce it, and compare the
+//! `MetricsDump` reply series-for-series against `Engine::metrics()` on
+//! the very same engine instance. The single tolerated divergence is
+//! `livegraph_request_seconds`: a dump cannot include its *own* request
+//! (the span closes only after the reply bytes are written), so the
+//! engine-side count may exceed the wire count by the requests that
+//! completed in between — never the reverse.
+
+use std::sync::Arc;
+
+use livegraph::core::DEFAULT_LABEL;
+use livegraph::server::{render_exposition, Client, Engine, Server, ServerConfig};
+
+const TXNS: u64 = 12;
+
+fn start_plain() -> (Arc<Engine>, Server) {
+    let graph = livegraph::core::LiveGraph::open(
+        livegraph::core::LiveGraphOptions::in_memory()
+            .with_capacity(1 << 24)
+            .with_max_vertices(1 << 12),
+    )
+    .unwrap();
+    let engine = Arc::new(Engine::Plain(graph));
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(2),
+    )
+    .unwrap();
+    (engine, server)
+}
+
+/// The known mix: `TXNS` explicit write transactions (two vertices plus an
+/// edge each) and one adjacency read per transaction.
+fn run_known_mix(client: &mut Client) {
+    for i in 0..TXNS {
+        let txn = client.begin_write().unwrap();
+        let a = client.create_vertex(txn, format!("a{i}").as_bytes()).unwrap();
+        let b = client.create_vertex(txn, format!("b{i}").as_bytes()).unwrap();
+        client.put_edge(Some(txn), a, DEFAULT_LABEL, b, b"e").unwrap();
+        client.commit(txn).unwrap();
+        assert_eq!(client.neighbors(None, a, DEFAULT_LABEL, 0).unwrap(), vec![b]);
+    }
+}
+
+fn sorted<T: Ord + Clone>(xs: &[T]) -> Vec<T> {
+    let mut xs = xs.to_vec();
+    xs.sort();
+    xs
+}
+
+#[test]
+fn metrics_dump_matches_engine_registry_when_quiesced() {
+    let (engine, server) = start_plain();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    run_known_mix(&mut client);
+
+    let dump = client.metrics_dump().unwrap();
+    let snap = engine.metrics();
+
+    // Counters and gauges: identical name sets *and* values — nothing
+    // commits between the dump and the in-process snapshot.
+    let dump_counters = sorted(&dump.counters);
+    let dump_gauges = sorted(&dump.gauges);
+    assert_eq!(dump_counters, sorted(&snap.counters));
+    assert_eq!(dump_gauges, sorted(&snap.gauges));
+
+    // The known mix pins the engine-derived series exactly.
+    let counter = |name: &str| {
+        dump_counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("dump missing counter {name}"))
+            .1
+    };
+    assert_eq!(counter("livegraph_commits_total"), TXNS);
+    assert_eq!(counter("livegraph_vertices_total"), 2 * TXNS);
+    assert_eq!(counter("livegraph_edge_inserts_total"), TXNS);
+
+    // Histograms: every series the engine holds crosses the wire, and on
+    // a quiesced server all of them agree exactly — except the request
+    // latency span, which closes only after each reply is flushed, so
+    // the engine side may have observed more requests (never fewer).
+    assert_eq!(dump.histograms.len(), snap.histograms.len());
+    for wire in &dump.histograms {
+        let local = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == wire.name)
+            .unwrap_or_else(|| panic!("registry missing histogram {}", wire.name));
+        if wire.name == "livegraph_request_seconds" {
+            assert!(
+                local.count >= wire.count,
+                "engine saw fewer requests ({}) than the dump ({})",
+                local.count,
+                wire.count
+            );
+            assert!(wire.count >= TXNS, "known mix under-recorded requests");
+        } else {
+            assert_eq!(wire.count, local.count, "{} count diverged", wire.name);
+            assert_eq!(wire.sum, local.sum, "{} sum diverged", wire.name);
+            assert_eq!(wire.max, local.max, "{} max diverged", wire.name);
+            assert_eq!(wire.buckets, local.buckets, "{} buckets diverged", wire.name);
+        }
+    }
+
+    // At least one commit span must actually have been traced (the first
+    // sample in each worker slot fires immediately), or the dashboard
+    // renders an all-zero commit row forever.
+    let commit = dump
+        .histograms
+        .iter()
+        .find(|h| h.name == "livegraph_commit_seconds")
+        .unwrap();
+    assert!(commit.count > 0, "no commit span was sampled");
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn exposition_renders_every_wire_series() {
+    let (engine, server) = start_plain();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    run_known_mix(&mut client);
+
+    let dump = client.metrics_dump().unwrap();
+    let text = render_exposition(&engine.metrics());
+    for (name, _) in &dump.counters {
+        assert!(text.contains(name.as_str()), "exposition missing {name}");
+    }
+    for (name, _) in &dump.gauges {
+        assert!(text.contains(name.as_str()), "exposition missing {name}");
+    }
+    for h in &dump.histograms {
+        assert!(
+            text.contains(&format!("{}_count", h.name)),
+            "exposition missing {}_count",
+            h.name
+        );
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn sharded_dump_flattens_commit_totals_across_shards() {
+    use livegraph::core::{ShardedGraph, ShardedGraphOptions};
+    let graph = ShardedGraph::open(ShardedGraphOptions::in_memory(2).with_base(
+        livegraph::core::LiveGraphOptions::in_memory()
+            .with_capacity(1 << 22)
+            .with_max_vertices(1 << 11),
+    ))
+    .unwrap();
+    let engine = Arc::new(Engine::Sharded(graph));
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(2),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    run_known_mix(&mut client);
+
+    // The shards share one registry, so the flattened dump reports the
+    // full commit count no matter which shards the vertices landed on.
+    let dump = client.metrics_dump().unwrap();
+    let commits = dump
+        .counters
+        .iter()
+        .find(|(n, _)| n == "livegraph_commits_total")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert_eq!(commits, TXNS);
+
+    drop(client);
+    server.shutdown();
+}

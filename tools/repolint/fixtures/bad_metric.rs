@@ -1,0 +1,10 @@
+//! Negative fixture for the metric-name rule: three distinct violations
+//! plus one conforming registration that must not be reported.
+
+fn register(snap: &mut MetricsSnapshot) {
+    let _wrong_prefix = counter("graph_commits_total");
+    let _bad_chars = gauge("livegraph_Read-Epoch");
+    let _no_unit = histogram("livegraph_commit_latency");
+    let _fine = histogram("livegraph_commit_seconds");
+    snap.push_counter("livegraph_vertices_total", 1);
+}

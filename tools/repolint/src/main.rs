@@ -1,5 +1,5 @@
 //! `repolint` — dependency-free source linter enforcing the repository's
-//! concurrency-verification invariants. Four rules:
+//! concurrency-verification and observability invariants. Five rules:
 //!
 //! * **facade-import** — modules migrated onto the `crate::sync` facade
 //!   (the ones the loom model tests cover) must not import `std::sync` or
@@ -12,6 +12,11 @@
 //! * **lock-order** — vertex-lock acquisitions in the sharded engine cite
 //!   the global `(shard, vertex)` order (`// LOCK ORDER:`) that makes
 //!   cross-shard transactions deadlock-free.
+//! * **metric-name** — every metric name passed to a `counter(`/`gauge(`/
+//!   `histogram(` call (including `push_counter`/`push_gauge`) matches
+//!   `livegraph_[a-z0-9_]+`, and histogram names end in a unit suffix
+//!   (`_seconds`, `_bytes` or `_total`) so dashboards and the Prometheus
+//!   exposition can scale them without a lookup table.
 //!
 //! A finding is always an error (`-D` semantics): the tool prints
 //! `file:line: [rule] message` for each and exits nonzero if any exist.
@@ -43,6 +48,7 @@ enum Rule {
     SafetyComment,
     OrderingComment,
     LockOrder,
+    MetricName,
 }
 
 impl Rule {
@@ -53,6 +59,7 @@ impl Rule {
             Rule::SafetyComment => "safety-comment",
             Rule::OrderingComment => "ordering-comment",
             Rule::LockOrder => "lock-order",
+            Rule::MetricName => "metric-name",
         }
     }
 }
@@ -92,6 +99,7 @@ const FACADE_FILES: &[&str] = &[
     "crates/core/src/epoch.rs",
     "crates/core/src/tel.rs",
     "crates/core/src/seal.rs",
+    "crates/core/src/telemetry.rs",
     "crates/server/src/pipeline.rs",
     "crates/server/src/server.rs",
 ];
@@ -111,11 +119,21 @@ const ORDERING_DIRS: &[&str] = &["crates/core/src", "crates/server/src", "crates
 /// The sharded engine, whose lock acquisitions must cite the global order.
 const LOCK_ORDER_FILES: &[&str] = &["crates/core/src/sharded.rs"];
 
+/// Source trees scanned for metric registrations (metric-name rule) —
+/// everywhere the telemetry registry is written to or extended.
+const METRIC_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/server/src",
+    "crates/workloads/src",
+    "crates/bench/src",
+];
+
 const ALL_RULES: &[Rule] = &[
     Rule::FacadeImport,
     Rule::SafetyComment,
     Rule::OrderingComment,
     Rule::LockOrder,
+    Rule::MetricName,
 ];
 
 fn main() -> ExitCode {
@@ -158,6 +176,11 @@ fn scan_default(root: &Path) -> Vec<Finding> {
     }
     for rel in LOCK_ORDER_FILES {
         findings.extend(scan_file(&root.join(rel), &[Rule::LockOrder]));
+    }
+    for dir in METRIC_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            findings.extend(scan_file(&file, &[Rule::MetricName]));
+        }
     }
     findings
 }
@@ -256,6 +279,55 @@ fn check_line(rule: Rule, lines: &[&str], ix: usize, line: &str) -> Option<Strin
              the global (shard, vertex) order"
                 .to_string()
         }),
+        Rule::MetricName => bad_metric_name(line),
+    }
+}
+
+/// Unit suffixes a histogram name must end in, so every consumer (the
+/// Prometheus exposition, `livegraph-top`) can scale values without a
+/// per-metric lookup table.
+const HISTOGRAM_UNITS: &[&str] = &["_seconds", "_bytes", "_total"];
+
+/// Checks every string literal passed to a `counter(`/`gauge(`/
+/// `histogram(` call on this line (method or free-fn form, including
+/// `push_counter`/`push_gauge`) against the metric naming scheme.
+fn bad_metric_name(line: &str) -> Option<String> {
+    for (call, histogram) in [("histogram(\"", true), ("counter(\"", false), ("gauge(\"", false)] {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(call) {
+            let start = from + pos + call.len();
+            let Some(len) = line[start..].find('"') else {
+                break;
+            };
+            let name = &line[start..start + len];
+            if !well_formed_metric_name(name) {
+                return Some(format!(
+                    "metric name `{name}` does not match `livegraph_[a-z0-9_]+`"
+                ));
+            }
+            if histogram && !HISTOGRAM_UNITS.iter().any(|u| name.ends_with(u)) {
+                return Some(format!(
+                    "histogram `{name}` lacks a unit suffix (one of {})",
+                    HISTOGRAM_UNITS.join(", ")
+                ));
+            }
+            from = start + len;
+        }
+    }
+    None
+}
+
+/// `livegraph_` followed by at least one `[a-z0-9_]` character and nothing
+/// else.
+fn well_formed_metric_name(name: &str) -> bool {
+    match name.strip_prefix("livegraph_") {
+        Some(rest) => {
+            !rest.is_empty()
+                && rest
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        }
+        None => false,
     }
 }
 
@@ -372,6 +444,32 @@ mod tests {
     #[test]
     fn bad_lock_order_is_reported() {
         assert!(rules_hit("bad_lock_order.rs").contains(&Rule::LockOrder));
+    }
+
+    #[test]
+    fn bad_metric_names_are_reported_but_conforming_ones_pass() {
+        let findings = scan_file(&fixture("bad_metric.rs"), ALL_RULES);
+        let metric: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::MetricName)
+            .collect();
+        assert_eq!(metric.len(), 3, "{:?}", metric.iter().map(|f| f.to_string()).collect::<Vec<_>>());
+        assert!(metric.iter().any(|f| f.message.contains("graph_commits_total")));
+        assert!(metric.iter().any(|f| f.message.contains("livegraph_Read-Epoch")));
+        assert!(metric.iter().any(|f| f.message.contains("unit suffix")));
+    }
+
+    #[test]
+    fn metric_name_grammar() {
+        assert!(well_formed_metric_name("livegraph_commits_total"));
+        assert!(well_formed_metric_name("livegraph_p99_seconds"));
+        assert!(!well_formed_metric_name("livegraph_"));
+        assert!(!well_formed_metric_name("livegraph_CamelCase"));
+        assert!(!well_formed_metric_name("graph_commits_total"));
+        // Histograms additionally need a unit; other kinds do not.
+        assert!(bad_metric_name(r#"histogram("livegraph_commit_latency")"#).is_some());
+        assert!(bad_metric_name(r#"histogram("livegraph_batch_total")"#).is_none());
+        assert!(bad_metric_name(r#"gauge("livegraph_read_epoch")"#).is_none());
     }
 
     #[test]
